@@ -1,0 +1,79 @@
+// E4 — Requests served per layer (browser / CDN edge / origin) vs.
+// popularity skew and CDN fan-out: the polyglot architecture's payoff.
+//
+// Reproduces the layered-hit-ratio view of the architecture: as skew
+// grows, traffic collapses onto the hot head and the cache layers absorb
+// it; more edges dilute per-edge hit rates (same traffic split more ways).
+#include "bench/bench_util.h"
+#include "bench/workload_runner.h"
+
+namespace speedkit {
+namespace {
+
+void SkewSweep() {
+  bench::PrintSection("share of requests per layer vs Zipf skew (4 edges)");
+  bench::Row("%6s %10s %10s %10s %10s %12s", "skew", "browser", "edge",
+             "origin", "reval304", "p50_ms");
+  for (double skew : {0.5, 0.7, 0.9, 1.1, 1.3}) {
+    bench::RunSpec spec = bench::DefaultRunSpec();
+    spec.traffic.session.product_skew = skew;
+    bench::RunOutput out = bench::RunWorkload(spec);
+    const auto& p = out.traffic.proxies;
+    double n = static_cast<double>(p.requests);
+    bench::Row("%6.1f %9.1f%% %9.1f%% %9.1f%% %9.1f%% %12.1f", skew,
+               100.0 * p.browser_hits / n, 100.0 * p.edge_hits / n,
+               100.0 * p.origin_fetches / n,
+               100.0 * p.revalidations_304 / n,
+               out.traffic.all_latency_us.P50() / 1e3);
+  }
+}
+
+void EdgeCountSweep() {
+  bench::PrintSection("edge fan-out: per-layer shares vs number of edges");
+  bench::Row("%6s %10s %10s %10s %12s", "edges", "browser", "edge", "origin",
+             "p50_ms");
+  for (int edges : {1, 2, 4, 8, 16}) {
+    bench::RunSpec spec = bench::DefaultRunSpec();
+    spec.stack.cdn_edges = edges;
+    spec.traffic.session.product_skew = 0.9;
+    bench::RunOutput out = bench::RunWorkload(spec);
+    const auto& p = out.traffic.proxies;
+    double n = static_cast<double>(p.requests);
+    bench::Row("%6d %9.1f%% %9.1f%% %9.1f%% %12.1f", edges,
+               100.0 * p.browser_hits / n, 100.0 * p.edge_hits / n,
+               100.0 * p.origin_fetches / n,
+               out.traffic.all_latency_us.P50() / 1e3);
+  }
+  bench::Note("more edges split the shared working set: edge share drops, "
+              "origin share grows (classic CDN cache dilution)");
+}
+
+void CatalogSizeSweep() {
+  bench::PrintSection("working-set pressure: shares vs catalog size");
+  bench::Row("%10s %10s %10s %10s", "products", "browser", "edge", "origin");
+  for (size_t products : {500u, 2000u, 10000u, 50000u}) {
+    bench::RunSpec spec = bench::DefaultRunSpec();
+    spec.catalog.num_products = products;
+    spec.traffic.session.product_skew = 0.9;
+    bench::RunOutput out = bench::RunWorkload(spec);
+    const auto& p = out.traffic.proxies;
+    double n = static_cast<double>(p.requests);
+    bench::Row("%10zu %9.1f%% %9.1f%% %9.1f%%", products,
+               100.0 * p.browser_hits / n, 100.0 * p.edge_hits / n,
+               100.0 * p.origin_fetches / n);
+  }
+}
+
+}  // namespace
+}  // namespace speedkit
+
+int main() {
+  speedkit::bench::PrintHeader(
+      "E4", "Requests served per cache layer",
+      "the polyglot architecture's layered hit ratios (browser -> CDN -> "
+      "origin)");
+  speedkit::SkewSweep();
+  speedkit::EdgeCountSweep();
+  speedkit::CatalogSizeSweep();
+  return 0;
+}

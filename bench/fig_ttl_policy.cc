@@ -1,0 +1,78 @@
+// E3 — TTL policy: latency, hit ratio and coherence cost vs. how cache
+// lifetimes are chosen.
+//
+// Reproduces the TTL-estimator evaluation shape (companion Monte-Carlo
+// study): longer/estimated TTLs buy hits; without coherence they also buy
+// staleness, and with the sketch the cost shows up as sketch entries and
+// revalidations instead of stale reads.
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "bench/workload_runner.h"
+
+namespace speedkit {
+namespace {
+
+struct PolicyPoint {
+  std::string name;
+  core::TtlMode mode = core::TtlMode::kFixed;
+  Duration fixed_ttl = Duration::Seconds(60);
+  bool no_cache = false;
+};
+
+void RunPolicies(double read_skew, double writes_per_sec) {
+  bench::Row("%14s %10s %10s %10s %12s %12s %12s %12s", "policy", "p50_ms",
+             "p99_ms", "hit_rate", "origin_reqs", "stale_rate", "reval_304",
+             "sketch_sz");
+  std::vector<PolicyPoint> policies = {
+      {"no-cache", core::TtlMode::kFixed, Duration::Zero(), true},
+      {"fixed-30s", core::TtlMode::kFixed, Duration::Seconds(30), false},
+      {"fixed-300s", core::TtlMode::kFixed, Duration::Seconds(300), false},
+      {"fixed-3600s", core::TtlMode::kFixed, Duration::Seconds(3600), false},
+      {"estimator", core::TtlMode::kEstimator, Duration::Zero(), false},
+  };
+  for (const PolicyPoint& policy : policies) {
+    bench::RunSpec spec = bench::DefaultRunSpec();
+    spec.traffic.session.product_skew = read_skew;
+    spec.traffic.writes_per_sec = writes_per_sec;
+    if (policy.no_cache) {
+      spec.stack.variant = core::SystemVariant::kNoCaching;
+    } else {
+      spec.stack.ttl_mode = policy.mode;
+      spec.stack.fixed_ttl = policy.fixed_ttl;
+      spec.stack.estimator.max_ttl = Duration::Seconds(3600);
+    }
+    bench::RunOutput out = bench::RunWorkload(spec);
+    double hit_rate =
+        out.traffic.BrowserHitRatio() + out.traffic.EdgeHitRatio();
+    bench::Row("%14s %10.1f %10.1f %9.1f%% %12llu %11.4f%% %12llu %12zu",
+               policy.name.c_str(), out.traffic.api_latency_us.P50() / 1e3,
+               out.traffic.api_latency_us.P99() / 1e3, hit_rate * 100,
+               static_cast<unsigned long long>(out.origin_requests),
+               out.staleness.StaleFraction() * 100,
+               static_cast<unsigned long long>(
+                   out.traffic.proxies.revalidations_304),
+               out.sketch_entries);
+  }
+}
+
+}  // namespace
+}  // namespace speedkit
+
+int main() {
+  speedkit::bench::PrintHeader(
+      "E3", "TTL policy: latency & hit ratio vs cache-lifetime strategy",
+      "the TTL estimator's role in the polyglot architecture (hits vs "
+      "coherence load)");
+  speedkit::bench::PrintSection("moderate skew (0.8), 2 writes/s");
+  speedkit::RunPolicies(0.8, 2.0);
+  speedkit::bench::PrintSection("high skew (0.99), 2 writes/s");
+  speedkit::RunPolicies(0.99, 2.0);
+  speedkit::bench::PrintSection("moderate skew (0.8), write-heavy 8 writes/s");
+  speedkit::RunPolicies(0.8, 8.0);
+  speedkit::bench::Note(
+      "expected shape: estimator ~matches the best fixed TTL on hits with "
+      "fewer sketch entries/revalidations; no-cache pays full origin RTTs");
+  return 0;
+}

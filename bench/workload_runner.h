@@ -1,0 +1,72 @@
+// Shared end-to-end run recipe for the traffic-driven experiments
+// (E2/E3/E4/E8/E9): build a stack variant, populate the catalog, register
+// category listings with origin + pipeline, run session traffic with a
+// Poisson write process, and hand back everything the tables print.
+#ifndef SPEEDKIT_BENCH_WORKLOAD_RUNNER_H_
+#define SPEEDKIT_BENCH_WORKLOAD_RUNNER_H_
+
+#include <memory>
+
+#include "core/stack.h"
+#include "core/traffic.h"
+
+namespace speedkit::bench {
+
+struct RunSpec {
+  core::StackConfig stack;
+  workload::CatalogConfig catalog;
+  core::TrafficConfig traffic;
+  uint64_t catalog_seed = 1;
+};
+
+struct RunOutput {
+  core::TrafficResult traffic;
+  core::StalenessReport staleness;
+  Histogram staleness_us;
+  uint64_t origin_requests = 0;
+  size_t sketch_entries = 0;
+  uint64_t sketch_snapshot_bytes = 0;
+};
+
+inline RunSpec DefaultRunSpec() {
+  RunSpec spec;
+  spec.catalog.num_products = 2000;
+  spec.catalog.num_categories = 20;
+  spec.traffic.num_clients = 25;
+  spec.traffic.duration = Duration::Minutes(20);
+  spec.traffic.writes_per_sec = 2.0;
+  spec.traffic.write_skew = 0.8;
+  return spec;
+}
+
+inline RunOutput RunWorkload(const RunSpec& spec) {
+  core::SpeedKitStack stack(spec.stack);
+  workload::Catalog catalog(spec.catalog, Pcg32(spec.catalog_seed));
+  catalog.Populate(&stack.store(), stack.clock().Now());
+  for (int c = 0; c < catalog.num_categories(); ++c) {
+    stack.origin().RegisterQuery(catalog.CategoryQuery(c));
+    if (stack.pipeline() != nullptr) {
+      stack.pipeline()->WatchQuery(catalog.CategoryQuery(c),
+                                   catalog.CategoryUrl(c));
+    }
+  }
+  // Settle population writes out of the sketch before traffic starts.
+  stack.Advance(Duration::Seconds(5));
+
+  core::TrafficSimulation sim(&stack, &catalog, spec.traffic);
+  RunOutput out;
+  out.traffic = sim.Run();
+  out.staleness = stack.staleness().report();
+  out.staleness_us = stack.staleness().staleness_us();
+  out.origin_requests = stack.origin().stats().requests;
+  if (stack.sketch() != nullptr) {
+    out.sketch_entries = stack.sketch()->entries();
+    out.sketch_snapshot_bytes =
+        stack.sketch()->SerializedSnapshot(stack.clock().Now()).size();
+  }
+  return out;
+}
+
+}  // namespace speedkit::bench
+
+#endif  // SPEEDKIT_BENCH_WORKLOAD_RUNNER_H_

@@ -1,0 +1,45 @@
+#include "cache/cdn.h"
+
+#include <algorithm>
+
+#include "common/hash.h"
+
+namespace speedkit::cache {
+
+Cdn::Cdn(int num_edges, size_t edge_capacity_bytes) {
+  num_edges = std::max(1, num_edges);
+  edges_.reserve(static_cast<size_t>(num_edges));
+  for (int i = 0; i < num_edges; ++i) {
+    edges_.push_back(
+        std::make_unique<HttpCache>(/*shared=*/true, edge_capacity_bytes));
+  }
+}
+
+int Cdn::RouteFor(uint64_t client_id) const {
+  return static_cast<int>(Mix64(client_id) % edges_.size());
+}
+
+int Cdn::PurgeAll(std::string_view key) {
+  int purged = 0;
+  for (auto& edge : edges_) {
+    if (edge->Purge(key)) ++purged;
+  }
+  return purged;
+}
+
+HttpCacheStats Cdn::TotalStats() const {
+  HttpCacheStats total;
+  for (const auto& edge : edges_) {
+    const HttpCacheStats& s = edge->stats();
+    total.fresh_hits += s.fresh_hits;
+    total.stale_hits += s.stale_hits;
+    total.misses += s.misses;
+    total.stores += s.stores;
+    total.store_rejects += s.store_rejects;
+    total.refreshes += s.refreshes;
+    total.purges += s.purges;
+  }
+  return total;
+}
+
+}  // namespace speedkit::cache

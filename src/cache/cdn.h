@@ -1,0 +1,51 @@
+// Multi-edge CDN substrate.
+//
+// N shared HTTP caches ("edges"); each client is pinned to one edge by a
+// stable hash of its client id, mirroring anycast routing to the nearest
+// POP. Purges fan out to every edge — the invalidation pipeline schedules
+// the fan-out with per-edge propagation delays, so the CDN itself exposes
+// synchronous per-edge purge.
+#ifndef SPEEDKIT_CACHE_CDN_H_
+#define SPEEDKIT_CACHE_CDN_H_
+
+#include <cstdint>
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "cache/http_cache.h"
+
+namespace speedkit::cache {
+
+class Cdn {
+ public:
+  // `edge_capacity_bytes` 0 = unbounded per edge.
+  Cdn(int num_edges, size_t edge_capacity_bytes);
+
+  int num_edges() const { return static_cast<int>(edges_.size()); }
+
+  // The edge serving `client_id` (stable hash routing).
+  int RouteFor(uint64_t client_id) const;
+
+  HttpCache& edge(int i) { return *edges_[i]; }
+  const HttpCache& edge(int i) const { return *edges_[i]; }
+
+  // Purges `key` from one edge; returns true if the edge held it.
+  bool PurgeEdge(int i, std::string_view key) {
+    return edges_[i]->Purge(key);
+  }
+
+  // Immediate purge everywhere (used by baselines without a propagation
+  // model). Returns how many edges held the key.
+  int PurgeAll(std::string_view key);
+
+  // Aggregated stats across edges.
+  HttpCacheStats TotalStats() const;
+
+ private:
+  std::vector<std::unique_ptr<HttpCache>> edges_;
+};
+
+}  // namespace speedkit::cache
+
+#endif  // SPEEDKIT_CACHE_CDN_H_

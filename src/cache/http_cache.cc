@@ -1,0 +1,75 @@
+#include "cache/http_cache.h"
+
+namespace speedkit::cache {
+
+HttpCache::HttpCache(bool shared, size_t capacity_bytes)
+    : shared_(shared),
+      entries_(capacity_bytes, [](const CacheEntry& e) {
+        return e.response.WireSize() + 64;  // entry bookkeeping overhead
+      }) {}
+
+LookupResult HttpCache::Lookup(std::string_view key, SimTime now) {
+  CacheEntry* entry = entries_.Get(key);
+  if (entry == nullptr) {
+    stats_.misses++;
+    return LookupResult{LookupOutcome::kMiss, nullptr};
+  }
+  if (entry->IsFresh(now)) {
+    stats_.fresh_hits++;
+    return LookupResult{LookupOutcome::kFreshHit, entry};
+  }
+  stats_.stale_hits++;
+  return LookupResult{LookupOutcome::kStaleHit, entry};
+}
+
+bool HttpCache::Store(std::string_view key, const http::HttpResponse& response,
+                      SimTime now) {
+  if (!response.ok() || response.body.empty()) return false;
+  http::CacheControl cc = response.GetCacheControl();
+  if (!cc.Storable(shared_)) {
+    stats_.store_rejects++;
+    return false;
+  }
+  CacheEntry entry;
+  entry.response = response;
+  entry.stored_at = now;
+  auto freshness =
+      shared_ ? cc.FreshnessForSharedCache() : cc.FreshnessForPrivateCache();
+  entry.ttl = freshness.value_or(Duration::Zero());
+  entry.swr = cc.stale_while_revalidate.value_or(Duration::Zero());
+  entry.requires_revalidation = cc.no_cache;
+  entries_.Put(key, std::move(entry));
+  stats_.stores++;
+  return true;
+}
+
+void HttpCache::Refresh(std::string_view key,
+                        const http::HttpResponse& not_modified, SimTime now) {
+  CacheEntry* entry = entries_.Get(key);
+  if (entry == nullptr) return;
+  http::CacheControl cc = not_modified.GetCacheControl();
+  auto freshness =
+      shared_ ? cc.FreshnessForSharedCache() : cc.FreshnessForPrivateCache();
+  entry->ttl = freshness.value_or(Duration::Zero());
+  entry->swr = cc.stale_while_revalidate.value_or(Duration::Zero());
+  // The validator confirmed the representation: freshness restarts from
+  // the 304's render time. An origin-minted 304 carries generated_at ==
+  // revalidation time; a cache-minted 304 (edge answering a matching
+  // client validator) carries its entry's original render time, which
+  // propagates Age correctly instead of silently extending freshness.
+  entry->response.generated_at = not_modified.generated_at;
+  entry->response.object_version = not_modified.object_version;
+  entry->stored_at = now;
+  entry->requires_revalidation = false;
+  stats_.refreshes++;
+}
+
+bool HttpCache::Purge(std::string_view key) {
+  bool removed = entries_.Erase(key);
+  if (removed) stats_.purges++;
+  return removed;
+}
+
+void HttpCache::Clear() { entries_.Clear(); }
+
+}  // namespace speedkit::cache

@@ -1,0 +1,100 @@
+// HTTP-semantics cache layer, instantiated as the browser cache (private)
+// and each CDN edge (shared).
+//
+// Freshness is computed against the response's origin render time
+// (`generated_at`), which models correct Age propagation across layers: a
+// response that sat 40 s at a CDN edge has only `ttl - 40s` of freshness
+// left when the browser stores it. Stale entries are retained for
+// conditional revalidation (If-None-Match -> 304 extends their life).
+#ifndef SPEEDKIT_CACHE_HTTP_CACHE_H_
+#define SPEEDKIT_CACHE_HTTP_CACHE_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "cache/lru_cache.h"
+#include "common/sim_time.h"
+#include "http/message.h"
+
+namespace speedkit::cache {
+
+struct CacheEntry {
+  http::HttpResponse response;
+  SimTime stored_at;
+  Duration ttl = Duration::Zero();  // freshness lifetime from generated_at
+  Duration swr = Duration::Zero();  // stale-while-revalidate window
+  bool requires_revalidation = false;  // no-cache: usable only after 304
+
+  SimTime FreshUntil() const { return response.generated_at + ttl; }
+  bool IsFresh(SimTime now) const {
+    return !requires_revalidation && now < FreshUntil();
+  }
+  // Expired, but still inside the stale-while-revalidate window: may be
+  // served while a background revalidation runs (RFC 5861). Only safe to
+  // use when something else bounds staleness — for Speed Kit, the sketch.
+  bool WithinSwrWindow(SimTime now) const {
+    return !requires_revalidation && now < FreshUntil() + swr;
+  }
+};
+
+enum class LookupOutcome {
+  kFreshHit,   // entry returned, safe to serve under expiration rules
+  kStaleHit,   // entry present but expired; candidate for revalidation
+  kMiss,
+};
+
+struct LookupResult {
+  LookupOutcome outcome = LookupOutcome::kMiss;
+  const CacheEntry* entry = nullptr;  // valid for hits until next mutation
+};
+
+struct HttpCacheStats {
+  uint64_t fresh_hits = 0;
+  uint64_t stale_hits = 0;
+  uint64_t misses = 0;
+  uint64_t stores = 0;
+  uint64_t store_rejects = 0;  // no-store / private-at-shared
+  uint64_t refreshes = 0;      // 304-driven lifetime extensions
+  uint64_t purges = 0;
+};
+
+class HttpCache {
+ public:
+  // `shared` selects which Cache-Control directives apply (s-maxage,
+  // private). `capacity_bytes` 0 = unbounded.
+  HttpCache(bool shared, size_t capacity_bytes);
+
+  LookupResult Lookup(std::string_view key, SimTime now);
+
+  // Stores `response` if its Cache-Control permits storage in this cache
+  // class. Returns true if stored. Responses without explicit freshness get
+  // TTL zero (stored for revalidation only).
+  bool Store(std::string_view key, const http::HttpResponse& response,
+             SimTime now);
+
+  // Applies a 304: extends the stored entry's freshness using the new
+  // Cache-Control and render time. No-op if the entry vanished.
+  void Refresh(std::string_view key, const http::HttpResponse& not_modified,
+               SimTime now);
+
+  // Invalidation-based removal (CDN purge API).
+  bool Purge(std::string_view key);
+  void Clear();
+
+  bool shared() const { return shared_; }
+  size_t size() const { return entries_.size(); }
+  size_t used_bytes() const { return entries_.used_bytes(); }
+  uint64_t evictions() const { return entries_.evictions(); }
+  const HttpCacheStats& stats() const { return stats_; }
+
+ private:
+  bool shared_;
+  LruCache<CacheEntry> entries_;
+  HttpCacheStats stats_;
+};
+
+}  // namespace speedkit::cache
+
+#endif  // SPEEDKIT_CACHE_HTTP_CACHE_H_

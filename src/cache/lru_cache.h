@@ -1,0 +1,132 @@
+// Byte-budgeted LRU map, string-keyed.
+//
+// The eviction unit is whole entries; the budget is the sum of a
+// caller-supplied size function over resident values (so an HTTP cache can
+// charge body bytes while a fragment cache charges rendered-fragment
+// bytes). Recency is a doubly-linked list threaded through the hash map —
+// O(1) touch, insert, evict.
+#ifndef SPEEDKIT_CACHE_LRU_CACHE_H_
+#define SPEEDKIT_CACHE_LRU_CACHE_H_
+
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+namespace speedkit::cache {
+
+template <typename Value>
+class LruCache {
+ public:
+  using SizeFn = std::function<size_t(const Value&)>;
+
+  // `capacity_bytes` of 0 means unbounded (useful in protocol unit tests).
+  explicit LruCache(size_t capacity_bytes,
+                    SizeFn size_fn = [](const Value&) { return size_t{1}; })
+      : capacity_bytes_(capacity_bytes), size_fn_(std::move(size_fn)) {}
+
+  LruCache(const LruCache&) = delete;
+  LruCache& operator=(const LruCache&) = delete;
+
+  // Returns the resident value and marks it most-recently-used.
+  Value* Get(std::string_view key) {
+    auto it = index_.find(std::string(key));
+    if (it == index_.end()) return nullptr;
+    order_.splice(order_.begin(), order_, it->second);
+    return &it->second->value;
+  }
+
+  // Lookup without touching recency (metrics probes).
+  const Value* Peek(std::string_view key) const {
+    auto it = index_.find(std::string(key));
+    return it == index_.end() ? nullptr : &it->second->value;
+  }
+
+  // Inserts or replaces; evicts LRU entries until within budget. An entry
+  // larger than the whole budget is not admitted.
+  void Put(std::string_view key, Value value) {
+    size_t value_bytes = size_fn_(value);
+    if (capacity_bytes_ != 0 && value_bytes > capacity_bytes_) {
+      Erase(key);
+      return;
+    }
+    auto it = index_.find(std::string(key));
+    if (it != index_.end()) {
+      used_bytes_ -= size_fn_(it->second->value);
+      it->second->value = std::move(value);
+      used_bytes_ += value_bytes;
+      order_.splice(order_.begin(), order_, it->second);
+    } else {
+      order_.push_front(Node{std::string(key), std::move(value)});
+      index_[order_.front().key] = order_.begin();
+      used_bytes_ += value_bytes;
+    }
+    EvictToBudget();
+  }
+
+  bool Erase(std::string_view key) {
+    auto it = index_.find(std::string(key));
+    if (it == index_.end()) return false;
+    used_bytes_ -= size_fn_(it->second->value);
+    order_.erase(it->second);
+    index_.erase(it);
+    return true;
+  }
+
+  void Clear() {
+    order_.clear();
+    index_.clear();
+    used_bytes_ = 0;
+  }
+
+  // Removes entries matching `pred`; returns how many were removed.
+  size_t EraseIf(const std::function<bool(const std::string&, const Value&)>& pred) {
+    size_t removed = 0;
+    for (auto it = order_.begin(); it != order_.end();) {
+      if (pred(it->key, it->value)) {
+        used_bytes_ -= size_fn_(it->value);
+        index_.erase(it->key);
+        it = order_.erase(it);
+        ++removed;
+      } else {
+        ++it;
+      }
+    }
+    return removed;
+  }
+
+  size_t size() const { return index_.size(); }
+  size_t used_bytes() const { return used_bytes_; }
+  size_t capacity_bytes() const { return capacity_bytes_; }
+  uint64_t evictions() const { return evictions_; }
+
+ private:
+  struct Node {
+    std::string key;
+    Value value;
+  };
+
+  void EvictToBudget() {
+    if (capacity_bytes_ == 0) return;
+    while (used_bytes_ > capacity_bytes_ && !order_.empty()) {
+      Node& victim = order_.back();
+      used_bytes_ -= size_fn_(victim.value);
+      index_.erase(victim.key);
+      order_.pop_back();
+      ++evictions_;
+    }
+  }
+
+  size_t capacity_bytes_;
+  SizeFn size_fn_;
+  std::list<Node> order_;  // front = most recent
+  std::unordered_map<std::string, typename std::list<Node>::iterator> index_;
+  size_t used_bytes_ = 0;
+  uint64_t evictions_ = 0;
+};
+
+}  // namespace speedkit::cache
+
+#endif  // SPEEDKIT_CACHE_LRU_CACHE_H_

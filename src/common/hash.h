@@ -1,0 +1,43 @@
+// Non-cryptographic hashing used across speedkit.
+//
+// MurmurHash3 (x64, 128-bit finalizer reduced to 64 bits) feeds the Bloom
+// filters in src/sketch via Kirsch-Mitzenmacher double hashing; FNV-1a is a
+// cheap fallback for small keys (header names, segment ids).
+#ifndef SPEEDKIT_COMMON_HASH_H_
+#define SPEEDKIT_COMMON_HASH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace speedkit {
+
+// 64-bit MurmurHash3 of `data` with `seed`. Stable across platforms
+// (little-endian reads are emulated byte-wise).
+uint64_t Murmur3_64(const void* data, size_t len, uint64_t seed);
+
+inline uint64_t Murmur3_64(std::string_view s, uint64_t seed = 0) {
+  return Murmur3_64(s.data(), s.size(), seed);
+}
+
+// Two independent 64-bit hashes from one pass, for double hashing:
+//   g_i(x) = h1(x) + i * h2(x)   (Kirsch & Mitzenmacher 2006)
+struct Hash128 {
+  uint64_t h1;
+  uint64_t h2;
+};
+Hash128 Murmur3_128(const void* data, size_t len, uint64_t seed);
+
+inline Hash128 Murmur3_128(std::string_view s, uint64_t seed = 0) {
+  return Murmur3_128(s.data(), s.size(), seed);
+}
+
+// FNV-1a, 64-bit.
+uint64_t Fnv1a_64(std::string_view s);
+
+// SplitMix64 finalizer; good for hashing already-numeric keys.
+uint64_t Mix64(uint64_t x);
+
+}  // namespace speedkit
+
+#endif  // SPEEDKIT_COMMON_HASH_H_

@@ -1,0 +1,86 @@
+#include "common/histogram.h"
+
+#include <algorithm>
+#include <bit>
+#include <cstdio>
+
+namespace speedkit {
+
+namespace {
+// 59 octaves of 32 sub-buckets plus the exact low range covers [0, 2^63).
+constexpr int kNumBuckets = 60 * 32;
+}  // namespace
+
+Histogram::Histogram() : buckets_(kNumBuckets, 0) {}
+
+int Histogram::BucketFor(int64_t value) {
+  if (value < 0) value = 0;
+  if (value < kSubBuckets) return static_cast<int>(value);
+  int msb = 63 - std::countl_zero(static_cast<uint64_t>(value));
+  int shift = msb - kSubBucketBits;
+  int sub = static_cast<int>((value >> shift) - kSubBuckets);
+  int idx = (shift + 1) * kSubBuckets + sub;
+  return std::min(idx, kNumBuckets - 1);
+}
+
+int64_t Histogram::BucketUpperBound(int index) {
+  if (index < kSubBuckets) return index;
+  int shift = index / kSubBuckets - 1;
+  int sub = index % kSubBuckets;
+  return (static_cast<int64_t>(kSubBuckets + sub + 1) << shift) - 1;
+}
+
+void Histogram::Add(int64_t value) {
+  if (value < 0) value = 0;
+  buckets_[BucketFor(value)]++;
+  if (count_ == 0 || value < min_) min_ = value;
+  if (value > max_) max_ = value;
+  sum_ += static_cast<double>(value);
+  count_++;
+}
+
+void Histogram::Merge(const Histogram& other) {
+  for (int i = 0; i < kNumBuckets; ++i) buckets_[i] += other.buckets_[i];
+  if (other.count_ > 0) {
+    if (count_ == 0 || other.min_ < min_) min_ = other.min_;
+    max_ = std::max(max_, other.max_);
+  }
+  sum_ += other.sum_;
+  count_ += other.count_;
+}
+
+void Histogram::Reset() {
+  std::fill(buckets_.begin(), buckets_.end(), 0);
+  count_ = 0;
+  sum_ = 0;
+  min_ = 0;
+  max_ = 0;
+}
+
+double Histogram::Mean() const {
+  return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+}
+
+int64_t Histogram::ValueAtQuantile(double q) const {
+  if (count_ == 0) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  uint64_t target = static_cast<uint64_t>(q * static_cast<double>(count_ - 1)) + 1;
+  uint64_t seen = 0;
+  for (int i = 0; i < kNumBuckets; ++i) {
+    seen += buckets_[i];
+    if (seen >= target) return std::min(BucketUpperBound(i), max_);
+  }
+  return max_;
+}
+
+std::string Histogram::Summary() const {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "count=%llu mean=%.1f p50=%lld p90=%lld p99=%lld max=%lld",
+                static_cast<unsigned long long>(count_), Mean(),
+                static_cast<long long>(P50()), static_cast<long long>(P90()),
+                static_cast<long long>(P99()), static_cast<long long>(max_));
+  return buf;
+}
+
+}  // namespace speedkit

@@ -1,0 +1,59 @@
+// Log-bucketed histogram for latency/size distributions.
+//
+// Values are assigned to exponentially growing buckets (HdrHistogram-style:
+// within each power-of-two range, `kSubBuckets` linear sub-buckets), giving
+// ~1.5% relative error on percentile queries over a [1, 2^62] value range at
+// a fixed, small memory footprint. Used by every experiment harness to
+// report P50/P90/P99 without storing raw samples.
+#ifndef SPEEDKIT_COMMON_HISTOGRAM_H_
+#define SPEEDKIT_COMMON_HISTOGRAM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace speedkit {
+
+class Histogram {
+ public:
+  Histogram();
+
+  void Add(int64_t value);
+  void Merge(const Histogram& other);
+  void Reset();
+
+  uint64_t count() const { return count_; }
+  int64_t min() const { return count_ ? min_ : 0; }
+  int64_t max() const { return max_; }
+  double Mean() const;
+  double Sum() const { return sum_; }
+
+  // Value at quantile q in [0,1]; returns the representative (upper bound)
+  // value of the bucket containing the q-th sample. 0 when empty.
+  int64_t ValueAtQuantile(double q) const;
+
+  int64_t P50() const { return ValueAtQuantile(0.50); }
+  int64_t P90() const { return ValueAtQuantile(0.90); }
+  int64_t P95() const { return ValueAtQuantile(0.95); }
+  int64_t P99() const { return ValueAtQuantile(0.99); }
+
+  // One-line summary: "count=N mean=M p50=.. p90=.. p99=.. max=..".
+  std::string Summary() const;
+
+ private:
+  static constexpr int kSubBucketBits = 5;  // 32 sub-buckets per octave.
+  static constexpr int kSubBuckets = 1 << kSubBucketBits;
+
+  static int BucketFor(int64_t value);
+  static int64_t BucketUpperBound(int index);
+
+  std::vector<uint64_t> buckets_;
+  uint64_t count_ = 0;
+  double sum_ = 0;
+  int64_t min_ = 0;
+  int64_t max_ = 0;
+};
+
+}  // namespace speedkit
+
+#endif  // SPEEDKIT_COMMON_HISTOGRAM_H_

@@ -1,0 +1,78 @@
+#include "common/random.h"
+
+#include <cmath>
+
+namespace speedkit {
+
+Pcg32::Pcg32(uint64_t seed, uint64_t stream) : state_(0), inc_((stream << 1u) | 1u) {
+  Next();
+  state_ += seed;
+  Next();
+}
+
+uint32_t Pcg32::Next() {
+  uint64_t old = state_;
+  state_ = old * 6364136223846793005ULL + inc_;
+  uint32_t xorshifted = static_cast<uint32_t>(((old >> 18u) ^ old) >> 27u);
+  uint32_t rot = static_cast<uint32_t>(old >> 59u);
+  return (xorshifted >> rot) | (xorshifted << ((~rot + 1u) & 31));
+}
+
+uint32_t Pcg32::NextBounded(uint32_t bound) {
+  if (bound <= 1) return 0;
+  uint64_t m = static_cast<uint64_t>(Next()) * bound;
+  uint32_t l = static_cast<uint32_t>(m);
+  if (l < bound) {
+    uint32_t t = (~bound + 1u) % bound;  // == 2^32 mod bound
+    while (l < t) {
+      m = static_cast<uint64_t>(Next()) * bound;
+      l = static_cast<uint32_t>(m);
+    }
+  }
+  return static_cast<uint32_t>(m >> 32);
+}
+
+uint64_t Pcg32::Next64() {
+  return (static_cast<uint64_t>(Next()) << 32) | Next();
+}
+
+double Pcg32::NextDouble() {
+  // 53 random bits -> [0, 1).
+  return (Next64() >> 11) * (1.0 / 9007199254740992.0);
+}
+
+double Pcg32::Uniform(double lo, double hi) {
+  return lo + (hi - lo) * NextDouble();
+}
+
+double Pcg32::Exponential(double rate) {
+  double u;
+  do {
+    u = NextDouble();
+  } while (u <= 0.0);
+  return -std::log(u) / rate;
+}
+
+double Pcg32::Normal(double mean, double stddev) {
+  double u1;
+  do {
+    u1 = NextDouble();
+  } while (u1 <= 0.0);
+  double u2 = NextDouble();
+  double z = std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * M_PI * u2);
+  return mean + stddev * z;
+}
+
+double Pcg32::LogNormal(double mu, double sigma) {
+  return std::exp(Normal(mu, sigma));
+}
+
+Pcg32 Pcg32::Fork(uint64_t salt) {
+  // Derive a child seed/stream from this generator's own output plus the
+  // caller-supplied salt; advancing the parent keeps siblings independent.
+  uint64_t seed = Next64() ^ (salt * 0x9e3779b97f4a7c15ULL);
+  uint64_t stream = Next64() + salt;
+  return Pcg32(seed, stream);
+}
+
+}  // namespace speedkit

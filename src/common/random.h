@@ -1,0 +1,59 @@
+// Deterministic pseudo-randomness for simulations.
+//
+// All stochastic behaviour in speedkit flows from a seeded Pcg32 so that
+// every simulation run is reproducible bit-for-bit. Pcg32 is the PCG-XSH-RR
+// generator (O'Neill 2014): 64-bit state, 32-bit output, excellent
+// statistical quality at a fraction of the cost of std::mt19937.
+#ifndef SPEEDKIT_COMMON_RANDOM_H_
+#define SPEEDKIT_COMMON_RANDOM_H_
+
+#include <cstdint>
+
+namespace speedkit {
+
+class Pcg32 {
+ public:
+  explicit Pcg32(uint64_t seed = 0x853c49e6748fea9bULL,
+                 uint64_t stream = 0xda3e39cb94b95bdbULL);
+
+  // Uniform 32-bit value.
+  uint32_t Next();
+
+  // Uniform in [0, bound). Uses Lemire's nearly-divisionless method.
+  uint32_t NextBounded(uint32_t bound);
+
+  // Uniform 64-bit value (two draws).
+  uint64_t Next64();
+
+  // Uniform double in [0, 1).
+  double NextDouble();
+
+  // Uniform double in [lo, hi).
+  double Uniform(double lo, double hi);
+
+  // Exponential with the given rate (mean 1/rate). rate must be > 0.
+  double Exponential(double rate);
+
+  // Standard normal via Box-Muller (one value per call, no caching so that
+  // the draw count stays predictable for reproducibility audits).
+  double Normal(double mean = 0.0, double stddev = 1.0);
+
+  // Lognormal such that exp(Normal(mu, sigma)); used by latency models.
+  double LogNormal(double mu, double sigma);
+
+  // Bernoulli trial.
+  bool OneIn(uint32_t n) { return n != 0 && NextBounded(n) == 0; }
+  bool WithProbability(double p) { return NextDouble() < p; }
+
+  // Forks an independent generator: same seed lineage, distinct stream.
+  // Use to give each simulated component its own deterministic source.
+  Pcg32 Fork(uint64_t salt);
+
+ private:
+  uint64_t state_;
+  uint64_t inc_;
+};
+
+}  // namespace speedkit
+
+#endif  // SPEEDKIT_COMMON_RANDOM_H_

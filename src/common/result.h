@@ -1,0 +1,64 @@
+// Result<T>: value-or-Status, the speedkit analogue of absl::StatusOr.
+//
+//   Result<int> r = Parse(s);
+//   if (!r.ok()) return r.status();
+//   Use(r.value());
+#ifndef SPEEDKIT_COMMON_RESULT_H_
+#define SPEEDKIT_COMMON_RESULT_H_
+
+#include <cassert>
+#include <utility>
+#include <variant>
+
+#include "common/status.h"
+
+namespace speedkit {
+
+template <typename T>
+class Result {
+ public:
+  // Implicit construction from a value or a non-OK status keeps call sites
+  // terse: `return 42;` / `return Status::NotFound("k");`.
+  Result(T value) : rep_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  Result(Status status) : rep_(std::move(status)) {  // NOLINT
+    assert(!std::get<Status>(rep_).ok() &&
+           "Result<T> must not be built from an OK status");
+  }
+
+  bool ok() const { return std::holds_alternative<T>(rep_); }
+
+  const Status& status() const {
+    static const Status kOk;
+    return ok() ? kOk : std::get<Status>(rep_);
+  }
+
+  const T& value() const& {
+    assert(ok());
+    return std::get<T>(rep_);
+  }
+  T& value() & {
+    assert(ok());
+    return std::get<T>(rep_);
+  }
+  T&& value() && {
+    assert(ok());
+    return std::get<T>(std::move(rep_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  // Returns the value, or `fallback` when this Result holds an error.
+  T value_or(T fallback) const {
+    return ok() ? std::get<T>(rep_) : std::move(fallback);
+  }
+
+ private:
+  std::variant<Status, T> rep_;
+};
+
+}  // namespace speedkit
+
+#endif  // SPEEDKIT_COMMON_RESULT_H_

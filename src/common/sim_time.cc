@@ -1,0 +1,21 @@
+#include "common/sim_time.h"
+
+#include <cstdio>
+
+namespace speedkit {
+
+std::string Duration::ToString() const {
+  char buf[32];
+  if (us_ % 1000000 == 0) {
+    std::snprintf(buf, sizeof(buf), "%llds", static_cast<long long>(us_ / 1000000));
+  } else if (us_ % 1000 == 0) {
+    std::snprintf(buf, sizeof(buf), "%lldms", static_cast<long long>(us_ / 1000));
+  } else if (us_ > 1000000 || us_ < -1000000) {
+    std::snprintf(buf, sizeof(buf), "%.3fs", us_ / 1e6);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%lldus", static_cast<long long>(us_));
+  }
+  return buf;
+}
+
+}  // namespace speedkit

@@ -1,0 +1,77 @@
+// Simulated-time primitives.
+//
+// All speedkit simulations run on a logical clock measured in microseconds
+// since the start of the run. Using strong typedefs (instead of raw int64)
+// keeps milliseconds/seconds confusion out of the protocol code, where TTLs
+// (seconds), RTTs (milliseconds) and the clock (microseconds) all meet.
+#ifndef SPEEDKIT_COMMON_SIM_TIME_H_
+#define SPEEDKIT_COMMON_SIM_TIME_H_
+
+#include <cstdint>
+#include <string>
+
+namespace speedkit {
+
+// A span of simulated time, microsecond resolution.
+class Duration {
+ public:
+  constexpr Duration() = default;
+
+  static constexpr Duration Micros(int64_t us) { return Duration(us); }
+  static constexpr Duration Millis(int64_t ms) { return Duration(ms * 1000); }
+  static constexpr Duration Seconds(double s) {
+    return Duration(static_cast<int64_t>(s * 1e6));
+  }
+  static constexpr Duration Minutes(double m) { return Seconds(m * 60.0); }
+  static constexpr Duration Zero() { return Duration(0); }
+  static constexpr Duration Max() { return Duration(INT64_MAX); }
+
+  constexpr int64_t micros() const { return us_; }
+  constexpr double millis() const { return us_ / 1e3; }
+  constexpr double seconds() const { return us_ / 1e6; }
+
+  constexpr Duration operator+(Duration d) const { return Duration(us_ + d.us_); }
+  constexpr Duration operator-(Duration d) const { return Duration(us_ - d.us_); }
+  constexpr Duration operator*(double f) const {
+    return Duration(static_cast<int64_t>(us_ * f));
+  }
+  Duration& operator+=(Duration d) {
+    us_ += d.us_;
+    return *this;
+  }
+  constexpr auto operator<=>(const Duration&) const = default;
+
+  std::string ToString() const;  // "1.5s", "20ms", "7us"
+
+ private:
+  constexpr explicit Duration(int64_t us) : us_(us) {}
+  int64_t us_ = 0;
+};
+
+// A point in simulated time.
+class SimTime {
+ public:
+  constexpr SimTime() = default;
+  static constexpr SimTime FromMicros(int64_t us) { return SimTime(us); }
+  static constexpr SimTime Origin() { return SimTime(0); }
+  static constexpr SimTime Max() { return SimTime(INT64_MAX); }
+
+  constexpr int64_t micros() const { return us_; }
+  constexpr double seconds() const { return us_ / 1e6; }
+
+  constexpr SimTime operator+(Duration d) const {
+    return SimTime(us_ + d.micros());
+  }
+  constexpr Duration operator-(SimTime t) const {
+    return Duration::Micros(us_ - t.us_);
+  }
+  constexpr auto operator<=>(const SimTime&) const = default;
+
+ private:
+  constexpr explicit SimTime(int64_t us) : us_(us) {}
+  int64_t us_ = 0;
+};
+
+}  // namespace speedkit
+
+#endif  // SPEEDKIT_COMMON_SIM_TIME_H_

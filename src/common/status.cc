@@ -1,0 +1,89 @@
+#include "common/status.h"
+
+namespace speedkit {
+
+std::string_view StatusCodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "ok";
+    case StatusCode::kNotFound:
+      return "not_found";
+    case StatusCode::kInvalidArgument:
+      return "invalid_argument";
+    case StatusCode::kAlreadyExists:
+      return "already_exists";
+    case StatusCode::kOutOfRange:
+      return "out_of_range";
+    case StatusCode::kFailedPrecondition:
+      return "failed_precondition";
+    case StatusCode::kUnavailable:
+      return "unavailable";
+    case StatusCode::kCorruption:
+      return "corruption";
+    case StatusCode::kPermissionDenied:
+      return "permission_denied";
+    case StatusCode::kResourceExhausted:
+      return "resource_exhausted";
+    case StatusCode::kInternal:
+      return "internal";
+  }
+  return "unknown";
+}
+
+Status::Status(StatusCode code, std::string message) {
+  if (code != StatusCode::kOk) {
+    rep_ = std::make_unique<Rep>(Rep{code, std::move(message)});
+  }
+}
+
+Status::Status(const Status& other) {
+  if (other.rep_) rep_ = std::make_unique<Rep>(*other.rep_);
+}
+
+Status& Status::operator=(const Status& other) {
+  if (this != &other) {
+    rep_ = other.rep_ ? std::make_unique<Rep>(*other.rep_) : nullptr;
+  }
+  return *this;
+}
+
+Status Status::NotFound(std::string_view msg) {
+  return Status(StatusCode::kNotFound, std::string(msg));
+}
+Status Status::InvalidArgument(std::string_view msg) {
+  return Status(StatusCode::kInvalidArgument, std::string(msg));
+}
+Status Status::AlreadyExists(std::string_view msg) {
+  return Status(StatusCode::kAlreadyExists, std::string(msg));
+}
+Status Status::OutOfRange(std::string_view msg) {
+  return Status(StatusCode::kOutOfRange, std::string(msg));
+}
+Status Status::FailedPrecondition(std::string_view msg) {
+  return Status(StatusCode::kFailedPrecondition, std::string(msg));
+}
+Status Status::Unavailable(std::string_view msg) {
+  return Status(StatusCode::kUnavailable, std::string(msg));
+}
+Status Status::Corruption(std::string_view msg) {
+  return Status(StatusCode::kCorruption, std::string(msg));
+}
+Status Status::PermissionDenied(std::string_view msg) {
+  return Status(StatusCode::kPermissionDenied, std::string(msg));
+}
+Status Status::ResourceExhausted(std::string_view msg) {
+  return Status(StatusCode::kResourceExhausted, std::string(msg));
+}
+Status Status::Internal(std::string_view msg) {
+  return Status(StatusCode::kInternal, std::string(msg));
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "ok";
+  std::string out(StatusCodeName(code()));
+  out += ": ";
+  out += message();
+  return out;
+}
+
+}  // namespace speedkit

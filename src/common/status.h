@@ -1,0 +1,85 @@
+// Status: RocksDB-style error handling for library code that must not throw.
+//
+// Every fallible operation in speedkit returns either a `Status` or a
+// `Result<T>` (see result.h). A `Status` is cheap to copy in the OK case
+// (no allocation) and carries a code plus a human-readable message otherwise.
+#ifndef SPEEDKIT_COMMON_STATUS_H_
+#define SPEEDKIT_COMMON_STATUS_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+
+namespace speedkit {
+
+enum class StatusCode {
+  kOk = 0,
+  kNotFound,
+  kInvalidArgument,
+  kAlreadyExists,
+  kOutOfRange,
+  kFailedPrecondition,
+  kUnavailable,
+  kCorruption,
+  kPermissionDenied,
+  kResourceExhausted,
+  kInternal,
+};
+
+// Returns a stable, lowercase name for `code`, e.g. "not_found".
+std::string_view StatusCodeName(StatusCode code);
+
+class Status {
+ public:
+  // Default-constructed Status is OK.
+  Status() = default;
+  Status(StatusCode code, std::string message);
+
+  Status(const Status& other);
+  Status& operator=(const Status& other);
+  Status(Status&&) noexcept = default;
+  Status& operator=(Status&&) noexcept = default;
+
+  static Status Ok() { return Status(); }
+  static Status NotFound(std::string_view msg);
+  static Status InvalidArgument(std::string_view msg);
+  static Status AlreadyExists(std::string_view msg);
+  static Status OutOfRange(std::string_view msg);
+  static Status FailedPrecondition(std::string_view msg);
+  static Status Unavailable(std::string_view msg);
+  static Status Corruption(std::string_view msg);
+  static Status PermissionDenied(std::string_view msg);
+  static Status ResourceExhausted(std::string_view msg);
+  static Status Internal(std::string_view msg);
+
+  bool ok() const { return rep_ == nullptr; }
+  StatusCode code() const { return rep_ ? rep_->code : StatusCode::kOk; }
+  std::string_view message() const {
+    return rep_ ? std::string_view(rep_->message) : std::string_view();
+  }
+
+  bool IsNotFound() const { return code() == StatusCode::kNotFound; }
+  bool IsInvalidArgument() const {
+    return code() == StatusCode::kInvalidArgument;
+  }
+  bool IsUnavailable() const { return code() == StatusCode::kUnavailable; }
+
+  // "ok" or "<code_name>: <message>".
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code() == b.code();
+  }
+
+ private:
+  struct Rep {
+    StatusCode code;
+    std::string message;
+  };
+  // nullptr means OK; keeps the common path allocation-free.
+  std::unique_ptr<Rep> rep_;
+};
+
+}  // namespace speedkit
+
+#endif  // SPEEDKIT_COMMON_STATUS_H_

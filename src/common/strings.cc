@@ -1,0 +1,89 @@
+#include "common/strings.h"
+
+#include <cstdarg>
+#include <cstdio>
+
+namespace speedkit {
+
+namespace {
+inline char ToLowerAscii(char c) {
+  return (c >= 'A' && c <= 'Z') ? static_cast<char>(c - 'A' + 'a') : c;
+}
+inline bool IsSpaceAscii(char c) {
+  return c == ' ' || c == '\t' || c == '\r' || c == '\n';
+}
+}  // namespace
+
+std::string AsciiLower(std::string_view s) {
+  std::string out(s);
+  for (char& c : out) c = ToLowerAscii(c);
+  return out;
+}
+
+bool EqualsIgnoreCase(std::string_view a, std::string_view b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (ToLowerAscii(a[i]) != ToLowerAscii(b[i])) return false;
+  }
+  return true;
+}
+
+std::string_view TrimWhitespace(std::string_view s) {
+  size_t begin = 0;
+  while (begin < s.size() && IsSpaceAscii(s[begin])) ++begin;
+  size_t end = s.size();
+  while (end > begin && IsSpaceAscii(s[end - 1])) --end;
+  return s.substr(begin, end - begin);
+}
+
+std::vector<std::string_view> SplitView(std::string_view s, char sep) {
+  std::vector<std::string_view> out;
+  size_t start = 0;
+  while (true) {
+    size_t pos = s.find(sep, start);
+    if (pos == std::string_view::npos) {
+      out.push_back(TrimWhitespace(s.substr(start)));
+      break;
+    }
+    out.push_back(TrimWhitespace(s.substr(start, pos - start)));
+    start = pos + 1;
+  }
+  return out;
+}
+
+bool StartsWith(std::string_view s, std::string_view prefix) {
+  return s.size() >= prefix.size() && s.substr(0, prefix.size()) == prefix;
+}
+
+bool EndsWith(std::string_view s, std::string_view suffix) {
+  return s.size() >= suffix.size() &&
+         s.substr(s.size() - suffix.size()) == suffix;
+}
+
+std::optional<int64_t> ParseInt64(std::string_view s) {
+  if (s.empty() || s.size() > 19) return std::nullopt;
+  int64_t value = 0;
+  for (char c : s) {
+    if (c < '0' || c > '9') return std::nullopt;
+    value = value * 10 + (c - '0');
+  }
+  return value;
+}
+
+std::string StrFormat(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  va_list args_copy;
+  va_copy(args_copy, args);
+  int needed = std::vsnprintf(nullptr, 0, fmt, args);
+  va_end(args);
+  std::string out;
+  if (needed > 0) {
+    out.resize(static_cast<size_t>(needed));
+    std::vsnprintf(out.data(), out.size() + 1, fmt, args_copy);
+  }
+  va_end(args_copy);
+  return out;
+}
+
+}  // namespace speedkit

@@ -1,0 +1,41 @@
+// Small string utilities shared across modules (header parsing, URL
+// handling, report formatting). No locale dependence: ASCII-only semantics,
+// which is what HTTP header grammar requires.
+#ifndef SPEEDKIT_COMMON_STRINGS_H_
+#define SPEEDKIT_COMMON_STRINGS_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace speedkit {
+
+// ASCII lowercase copy.
+std::string AsciiLower(std::string_view s);
+
+// Case-insensitive ASCII comparison.
+bool EqualsIgnoreCase(std::string_view a, std::string_view b);
+
+// Strips ASCII whitespace from both ends.
+std::string_view TrimWhitespace(std::string_view s);
+
+// Splits on `sep`, trimming each piece; empty pieces are kept so that
+// callers can detect malformed inputs like "a,,b".
+std::vector<std::string_view> SplitView(std::string_view s, char sep);
+
+bool StartsWith(std::string_view s, std::string_view prefix);
+bool EndsWith(std::string_view s, std::string_view suffix);
+
+// Strict non-negative integer parse; rejects empty, sign, overflow, trailing
+// garbage. HTTP directive values (max-age=...) must parse this strictly.
+std::optional<int64_t> ParseInt64(std::string_view s);
+
+// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+}  // namespace speedkit
+
+#endif  // SPEEDKIT_COMMON_STRINGS_H_

@@ -1,0 +1,27 @@
+#include "common/time_series.h"
+
+namespace speedkit {
+
+void TimeSeries::Add(SimTime at, double value) {
+  if (at < SimTime::Origin() || bucket_width_ <= Duration::Zero()) return;
+  size_t index =
+      static_cast<size_t>(at.micros() / bucket_width_.micros());
+  if (index >= buckets_.size()) buckets_.resize(index + 1);
+  buckets_[index].count++;
+  buckets_[index].sum += value;
+}
+
+double TimeSeries::MeanAt(size_t i) const {
+  if (i >= buckets_.size() || buckets_[i].count == 0) return 0.0;
+  return buckets_[i].sum / static_cast<double>(buckets_[i].count);
+}
+
+uint64_t TimeSeries::CountAt(size_t i) const {
+  return i < buckets_.size() ? buckets_[i].count : 0;
+}
+
+double TimeSeries::SumAt(size_t i) const {
+  return i < buckets_.size() ? buckets_[i].sum : 0.0;
+}
+
+}  // namespace speedkit

@@ -1,0 +1,47 @@
+// Fixed-interval time series: per-bucket count/sum of a metric over
+// simulated time. Powers the warm-up and timeline figures (hit ratio per
+// minute, latency per minute) without storing raw samples.
+#ifndef SPEEDKIT_COMMON_TIME_SERIES_H_
+#define SPEEDKIT_COMMON_TIME_SERIES_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/sim_time.h"
+
+namespace speedkit {
+
+class TimeSeries {
+ public:
+  explicit TimeSeries(Duration bucket_width = Duration::Minutes(1))
+      : bucket_width_(bucket_width) {}
+
+  // Records one observation at simulated time `at`.
+  void Add(SimTime at, double value);
+
+  size_t num_buckets() const { return buckets_.size(); }
+  Duration bucket_width() const { return bucket_width_; }
+
+  // Mean of observations in bucket `i`; 0 when empty.
+  double MeanAt(size_t i) const;
+  uint64_t CountAt(size_t i) const;
+  double SumAt(size_t i) const;
+
+  // Start time of bucket `i`.
+  SimTime BucketStart(size_t i) const {
+    return SimTime::Origin() + bucket_width_ * static_cast<double>(i);
+  }
+
+ private:
+  struct Bucket {
+    uint64_t count = 0;
+    double sum = 0;
+  };
+
+  Duration bucket_width_;
+  std::vector<Bucket> buckets_;
+};
+
+}  // namespace speedkit
+
+#endif  // SPEEDKIT_COMMON_TIME_SERIES_H_

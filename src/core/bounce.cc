@@ -1,0 +1,12 @@
+#include "core/bounce.h"
+
+#include <cmath>
+
+namespace speedkit::core {
+
+double BounceModel::BounceProbability(Duration load_time) const {
+  double dt = load_time.seconds() - tolerance_.seconds();
+  return 1.0 / (1.0 + std::exp(-steepness_ * dt));
+}
+
+}  // namespace speedkit::core

@@ -1,0 +1,112 @@
+#include "core/page_load.h"
+
+#include <algorithm>
+
+#include "common/strings.h"
+
+namespace speedkit::core {
+
+namespace {
+constexpr char kHost[] = "https://shop.example.com";
+
+bool CountsAsCacheHit(proxy::ServedFrom source) {
+  return source == proxy::ServedFrom::kBrowserCache ||
+         source == proxy::ServedFrom::kEdgeCache ||
+         source == proxy::ServedFrom::kOfflineCache;
+}
+}  // namespace
+
+PageLoadResult PageLoader::Load(proxy::ClientProxy& client,
+                                const PageSpec& spec) {
+  PageLoadResult result;
+
+  proxy::FetchResult shell = client.Fetch(spec.shell_url);
+  result.ttfb = shell.latency;
+  result.resources = 1;
+  if (CountsAsCacheHit(shell.source)) result.served_from_cache++;
+  if (!shell.response.ok()) result.errors++;
+
+  // Gather sub-resource latencies.
+  std::vector<Duration> latencies;
+  latencies.reserve(spec.resource_urls.size() + 8);
+  for (const std::string& url : spec.resource_urls) {
+    proxy::FetchResult r = client.Fetch(url);
+    result.resources++;
+    if (CountsAsCacheHit(r.source)) result.served_from_cache++;
+    if (!r.response.ok()) {
+      result.errors++;
+    } else if (r.response.object_version > 0 &&
+               result.object_version == 0 &&
+               url.find("/api/") != std::string::npos) {
+      result.object_version = r.response.object_version;
+    }
+    latencies.push_back(r.latency);
+  }
+  if (spec.page_template != nullptr && spec.segmenter != nullptr) {
+    for (const auto& block : spec.page_template->blocks) {
+      proxy::BlockResult b =
+          client.FetchBlock(*spec.page_template, block, *spec.segmenter);
+      result.resources++;
+      if (CountsAsCacheHit(b.source)) result.served_from_cache++;
+      latencies.push_back(b.latency);
+    }
+  }
+
+  // List-schedule onto max_connections_ parallel connections.
+  std::vector<Duration> connection_free(
+      static_cast<size_t>(std::max(1, max_connections_)), Duration::Zero());
+  for (Duration lat : latencies) {
+    auto earliest =
+        std::min_element(connection_free.begin(), connection_free.end());
+    *earliest += lat;
+  }
+  Duration parallel_tail =
+      *std::max_element(connection_free.begin(), connection_free.end());
+  result.load_time = result.ttfb + parallel_tail;
+  return result;
+}
+
+PageSpec MakeHomePage(int shared_assets) {
+  PageSpec spec;
+  spec.shell_url = std::string(kHost) + "/pages/home";
+  for (int i = 0; i < shared_assets; ++i) {
+    spec.resource_urls.push_back(StrFormat("%s/assets/site-%d", kHost, i));
+  }
+  return spec;
+}
+
+PageSpec MakeCategoryPage(const workload::Catalog& catalog, int category,
+                          int shared_assets, int thumbnails) {
+  PageSpec spec;
+  spec.shell_url =
+      StrFormat("%s/pages/category-%d", kHost, category);
+  for (int i = 0; i < shared_assets; ++i) {
+    spec.resource_urls.push_back(StrFormat("%s/assets/site-%d", kHost, i));
+  }
+  spec.resource_urls.push_back(catalog.CategoryUrl(category));
+  for (int i = 0; i < thumbnails; ++i) {
+    spec.resource_urls.push_back(
+        StrFormat("%s/assets/thumb-cat%d-%d", kHost, category, i));
+  }
+  return spec;
+}
+
+PageSpec MakeProductPage(const workload::Catalog& catalog, size_t rank,
+                         int shared_assets, int images) {
+  PageSpec spec;
+  // Per-product HTML: each detail page is its own cacheable document.
+  spec.shell_url = StrFormat("%s/pages/product-%zu", kHost, rank);
+  for (int i = 0; i < shared_assets; ++i) {
+    spec.resource_urls.push_back(StrFormat("%s/assets/site-%d", kHost, i));
+  }
+  spec.resource_urls.push_back(catalog.ProductUrl(rank));
+  spec.resource_urls.push_back(
+      catalog.CategoryUrl(catalog.CategoryOf(rank)));  // breadcrumb listing
+  for (int i = 0; i < images; ++i) {
+    spec.resource_urls.push_back(StrFormat("%s/assets/img-p%zu-%d", kHost,
+                                           rank, i));
+  }
+  return spec;
+}
+
+}  // namespace speedkit::core

@@ -1,0 +1,65 @@
+// Page-load model: turns per-resource fetch latencies into a page load
+// time the way a browser does.
+//
+// The shell (HTML) is fetched first — its latency is the TTFB and gates
+// everything else. Sub-resources (assets, API calls, dynamic blocks) then
+// download over `max_connections` parallel connections; each resource is
+// greedily assigned to the connection that frees up earliest (list
+// scheduling), and the page is loaded when the last connection drains.
+// This reproduces the two load-time regimes that matter for the paper's
+// A/B numbers: latency-bound pages (few large resources) and
+// connection-bound pages (many small ones).
+#ifndef SPEEDKIT_CORE_PAGE_LOAD_H_
+#define SPEEDKIT_CORE_PAGE_LOAD_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/sim_time.h"
+#include "personalization/dynamic_block.h"
+#include "personalization/segmentation.h"
+#include "proxy/client_proxy.h"
+#include "workload/catalog.h"
+
+namespace speedkit::core {
+
+struct PageSpec {
+  std::string shell_url;
+  std::vector<std::string> resource_urls;  // assets + API calls
+  // Optional personalized part; fetched like the other sub-resources.
+  const personalization::PageTemplate* page_template = nullptr;
+  const personalization::Segmenter* segmenter = nullptr;
+};
+
+struct PageLoadResult {
+  Duration ttfb = Duration::Zero();       // shell latency
+  Duration load_time = Duration::Zero();  // full page
+  int resources = 0;
+  int served_from_cache = 0;  // browser or edge
+  int errors = 0;
+  uint64_t object_version = 0;  // of the primary API resource, if any
+};
+
+class PageLoader {
+ public:
+  explicit PageLoader(int max_connections = 6)
+      : max_connections_(max_connections) {}
+
+  PageLoadResult Load(proxy::ClientProxy& client, const PageSpec& spec);
+
+ private:
+  int max_connections_;
+};
+
+// Page builders shared by examples and benches: shell + site-wide shared
+// assets + per-entity resources.
+PageSpec MakeHomePage(int shared_assets);
+PageSpec MakeCategoryPage(const workload::Catalog& catalog, int category,
+                          int shared_assets, int thumbnails);
+PageSpec MakeProductPage(const workload::Catalog& catalog, size_t rank,
+                         int shared_assets, int images);
+
+}  // namespace speedkit::core
+
+#endif  // SPEEDKIT_CORE_PAGE_LOAD_H_

@@ -1,0 +1,139 @@
+#include "core/replay.h"
+
+#include "common/hash.h"
+#include "workload/session.h"
+#include "workload/write_process.h"
+
+namespace speedkit::core {
+
+uint64_t ReplayResult::Fingerprint() const {
+  uint64_t h = Mix64(fetches);
+  h ^= Mix64(writes + 0x9e37);
+  h ^= Mix64(errors + 0x79b9);
+  h ^= Mix64(static_cast<uint64_t>(latency_us.Sum()));
+  h ^= Mix64(proxies.browser_hits);
+  h ^= Mix64(proxies.edge_hits + 1);
+  h ^= Mix64(proxies.origin_fetches + 2);
+  h ^= Mix64(proxies.sketch_bypasses + 3);
+  return h;
+}
+
+TraceReplayer::TraceReplayer(SpeedKitStack* stack,
+                             const proxy::ProxyConfig* proxy_config)
+    : stack_(stack),
+      proxy_config_(proxy_config != nullptr ? *proxy_config
+                                            : stack->DefaultProxyConfig()) {}
+
+proxy::ClientProxy& TraceReplayer::ClientFor(uint64_t client_id) {
+  auto it = clients_.find(client_id);
+  if (it == clients_.end()) {
+    it = clients_
+             .emplace(client_id, stack_->MakeClient(proxy_config_, client_id))
+             .first;
+  }
+  return *it->second;
+}
+
+ReplayResult TraceReplayer::Replay(const workload::Trace& trace) {
+  ReplayResult result;
+  SimTime last = stack_->clock().Now();
+  for (const workload::TraceEvent& ev : trace.events()) {
+    // Pointer into the trace's storage: stable for the whole replay (the
+    // loop reference itself dies each iteration).
+    const workload::TraceEvent* event = &ev;
+    stack_->events().At(event->at, [this, &result, event]() {
+      if (event->kind == workload::TraceEvent::Kind::kFetch) {
+        proxy::FetchResult r = ClientFor(event->client_id).Fetch(event->url);
+        result.fetches++;
+        result.latency_us.Add(r.latency.micros());
+        if (!r.response.ok()) {
+          result.errors++;
+        } else if (r.response.object_version > 0) {
+          stack_->staleness().RecordRead(
+              http::Url::Parse(event->url)->CacheKey(),
+              r.response.object_version, stack_->clock().Now());
+        }
+      } else {
+        stack_->store().Update(event->record_id, event->fields,
+                               stack_->clock().Now());
+        result.writes++;
+      }
+    });
+    if (ev.at > last) last = ev.at;
+  }
+  stack_->AdvanceTo(last + Duration::Seconds(1));  // drain trailing purges
+
+  for (const auto& [id, client] : clients_) {
+    const proxy::ProxyStats& s = client->stats();
+    result.proxies.requests += s.requests;
+    result.proxies.browser_hits += s.browser_hits;
+    result.proxies.edge_hits += s.edge_hits;
+    result.proxies.origin_fetches += s.origin_fetches;
+    result.proxies.revalidations_304 += s.revalidations_304;
+    result.proxies.revalidations_200 += s.revalidations_200;
+    result.proxies.sketch_bypasses += s.sketch_bypasses;
+    result.proxies.offline_serves += s.offline_serves;
+    result.proxies.errors += s.errors;
+    result.proxies.sketch_refreshes += s.sketch_refreshes;
+    result.proxies.sketch_bytes += s.sketch_bytes;
+    result.proxies.swr_serves += s.swr_serves;
+    result.proxies.background_revalidations += s.background_revalidations;
+    result.proxies.bytes_from_browser_cache += s.bytes_from_browser_cache;
+    result.proxies.bytes_over_network += s.bytes_over_network;
+  }
+  return result;
+}
+
+workload::Trace SynthesizeTrace(const workload::Catalog& catalog,
+                                size_t num_clients, Duration duration,
+                                double writes_per_sec, uint64_t seed) {
+  workload::Trace trace;
+  Pcg32 rng(seed);
+  SimTime end = SimTime::Origin() + duration;
+
+  // Browsing: one session stream per client.
+  for (size_t c = 0; c < num_clients; ++c) {
+    workload::SessionGenerator sessions(&catalog, workload::SessionConfig{},
+                                        rng.Fork(100 + c));
+    Pcg32 gaps = rng.Fork(200 + c);
+    SimTime t = SimTime::Origin() + Duration::Seconds(gaps.Uniform(0, 30));
+    while (t < end) {
+      for (const workload::PageView& view : sessions.NextSession()) {
+        t = t + view.think_time_before;
+        if (t >= end) break;
+        switch (view.type) {
+          case workload::PageType::kHome:
+            trace.AddFetch(t, c + 1, "https://shop.example.com/pages/home");
+            break;
+          case workload::PageType::kCategory:
+            trace.AddFetch(t, c + 1, catalog.CategoryUrl(view.category));
+            break;
+          case workload::PageType::kProduct:
+            trace.AddFetch(t, c + 1, catalog.ProductUrl(view.product_rank));
+            break;
+          case workload::PageType::kCart:
+            break;
+        }
+      }
+      t = t + Duration::Seconds(gaps.Exponential(1.0 / 45.0));
+    }
+  }
+
+  // Writes: Poisson price updates.
+  workload::WriteProcess writes(catalog.num_products(), writes_per_sec, 0.8,
+                                rng.Fork(999));
+  Pcg32 update_rng = rng.Fork(998);
+  SimTime t = SimTime::Origin();
+  while (true) {
+    workload::WriteEvent ev = writes.Next(t);
+    if (ev.at >= end) break;
+    t = ev.at;
+    trace.AddWrite(t, catalog.ProductId(ev.object_rank),
+                   catalog.PriceUpdate(ev.object_rank, update_rng));
+  }
+
+  trace.SortByTime();
+  return trace;
+}
+
+}  // namespace speedkit::core

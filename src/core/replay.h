@@ -1,0 +1,57 @@
+// Trace replay: drive a recorded workload (workload/trace.h) through a
+// stack, creating clients on demand. Replaying one trace against several
+// stack variants is the apples-to-apples comparison mode — every variant
+// sees byte-identical request and write sequences.
+#ifndef SPEEDKIT_CORE_REPLAY_H_
+#define SPEEDKIT_CORE_REPLAY_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+
+#include "common/histogram.h"
+#include "core/stack.h"
+#include "proxy/client_proxy.h"
+#include "workload/catalog.h"
+#include "workload/trace.h"
+
+namespace speedkit::core {
+
+struct ReplayResult {
+  uint64_t fetches = 0;
+  uint64_t writes = 0;
+  uint64_t errors = 0;
+  Histogram latency_us;
+  proxy::ProxyStats proxies;  // summed over replayed clients
+
+  // For determinism comparisons: a cheap structural fingerprint.
+  uint64_t Fingerprint() const;
+};
+
+class TraceReplayer {
+ public:
+  // `proxy_config` null = the stack's variant default.
+  explicit TraceReplayer(SpeedKitStack* stack,
+                         const proxy::ProxyConfig* proxy_config = nullptr);
+
+  // Schedules every trace event on the stack's queue and runs to the end.
+  // Reads are staleness-tracked when the response carries a version.
+  ReplayResult Replay(const workload::Trace& trace);
+
+ private:
+  proxy::ClientProxy& ClientFor(uint64_t client_id);
+
+  SpeedKitStack* stack_;
+  proxy::ProxyConfig proxy_config_;
+  std::map<uint64_t, std::unique_ptr<proxy::ClientProxy>> clients_;
+};
+
+// Synthesizes a session-shaped trace from the catalog (the "record" side
+// of record/replay when no production log is available).
+workload::Trace SynthesizeTrace(const workload::Catalog& catalog,
+                                size_t num_clients, Duration duration,
+                                double writes_per_sec, uint64_t seed);
+
+}  // namespace speedkit::core
+
+#endif  // SPEEDKIT_CORE_REPLAY_H_

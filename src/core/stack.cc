@@ -1,0 +1,132 @@
+#include "core/stack.h"
+
+namespace speedkit::core {
+
+std::string_view SystemVariantName(SystemVariant variant) {
+  switch (variant) {
+    case SystemVariant::kSpeedKit:
+      return "speed_kit";
+    case SystemVariant::kFixedTtlCdn:
+      return "fixed_ttl_cdn";
+    case SystemVariant::kNoCaching:
+      return "no_caching";
+    case SystemVariant::kPureInvalidation:
+      return "pure_invalidation";
+  }
+  return "unknown";
+}
+
+SpeedKitStack::SpeedKitStack(const StackConfig& config)
+    : config_(config),
+      rng_(config.seed, config.seed ^ 0x5eed0001ULL),
+      events_(&clock_),
+      network_(config.network, rng_.Fork(1)) {
+  // TTL policy by variant/mode.
+  switch (config_.variant) {
+    case SystemVariant::kNoCaching:
+      ttl_policy_ = std::make_unique<ttl::NoCachePolicy>();
+      break;
+    case SystemVariant::kPureInvalidation:
+      // Purge-only coherence wants TTLs long enough to never expire within
+      // a run; staleness is bounded by purge propagation alone.
+      ttl_policy_ =
+          std::make_unique<ttl::FixedTtlPolicy>(Duration::Seconds(7 * 86400));
+      break;
+    case SystemVariant::kFixedTtlCdn:
+      ttl_policy_ = std::make_unique<ttl::FixedTtlPolicy>(config_.fixed_ttl);
+      break;
+    case SystemVariant::kSpeedKit:
+      if (config_.ttl_mode == TtlMode::kFixed) {
+        ttl_policy_ = std::make_unique<ttl::FixedTtlPolicy>(config_.fixed_ttl);
+      } else {
+        ttl_policy_ =
+            std::make_unique<ttl::EstimatedTtlPolicy>(config_.estimator);
+      }
+      break;
+  }
+
+  if (UsesSketch()) {
+    sketch_ = std::make_unique<sketch::CacheSketch>(config_.sketch_capacity,
+                                                    config_.sketch_fpr);
+  }
+  cdn_ = std::make_unique<cache::Cdn>(config_.cdn_edges,
+                                      config_.edge_capacity_bytes);
+  origin_ = std::make_unique<origin::OriginServer>(
+      config_.origin, &clock_, &store_, ttl_policy_.get(), sketch_.get());
+
+  if (UsesPipeline()) {
+    pipeline_ = std::make_unique<invalidation::InvalidationPipeline>(
+        config_.pipeline, &clock_, &events_, cdn_.get(), sketch_.get(),
+        rng_.Fork(2));
+    // The origin records every handed-out freshness deadline; the pipeline
+    // must consult that same book to size sketch horizons correctly.
+    pipeline_->UseExpiryBook(&origin_->expiry_book());
+    pipeline_->AttachTo(&store_);
+  }
+
+  // Staleness instrumentation: date every record version and every
+  // materialized-query result version.
+  store_.AddWriteListener([this](const storage::Record* /*before*/,
+                                 const storage::Record& after) {
+    staleness_.RecordWrite(invalidation::RecordCacheKey(after.id),
+                           after.version, clock_.Now());
+  });
+  origin_->SetQueryVersionListener(
+      [this](const std::string& cache_key, uint64_t version) {
+        staleness_.RecordWrite(cache_key, version, clock_.Now());
+      });
+}
+
+proxy::ProxyConfig SpeedKitStack::DefaultProxyConfig() const {
+  proxy::ProxyConfig pc;
+  pc.sketch_refresh_interval = config_.delta;
+  switch (config_.variant) {
+    case SystemVariant::kSpeedKit:
+      break;  // everything on
+    case SystemVariant::kFixedTtlCdn:
+      pc.use_sketch = false;
+      pc.gdpr_mode = false;
+      pc.offline_mode = false;
+      // Without the sketch, SWR would stretch staleness beyond the TTL.
+      pc.stale_while_revalidate = false;
+      pc.optimize_assets = false;  // no service worker, no rewriting
+      pc.device_overhead = Duration::Zero();
+      break;
+    case SystemVariant::kNoCaching:
+      pc.enabled = false;
+      pc.use_cdn = false;
+      pc.use_sketch = false;
+      pc.gdpr_mode = false;
+      pc.offline_mode = false;
+      pc.stale_while_revalidate = false;
+      pc.optimize_assets = false;
+      pc.browser_cache_bytes = 1;  // admits nothing
+      pc.device_overhead = Duration::Zero();
+      break;
+    case SystemVariant::kPureInvalidation:
+      pc.use_sketch = false;
+      pc.gdpr_mode = false;
+      pc.offline_mode = false;
+      pc.stale_while_revalidate = false;
+      pc.optimize_assets = false;
+      pc.browser_cache_bytes = 1;  // purges cannot reach the device
+      pc.device_overhead = Duration::Zero();
+      break;
+  }
+  return pc;
+}
+
+std::unique_ptr<proxy::ClientProxy> SpeedKitStack::MakeClient(
+    uint64_t client_id, personalization::BoundaryAuditor* auditor) {
+  return MakeClient(DefaultProxyConfig(), client_id, auditor);
+}
+
+std::unique_ptr<proxy::ClientProxy> SpeedKitStack::MakeClient(
+    const proxy::ProxyConfig& proxy_config, uint64_t client_id,
+    personalization::BoundaryAuditor* auditor) {
+  return std::make_unique<proxy::ClientProxy>(proxy_config, client_id, &clock_,
+                                              &network_, cdn_.get(),
+                                              origin_.get(), auditor);
+}
+
+}  // namespace speedkit::core

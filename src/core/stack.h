@@ -1,0 +1,132 @@
+// SpeedKitStack: one fully-wired deployment — clock, network, origin store,
+// TTL policy, Cache Sketch, CDN, invalidation pipeline, staleness tracker —
+// plus a factory for client proxies.
+//
+// `SystemVariant` selects the paper's system or one of the baselines it is
+// evaluated against (E9):
+//   kSpeedKit          sketch coherence + estimated TTLs + CDN + browser
+//   kFixedTtlCdn       traditional CDN: fixed TTLs, no invalidation at all —
+//                      stale until expiry (the paper's "fixed caching times")
+//   kNoCaching         every request goes to the origin
+//   kPureInvalidation  long TTLs + purge-only coherence, no browser caching
+//                      (browser copies cannot be purged, so a purge-only
+//                      design must not create them)
+#ifndef SPEEDKIT_CORE_STACK_H_
+#define SPEEDKIT_CORE_STACK_H_
+
+#include <cstdint>
+#include <memory>
+#include <string_view>
+
+#include "cache/cdn.h"
+#include "common/random.h"
+#include "core/staleness.h"
+#include "invalidation/pipeline.h"
+#include "origin/origin_server.h"
+#include "proxy/client_proxy.h"
+#include "sim/clock.h"
+#include "sim/event_queue.h"
+#include "sim/network.h"
+#include "sketch/cache_sketch.h"
+#include "storage/object_store.h"
+#include "ttl/ttl_policy.h"
+
+namespace speedkit::core {
+
+enum class SystemVariant {
+  kSpeedKit,
+  kFixedTtlCdn,
+  kNoCaching,
+  kPureInvalidation,
+};
+
+std::string_view SystemVariantName(SystemVariant variant);
+
+enum class TtlMode { kEstimator, kFixed };
+
+struct StackConfig {
+  SystemVariant variant = SystemVariant::kSpeedKit;
+  uint64_t seed = 42;
+
+  // Infrastructure.
+  int cdn_edges = 4;
+  size_t edge_capacity_bytes = 0;  // 0 = unbounded
+  sim::NetworkConfig network;
+  origin::OriginConfig origin;
+
+  // Coherence.
+  size_t sketch_capacity = 100000;
+  double sketch_fpr = 0.05;
+  Duration delta = Duration::Seconds(30);  // client sketch refresh interval
+  invalidation::PipelineConfig pipeline;
+
+  // TTLs (only consulted for variants that cache).
+  TtlMode ttl_mode = TtlMode::kEstimator;
+  Duration fixed_ttl = Duration::Seconds(60);
+  ttl::EstimatorConfig estimator;
+};
+
+class SpeedKitStack {
+ public:
+  explicit SpeedKitStack(const StackConfig& config);
+
+  SpeedKitStack(const SpeedKitStack&) = delete;
+  SpeedKitStack& operator=(const SpeedKitStack&) = delete;
+
+  // Proxy settings implied by the variant; callers may tweak before
+  // MakeClient.
+  proxy::ProxyConfig DefaultProxyConfig() const;
+
+  std::unique_ptr<proxy::ClientProxy> MakeClient(
+      uint64_t client_id, personalization::BoundaryAuditor* auditor = nullptr);
+  std::unique_ptr<proxy::ClientProxy> MakeClient(
+      const proxy::ProxyConfig& proxy_config, uint64_t client_id,
+      personalization::BoundaryAuditor* auditor = nullptr);
+
+  // Advances simulated time, running due events (CDN purges etc.).
+  void AdvanceTo(SimTime t) { events_.RunUntil(t); }
+  void Advance(Duration d) { AdvanceTo(clock_.Now() + d); }
+
+  const StackConfig& config() const { return config_; }
+  sim::SimClock& clock() { return clock_; }
+  sim::EventQueue& events() { return events_; }
+  sim::Network& network() { return network_; }
+  storage::ObjectStore& store() { return store_; }
+  origin::OriginServer& origin() { return *origin_; }
+  cache::Cdn& cdn() { return *cdn_; }
+  // Null for variants without sketch coherence.
+  sketch::CacheSketch* sketch() { return sketch_.get(); }
+  // Null for variants without an invalidation pipeline.
+  invalidation::InvalidationPipeline* pipeline() { return pipeline_.get(); }
+  ttl::TtlPolicy& ttl_policy() { return *ttl_policy_; }
+  StalenessTracker& staleness() { return staleness_; }
+
+  // Forks a deterministic child RNG for drivers.
+  Pcg32 ForkRng(uint64_t salt) { return rng_.Fork(salt); }
+
+ private:
+  bool UsesSketch() const {
+    return config_.variant == SystemVariant::kSpeedKit;
+  }
+  bool UsesPipeline() const {
+    return config_.variant == SystemVariant::kSpeedKit ||
+           config_.variant == SystemVariant::kPureInvalidation;
+  }
+
+  StackConfig config_;
+  Pcg32 rng_;
+  sim::SimClock clock_;
+  sim::EventQueue events_;
+  sim::Network network_;
+  storage::ObjectStore store_;
+  std::unique_ptr<ttl::TtlPolicy> ttl_policy_;
+  std::unique_ptr<sketch::CacheSketch> sketch_;
+  std::unique_ptr<cache::Cdn> cdn_;
+  std::unique_ptr<origin::OriginServer> origin_;
+  std::unique_ptr<invalidation::InvalidationPipeline> pipeline_;
+  StalenessTracker staleness_;
+};
+
+}  // namespace speedkit::core
+
+#endif  // SPEEDKIT_CORE_STACK_H_

@@ -1,0 +1,50 @@
+#include "core/staleness.h"
+
+#include <algorithm>
+
+namespace speedkit::core {
+
+void StalenessTracker::RecordWrite(std::string_view key, uint64_t version,
+                                   SimTime now) {
+  KeyHistory& history = keys_[std::string(key)];
+  if (version <= history.head_version) return;  // out-of-order: ignore
+  history.head_version = version;
+  history.writes.emplace_back(version, now);
+  while (history.writes.size() > ring_capacity_) history.writes.pop_front();
+}
+
+Duration StalenessTracker::RecordRead(std::string_view key, uint64_t version,
+                                      SimTime now) {
+  report_.reads++;
+  auto it = keys_.find(std::string(key));
+  if (it == keys_.end()) return Duration::Zero();  // key never written
+  const KeyHistory& history = it->second;
+  if (version >= history.head_version) return Duration::Zero();
+
+  report_.stale_reads++;
+  // The read value died when version+1 was written: find the first dated
+  // write with version > served version.
+  auto overwrite = std::find_if(
+      history.writes.begin(), history.writes.end(),
+      [version](const auto& w) { return w.first > version; });
+  Duration staleness;
+  if (overwrite != history.writes.end()) {
+    staleness = now - overwrite->second;
+    if (overwrite == history.writes.begin() &&
+        history.writes.front().first > version + 1) {
+      // The true overwrite rotated out; this is a lower bound.
+      report_.clamped++;
+    }
+  } else {
+    // All dated writes are <= version yet head > version: the overwrite
+    // rotated out entirely. Clamp to the newest known write.
+    staleness = history.writes.empty() ? Duration::Zero()
+                                       : now - history.writes.back().second;
+    report_.clamped++;
+  }
+  if (staleness > report_.max_staleness) report_.max_staleness = staleness;
+  staleness_us_.Add(staleness.micros());
+  return staleness;
+}
+
+}  // namespace speedkit::core

@@ -1,0 +1,163 @@
+#include "core/traffic.h"
+
+#include <string>
+
+namespace speedkit::core {
+
+namespace {
+
+void Accumulate(proxy::ProxyStats* total, const proxy::ProxyStats& s) {
+  total->requests += s.requests;
+  total->browser_hits += s.browser_hits;
+  total->edge_hits += s.edge_hits;
+  total->origin_fetches += s.origin_fetches;
+  total->revalidations_304 += s.revalidations_304;
+  total->revalidations_200 += s.revalidations_200;
+  total->sketch_bypasses += s.sketch_bypasses;
+  total->offline_serves += s.offline_serves;
+  total->errors += s.errors;
+  total->sketch_refreshes += s.sketch_refreshes;
+  total->sketch_bytes += s.sketch_bytes;
+  total->swr_serves += s.swr_serves;
+  total->background_revalidations += s.background_revalidations;
+  total->bytes_from_browser_cache += s.bytes_from_browser_cache;
+  total->bytes_over_network += s.bytes_over_network;
+}
+
+}  // namespace
+
+double TrafficResult::BrowserHitRatio() const {
+  return proxies.requests == 0
+             ? 0.0
+             : static_cast<double>(proxies.browser_hits +
+                                   proxies.swr_serves +
+                                   proxies.offline_serves) /
+                   static_cast<double>(proxies.requests);
+}
+
+double TrafficResult::EdgeHitRatio() const {
+  return proxies.requests == 0
+             ? 0.0
+             : static_cast<double>(proxies.edge_hits) /
+                   static_cast<double>(proxies.requests);
+}
+
+double TrafficResult::OriginRatio() const {
+  return proxies.requests == 0
+             ? 0.0
+             : static_cast<double>(proxies.origin_fetches) /
+                   static_cast<double>(proxies.requests);
+}
+
+TrafficSimulation::TrafficSimulation(SpeedKitStack* stack,
+                                     const workload::Catalog* catalog,
+                                     const TrafficConfig& config)
+    : stack_(stack),
+      catalog_(catalog),
+      config_(config),
+      end_(stack->clock().Now() + config.duration),
+      writes_(catalog->num_products(), config.writes_per_sec,
+              config.write_skew, stack->ForkRng(1000 + config.seed_salt)),
+      rng_(stack->ForkRng(2000 + config.seed_salt)) {
+  proxy::ProxyConfig pc = config_.proxy_config != nullptr
+                              ? *config_.proxy_config
+                              : stack_->DefaultProxyConfig();
+  clients_.reserve(config_.num_clients);
+  session_gens_.reserve(config_.num_clients);
+  for (size_t i = 0; i < config_.num_clients; ++i) {
+    clients_.push_back(stack_->MakeClient(pc, /*client_id=*/i + 1));
+    session_gens_.emplace_back(catalog_, config_.session,
+                               stack_->ForkRng(3000 + i));
+  }
+}
+
+TrafficResult TrafficSimulation::Run() {
+  SimTime start = stack_->clock().Now();
+  // Stagger session starts across the first minute so clients don't
+  // thunder in lock-step.
+  for (size_t i = 0; i < clients_.size(); ++i) {
+    ScheduleSession(i, start + Duration::Seconds(rng_.Uniform(0.0, 60.0)));
+  }
+  ScheduleNextWrite(start);
+  stack_->AdvanceTo(end_);
+
+  for (const auto& client : clients_) {
+    Accumulate(&result_.proxies, client->stats());
+  }
+  return result_;
+}
+
+void TrafficSimulation::ScheduleSession(size_t client_index, SimTime at) {
+  if (at >= end_) return;
+  stack_->events().At(at, [this, client_index]() {
+    std::vector<workload::PageView> pages =
+        session_gens_[client_index].NextSession();
+    SimTime t = stack_->clock().Now();
+    for (const workload::PageView& view : pages) {
+      t = t + view.think_time_before;
+      if (t >= end_) return;
+      workload::PageView view_copy = view;
+      stack_->events().At(t, [this, client_index, view_copy]() {
+        ExecutePageView(client_index, view_copy);
+      });
+    }
+    // Next session after the last page view plus an idle gap.
+    Duration gap = Duration::Seconds(
+        rng_.Exponential(1.0 / config_.mean_session_gap.seconds()));
+    ScheduleSession(client_index, t + gap);
+  });
+}
+
+void TrafficSimulation::ScheduleNextWrite(SimTime from) {
+  workload::WriteEvent ev = writes_.Next(from);
+  if (ev.at >= end_) return;
+  stack_->events().At(ev.at, [this, ev]() {
+    Pcg32 wrng = stack_->ForkRng(0x77);
+    stack_->store().Update(catalog_->ProductId(ev.object_rank),
+                           catalog_->PriceUpdate(ev.object_rank, wrng),
+                           stack_->clock().Now());
+    result_.writes_applied++;
+    ScheduleNextWrite(stack_->clock().Now());
+  });
+}
+
+void TrafficSimulation::ExecutePageView(size_t client_index,
+                                        const workload::PageView& view) {
+  proxy::ClientProxy& client = *clients_[client_index];
+  std::string url;
+  bool track_staleness = false;
+  switch (view.type) {
+    case workload::PageType::kHome:
+      url = "https://shop.example.com/pages/home";
+      break;
+    case workload::PageType::kCategory:
+      url = catalog_->CategoryUrl(view.category);
+      track_staleness = true;
+      break;
+    case workload::PageType::kProduct:
+      url = catalog_->ProductUrl(view.product_rank);
+      track_staleness = true;
+      break;
+    case workload::PageType::kCart:
+      return;  // handled on-device; no network traffic
+  }
+  proxy::FetchResult r = client.Fetch(url);
+  result_.page_views++;
+  result_.all_latency_us.Add(r.latency.micros());
+  bool cache_hit = r.source == proxy::ServedFrom::kBrowserCache ||
+                   r.source == proxy::ServedFrom::kEdgeCache ||
+                   r.source == proxy::ServedFrom::kOfflineCache;
+  result_.hit_ratio_timeline.Add(stack_->clock().Now(), cache_hit ? 1.0 : 0.0);
+  result_.latency_ms_timeline.Add(stack_->clock().Now(), r.latency.millis());
+  if (track_staleness) {
+    result_.api_latency_us.Add(r.latency.micros());
+    if (r.response.ok() && r.response.object_version > 0) {
+      Duration staleness = stack_->staleness().RecordRead(
+          url, r.response.object_version, stack_->clock().Now());
+      result_.stale_timeline.Add(stack_->clock().Now(),
+                                 staleness > Duration::Zero() ? 1.0 : 0.0);
+    }
+  }
+}
+
+}  // namespace speedkit::core

@@ -1,0 +1,99 @@
+#include "http/cache_control.h"
+
+#include "common/strings.h"
+
+namespace speedkit::http {
+
+namespace {
+
+std::optional<Duration> ParseSeconds(std::string_view v) {
+  auto n = ParseInt64(v);
+  if (!n.has_value()) return std::nullopt;
+  return Duration::Seconds(static_cast<double>(*n));
+}
+
+}  // namespace
+
+CacheControl CacheControl::Parse(std::string_view value) {
+  CacheControl cc;
+  for (std::string_view token : SplitView(value, ',')) {
+    if (token.empty()) continue;
+    std::string_view name = token;
+    std::string_view arg;
+    size_t eq = token.find('=');
+    if (eq != std::string_view::npos) {
+      name = TrimWhitespace(token.substr(0, eq));
+      arg = TrimWhitespace(token.substr(eq + 1));
+      // Quoted form: max-age="60".
+      if (arg.size() >= 2 && arg.front() == '"' && arg.back() == '"') {
+        arg = arg.substr(1, arg.size() - 2);
+      }
+    }
+    if (EqualsIgnoreCase(name, "no-store")) {
+      cc.no_store = true;
+    } else if (EqualsIgnoreCase(name, "no-cache")) {
+      cc.no_cache = true;
+    } else if (EqualsIgnoreCase(name, "must-revalidate")) {
+      cc.must_revalidate = true;
+    } else if (EqualsIgnoreCase(name, "public")) {
+      cc.is_public = true;
+    } else if (EqualsIgnoreCase(name, "private")) {
+      cc.is_private = true;
+    } else if (EqualsIgnoreCase(name, "immutable")) {
+      cc.immutable = true;
+    } else if (EqualsIgnoreCase(name, "max-age")) {
+      cc.max_age = ParseSeconds(arg);
+    } else if (EqualsIgnoreCase(name, "s-maxage")) {
+      cc.s_maxage = ParseSeconds(arg);
+    } else if (EqualsIgnoreCase(name, "stale-while-revalidate")) {
+      cc.stale_while_revalidate = ParseSeconds(arg);
+    }
+    // Unknown directives: ignored per RFC 7234 §5.2.3.
+  }
+  return cc;
+}
+
+std::string CacheControl::ToString() const {
+  std::string out;
+  auto append = [&out](std::string_view directive) {
+    if (!out.empty()) out += ", ";
+    out += directive;
+  };
+  if (is_public) append("public");
+  if (is_private) append("private");
+  if (no_store) append("no-store");
+  if (no_cache) append("no-cache");
+  if (must_revalidate) append("must-revalidate");
+  if (immutable) append("immutable");
+  if (max_age.has_value()) {
+    append(StrFormat("max-age=%lld",
+                     static_cast<long long>(max_age->micros() / 1000000)));
+  }
+  if (s_maxage.has_value()) {
+    append(StrFormat("s-maxage=%lld",
+                     static_cast<long long>(s_maxage->micros() / 1000000)));
+  }
+  if (stale_while_revalidate.has_value()) {
+    append(StrFormat(
+        "stale-while-revalidate=%lld",
+        static_cast<long long>(stale_while_revalidate->micros() / 1000000)));
+  }
+  return out;
+}
+
+std::optional<Duration> CacheControl::FreshnessForPrivateCache() const {
+  return max_age;
+}
+
+std::optional<Duration> CacheControl::FreshnessForSharedCache() const {
+  if (s_maxage.has_value()) return s_maxage;
+  return max_age;
+}
+
+bool CacheControl::Storable(bool shared_cache) const {
+  if (no_store) return false;
+  if (shared_cache && is_private) return false;
+  return true;
+}
+
+}  // namespace speedkit::http

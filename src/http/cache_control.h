@@ -1,0 +1,45 @@
+// RFC 7234 Cache-Control parsing and formatting — the vocabulary both the
+// expiration-based caches (browser, CDN) and the origin's TTL decisions
+// speak. Unknown directives are ignored per spec; malformed numeric values
+// invalidate only the directive they belong to.
+#ifndef SPEEDKIT_HTTP_CACHE_CONTROL_H_
+#define SPEEDKIT_HTTP_CACHE_CONTROL_H_
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "common/sim_time.h"
+
+namespace speedkit::http {
+
+struct CacheControl {
+  bool no_store = false;
+  bool no_cache = false;       // may store, must revalidate before use
+  bool must_revalidate = false;  // once stale, must revalidate
+  bool is_public = false;
+  bool is_private = false;     // shared caches (CDN) must not store
+  bool immutable = false;
+  std::optional<Duration> max_age;
+  std::optional<Duration> s_maxage;  // overrides max-age for shared caches
+  std::optional<Duration> stale_while_revalidate;
+
+  // Parses a Cache-Control header value, e.g.
+  // "public, max-age=60, s-maxage=300, stale-while-revalidate=30".
+  static CacheControl Parse(std::string_view value);
+
+  // Serializes back to a header value (canonical directive order).
+  std::string ToString() const;
+
+  // Freshness lifetime as seen by a private (browser) cache.
+  std::optional<Duration> FreshnessForPrivateCache() const;
+  // Freshness lifetime as seen by a shared (CDN) cache; s-maxage wins.
+  std::optional<Duration> FreshnessForSharedCache() const;
+
+  // True if a cache of the given kind may store the response at all.
+  bool Storable(bool shared_cache) const;
+};
+
+}  // namespace speedkit::http
+
+#endif  // SPEEDKIT_HTTP_CACHE_CONTROL_H_

@@ -1,0 +1,47 @@
+#include "http/headers.h"
+
+#include <algorithm>
+
+#include "common/strings.h"
+
+namespace speedkit::http {
+
+void HeaderMap::Set(std::string_view name, std::string_view value) {
+  Remove(name);
+  entries_.emplace_back(std::string(name), std::string(value));
+}
+
+void HeaderMap::Add(std::string_view name, std::string_view value) {
+  entries_.emplace_back(std::string(name), std::string(value));
+}
+
+std::optional<std::string_view> HeaderMap::Get(std::string_view name) const {
+  for (const auto& [k, v] : entries_) {
+    if (EqualsIgnoreCase(k, name)) return std::string_view(v);
+  }
+  return std::nullopt;
+}
+
+std::vector<std::string_view> HeaderMap::GetAll(std::string_view name) const {
+  std::vector<std::string_view> out;
+  for (const auto& [k, v] : entries_) {
+    if (EqualsIgnoreCase(k, name)) out.emplace_back(v);
+  }
+  return out;
+}
+
+void HeaderMap::Remove(std::string_view name) {
+  entries_.erase(std::remove_if(entries_.begin(), entries_.end(),
+                                [name](const auto& e) {
+                                  return EqualsIgnoreCase(e.first, name);
+                                }),
+                 entries_.end());
+}
+
+size_t HeaderMap::WireSize() const {
+  size_t bytes = 0;
+  for (const auto& [k, v] : entries_) bytes += k.size() + v.size() + 4;
+  return bytes;
+}
+
+}  // namespace speedkit::http

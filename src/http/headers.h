@@ -1,0 +1,49 @@
+// Case-insensitive HTTP header map (RFC 7230 field names are
+// case-insensitive). Preserves insertion order for deterministic output;
+// lookups are linear, which is faster than hashing for the <20 headers a
+// real message carries.
+#ifndef SPEEDKIT_HTTP_HEADERS_H_
+#define SPEEDKIT_HTTP_HEADERS_H_
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace speedkit::http {
+
+class HeaderMap {
+ public:
+  // Replaces any existing value(s) for `name`.
+  void Set(std::string_view name, std::string_view value);
+
+  // Appends without replacing (e.g. multiple Set-Cookie).
+  void Add(std::string_view name, std::string_view value);
+
+  // First value for `name`, if present.
+  std::optional<std::string_view> Get(std::string_view name) const;
+
+  // All values for `name`, in insertion order.
+  std::vector<std::string_view> GetAll(std::string_view name) const;
+
+  bool Has(std::string_view name) const { return Get(name).has_value(); }
+  void Remove(std::string_view name);
+
+  size_t size() const { return entries_.size(); }
+  bool empty() const { return entries_.empty(); }
+
+  // Iteration over (name, value) pairs in insertion order.
+  auto begin() const { return entries_.begin(); }
+  auto end() const { return entries_.end(); }
+
+  // Approximate wire size in bytes ("name: value\r\n" per entry).
+  size_t WireSize() const;
+
+ private:
+  std::vector<std::pair<std::string, std::string>> entries_;
+};
+
+}  // namespace speedkit::http
+
+#endif  // SPEEDKIT_HTTP_HEADERS_H_

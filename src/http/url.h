@@ -1,0 +1,55 @@
+// Minimal URL model covering what Web caching needs: scheme, host, port,
+// path, query. Fragments are parsed but excluded from the cache key
+// (RFC 7234: the effective request URI never includes the fragment).
+#ifndef SPEEDKIT_HTTP_URL_H_
+#define SPEEDKIT_HTTP_URL_H_
+
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+
+namespace speedkit::http {
+
+class Url {
+ public:
+  Url() = default;
+
+  // Parses an absolute URL, e.g. "https://shop.example.com/p/42?ref=a#top".
+  // Accepted schemes: http, https. Relative references are rejected; the
+  // client proxy always operates on absolute request URLs.
+  static Result<Url> Parse(std::string_view input);
+
+  const std::string& scheme() const { return scheme_; }
+  const std::string& host() const { return host_; }
+  // 0 means "default for scheme" (80 / 443).
+  uint16_t port() const { return port_; }
+  uint16_t EffectivePort() const;
+  const std::string& path() const { return path_; }
+  const std::string& query() const { return query_; }
+  const std::string& fragment() const { return fragment_; }
+
+  // Canonical form used as the cache key across every cache layer:
+  // lowercase scheme+host, explicit path ("/" if empty), query included,
+  // default port elided, fragment dropped.
+  std::string CacheKey() const;
+
+  // Full textual form (incl. fragment).
+  std::string ToString() const;
+
+  friend bool operator==(const Url& a, const Url& b) {
+    return a.CacheKey() == b.CacheKey();
+  }
+
+ private:
+  std::string scheme_;
+  std::string host_;
+  uint16_t port_ = 0;
+  std::string path_ = "/";
+  std::string query_;
+  std::string fragment_;
+};
+
+}  // namespace speedkit::http
+
+#endif  // SPEEDKIT_HTTP_URL_H_

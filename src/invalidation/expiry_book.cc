@@ -1,0 +1,26 @@
+#include "invalidation/expiry_book.h"
+
+namespace speedkit::invalidation {
+
+void ExpiryBook::RecordServed(std::string_view key, SimTime fresh_until) {
+  auto [it, inserted] = deadlines_.emplace(std::string(key), fresh_until);
+  if (!inserted && fresh_until > it->second) it->second = fresh_until;
+}
+
+SimTime ExpiryBook::LatestExpiry(std::string_view key, SimTime now) const {
+  auto it = deadlines_.find(std::string(key));
+  if (it == deadlines_.end() || it->second <= now) return now;
+  return it->second;
+}
+
+void ExpiryBook::CompactUntil(SimTime now) {
+  for (auto it = deadlines_.begin(); it != deadlines_.end();) {
+    if (it->second <= now) {
+      it = deadlines_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+}  // namespace speedkit::invalidation

@@ -1,0 +1,39 @@
+// Tracks, per cache key, the latest freshness deadline of any copy the
+// origin has handed out.
+//
+// This is the quantity the Cache Sketch needs on invalidation: when a write
+// hits key K, stale copies of K can survive in expiration-based caches until
+// `LatestExpiry(K)` — so K must sit in the sketch exactly that long. The
+// origin records every served (or 304-refreshed) response here.
+#ifndef SPEEDKIT_INVALIDATION_EXPIRY_BOOK_H_
+#define SPEEDKIT_INVALIDATION_EXPIRY_BOOK_H_
+
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+#include "common/sim_time.h"
+
+namespace speedkit::invalidation {
+
+class ExpiryBook {
+ public:
+  // Notes that a copy of `key` fresh until `fresh_until` is now in the wild.
+  void RecordServed(std::string_view key, SimTime fresh_until);
+
+  // Latest deadline among copies served so far; `now` (nothing outstanding)
+  // when the key was never served or all copies have expired.
+  SimTime LatestExpiry(std::string_view key, SimTime now) const;
+
+  // Drops entries whose deadline passed (periodic housekeeping).
+  void CompactUntil(SimTime now);
+
+  size_t size() const { return deadlines_.size(); }
+
+ private:
+  std::unordered_map<std::string, SimTime> deadlines_;
+};
+
+}  // namespace speedkit::invalidation
+
+#endif  // SPEEDKIT_INVALIDATION_EXPIRY_BOOK_H_

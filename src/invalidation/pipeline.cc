@@ -1,0 +1,103 @@
+#include "invalidation/pipeline.h"
+
+#include <algorithm>
+#include <memory>
+
+namespace speedkit::invalidation {
+
+std::string RecordCacheKey(std::string_view record_id) {
+  return "https://shop.example.com/api/records/" + std::string(record_id);
+}
+
+std::string QueryCacheKey(std::string_view query_id) {
+  return "https://shop.example.com/api/queries/" + std::string(query_id);
+}
+
+InvalidationPipeline::InvalidationPipeline(const PipelineConfig& config,
+                                           sim::SimClock* clock,
+                                           sim::EventQueue* events,
+                                           cache::Cdn* cdn,
+                                           sketch::CacheSketch* sketch,
+                                           Pcg32 rng)
+    : config_(config),
+      clock_(clock),
+      events_(events),
+      cdn_(cdn),
+      sketch_(sketch),
+      rng_(rng),
+      record_key_mapper_([](const storage::Record& r) {
+        return std::vector<std::string>{RecordCacheKey(r.id)};
+      }),
+      matcher_(config.matcher_partitions, config.matcher_use_index) {}
+
+void InvalidationPipeline::AttachTo(storage::ObjectStore* store) {
+  store->AddWriteListener(
+      [this](const storage::Record* before, const storage::Record& after) {
+        OnWrite(before, after);
+      });
+}
+
+Status InvalidationPipeline::WatchQuery(Query query, std::string cache_key) {
+  std::string id = query.id;
+  Status s = matcher_.Subscribe(std::move(query));
+  if (!s.ok()) return s;
+  query_cache_keys_[id] = std::move(cache_key);
+  return Status::Ok();
+}
+
+Status InvalidationPipeline::UnwatchQuery(std::string_view query_id) {
+  Status s = matcher_.Unsubscribe(query_id);
+  if (s.ok()) query_cache_keys_.erase(std::string(query_id));
+  return s;
+}
+
+void InvalidationPipeline::OnWrite(const storage::Record* before,
+                                   const storage::Record& after) {
+  stats_.writes_seen++;
+  std::vector<std::string> keys = record_key_mapper_(after);
+  for (const std::string& query_id : matcher_.MatchWrite(before, after)) {
+    auto it = query_cache_keys_.find(query_id);
+    if (it != query_cache_keys_.end()) keys.push_back(it->second);
+  }
+  std::sort(keys.begin(), keys.end());
+  keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
+  for (const std::string& key : keys) InvalidateKey(key);
+}
+
+void InvalidationPipeline::InvalidateKey(const std::string& key) {
+  stats_.keys_invalidated++;
+  SimTime now = clock_->Now();
+
+  // Purge fan-out: each edge cleans up after its own propagation delay.
+  // The key stays in the sketch until the *later* of (a) the last
+  // outstanding client copy's TTL and (b) purge completion, because an
+  // unpurged edge can re-serve the stale copy to a fresh client.
+  SimTime last_purge = now;
+  if (cdn_ != nullptr) {
+    auto purged_flags = std::make_shared<std::vector<bool>>();
+    for (int i = 0; i < cdn_->num_edges(); ++i) {
+      double jitter = config_.purge_log_sigma > 0
+                          ? rng_.LogNormal(0.0, config_.purge_log_sigma)
+                          : 1.0;
+      Duration delay = Duration::Micros(static_cast<int64_t>(
+          config_.purge_median_delay.micros() * jitter));
+      SimTime at = now + delay;
+      last_purge = std::max(last_purge, at);
+      stats_.purges_scheduled++;
+      int edge = i;
+      std::string key_copy = key;
+      events_->At(at, [this, edge, key_copy]() {
+        if (cdn_->PurgeEdge(edge, key_copy)) stats_.purges_effective++;
+      });
+    }
+    propagation_latency_us_.Add((last_purge - now).micros());
+  }
+
+  if (sketch_ != nullptr) {
+    SimTime stale_until =
+        std::max(expiry_book_->LatestExpiry(key, now), last_purge);
+    sketch_->ReportInvalidation(key, stale_until, now);
+  }
+}
+
+}  // namespace speedkit::invalidation

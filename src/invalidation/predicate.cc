@@ -1,0 +1,112 @@
+#include "invalidation/predicate.h"
+
+namespace speedkit::invalidation {
+
+std::string_view OpName(Op op) {
+  switch (op) {
+    case Op::kEq:
+      return "==";
+    case Op::kNe:
+      return "!=";
+    case Op::kLt:
+      return "<";
+    case Op::kLe:
+      return "<=";
+    case Op::kGt:
+      return ">";
+    case Op::kGe:
+      return ">=";
+    case Op::kContains:
+      return "contains";
+  }
+  return "?";
+}
+
+bool Condition::Matches(const storage::Record& record) const {
+  const storage::FieldValue* field_value = record.GetField(field);
+  if (field_value == nullptr) return false;
+
+  if (op == Op::kContains) {
+    if (!std::holds_alternative<std::string>(*field_value) ||
+        !std::holds_alternative<std::string>(value)) {
+      return false;
+    }
+    return std::get<std::string>(*field_value)
+               .find(std::get<std::string>(value)) != std::string::npos;
+  }
+
+  auto cmp = storage::CompareFields(*field_value, value);
+  if (!cmp.has_value()) {
+    // Incomparable types: only != can be said to hold.
+    return op == Op::kNe;
+  }
+  switch (op) {
+    case Op::kEq:
+      return *cmp == 0;
+    case Op::kNe:
+      return *cmp != 0;
+    case Op::kLt:
+      return *cmp < 0;
+    case Op::kLe:
+      return *cmp <= 0;
+    case Op::kGt:
+      return *cmp > 0;
+    case Op::kGe:
+      return *cmp >= 0;
+    case Op::kContains:
+      return false;  // handled above
+  }
+  return false;
+}
+
+std::string Condition::ToString() const {
+  std::string out = field;
+  out += " ";
+  out += OpName(op);
+  out += " ";
+  out += storage::FieldValueToString(value);
+  return out;
+}
+
+bool Query::Matches(const storage::Record& record) const {
+  if (record.deleted) return false;
+  for (const Condition& condition : conditions) {
+    if (!condition.Matches(record)) return false;
+  }
+  return true;
+}
+
+bool Query::AffectedBy(const storage::Record* before,
+                       const storage::Record& after) const {
+  bool matched_before = before != nullptr && Matches(*before);
+  bool matches_after = Matches(after);
+  // enter | leave | in-place update of a member.
+  return matched_before || matches_after;
+}
+
+std::string Query::ToString() const {
+  std::string out = "query(" + id + "):";
+  if (conditions.empty()) {
+    out += " *";
+  } else {
+    for (size_t i = 0; i < conditions.size(); ++i) {
+      out += (i == 0 ? " " : " AND ");
+      out += conditions[i].ToString();
+    }
+  }
+  if (IsOrdered()) {
+    out += " ORDER BY " + order_by + (descending ? " DESC" : " ASC");
+  }
+  if (limit > 0) out += " LIMIT " + std::to_string(limit);
+  return out;
+}
+
+bool TotalOrderLess(const storage::FieldValue& a,
+                    const storage::FieldValue& b) {
+  auto cmp = storage::CompareFields(a, b);
+  if (cmp.has_value()) return *cmp < 0;
+  if (a.index() != b.index()) return a.index() < b.index();
+  return storage::FieldValueToString(a) < storage::FieldValueToString(b);
+}
+
+}  // namespace speedkit::invalidation

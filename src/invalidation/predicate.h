@@ -1,0 +1,67 @@
+// Query predicates over record fields.
+//
+// A `Query` is a conjunction of field conditions — the subscription language
+// of the real-time matcher. Speed Kit caches query *results* (category
+// listings, search pages) in addition to single records; a write invalidates
+// a cached query result iff it changes the query's result set, i.e. the
+// record's membership flips or the record matches both before and after
+// (its representation inside the result changed).
+#ifndef SPEEDKIT_INVALIDATION_PREDICATE_H_
+#define SPEEDKIT_INVALIDATION_PREDICATE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "storage/record.h"
+
+namespace speedkit::invalidation {
+
+enum class Op { kEq, kNe, kLt, kLe, kGt, kGe, kContains };
+
+std::string_view OpName(Op op);
+
+struct Condition {
+  std::string field;
+  Op op = Op::kEq;
+  storage::FieldValue value;
+
+  bool Matches(const storage::Record& record) const;
+  std::string ToString() const;
+};
+
+struct Query {
+  std::string id;  // doubles as the cache-key suffix of the cached result
+  std::vector<Condition> conditions;  // AND-combined; empty matches all
+
+  // Optional ordering and top-k limiting ("cheapest 10 in category 3").
+  // The origin materializes the exact slice; the matcher treats any write
+  // touching a predicate-matching record as potentially affecting the
+  // result (it cannot know the k-th boundary), which is conservative:
+  // spurious purges, never missed invalidations.
+  std::string order_by;     // empty = unordered
+  bool descending = false;  // only meaningful with order_by
+  size_t limit = 0;         // 0 = unlimited
+
+  bool IsOrdered() const { return !order_by.empty(); }
+
+  bool Matches(const storage::Record& record) const;
+
+  // Did the write (before -> after) possibly change this query's result?
+  // Covers enter, leave, in-place change of a matching record, and delete.
+  bool AffectedBy(const storage::Record* before,
+                  const storage::Record& after) const;
+
+  std::string ToString() const;
+};
+
+// Total order over field values for result sorting: numeric comparison
+// where meaningful, otherwise (type index, textual form). Ties broken by
+// the caller (typically record id).
+bool TotalOrderLess(const storage::FieldValue& a,
+                    const storage::FieldValue& b);
+
+}  // namespace speedkit::invalidation
+
+#endif  // SPEEDKIT_INVALIDATION_PREDICATE_H_

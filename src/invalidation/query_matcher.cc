@@ -1,0 +1,139 @@
+#include "invalidation/query_matcher.h"
+
+#include <algorithm>
+
+#include "common/hash.h"
+#include "common/strings.h"
+
+namespace speedkit::invalidation {
+
+namespace {
+
+// Index key for an equality condition: "field\0stringified-value".
+std::string EqIndexKey(std::string_view field, const storage::FieldValue& v) {
+  std::string key(field);
+  key.push_back('\0');
+  key += storage::FieldValueToString(v);
+  return key;
+}
+
+// The first equality condition usable for indexing, or nullptr.
+const Condition* IndexableCondition(const Query& q) {
+  for (const Condition& c : q.conditions) {
+    if (c.op == Op::kEq) return &c;
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+QueryMatcher::QueryMatcher(int partitions, bool use_index)
+    : use_index_(use_index),
+      partitions_(static_cast<size_t>(std::max(1, partitions))) {}
+
+QueryMatcher::Partition& QueryMatcher::PartitionFor(std::string_view query_id) {
+  return partitions_[Fnv1a_64(query_id) % partitions_.size()];
+}
+
+Status QueryMatcher::Subscribe(Query query) {
+  Partition& p = PartitionFor(query.id);
+  if (p.by_id.count(query.id) != 0) {
+    return Status::AlreadyExists("subscription exists: " + query.id);
+  }
+  size_t slot;
+  if (!p.free_slots.empty()) {
+    slot = *p.free_slots.begin();
+    p.free_slots.erase(p.free_slots.begin());
+    p.queries[slot] = query;
+  } else {
+    slot = p.queries.size();
+    p.queries.push_back(query);
+  }
+  p.by_id[query.id] = slot;
+  const Condition* eq = use_index_ ? IndexableCondition(query) : nullptr;
+  if (eq != nullptr) {
+    p.eq_index[EqIndexKey(eq->field, eq->value)].push_back(slot);
+  } else {
+    p.scan_list.push_back(slot);
+  }
+  ++count_;
+  return Status::Ok();
+}
+
+Status QueryMatcher::Unsubscribe(std::string_view query_id) {
+  Partition& p = PartitionFor(query_id);
+  auto it = p.by_id.find(std::string(query_id));
+  if (it == p.by_id.end()) {
+    return Status::NotFound("no subscription: " + std::string(query_id));
+  }
+  size_t slot = it->second;
+  const Query& q = p.queries[slot];
+  auto erase_slot = [slot](std::vector<size_t>& v) {
+    v.erase(std::remove(v.begin(), v.end(), slot), v.end());
+  };
+  const Condition* eq = use_index_ ? IndexableCondition(q) : nullptr;
+  if (eq != nullptr) {
+    auto bucket = p.eq_index.find(EqIndexKey(eq->field, eq->value));
+    if (bucket != p.eq_index.end()) {
+      erase_slot(bucket->second);
+      if (bucket->second.empty()) p.eq_index.erase(bucket);
+    }
+  } else {
+    erase_slot(p.scan_list);
+  }
+  p.by_id.erase(it);
+  p.free_slots.insert(slot);
+  p.queries[slot] = Query{};
+  --count_;
+  return Status::Ok();
+}
+
+std::vector<std::string> QueryMatcher::MatchWrite(
+    const storage::Record* before, const storage::Record& after) {
+  stats_.writes_matched++;
+  std::vector<std::string> affected;
+  for (Partition& p : partitions_) {
+    MatchInPartition(p, before, after, &affected);
+  }
+  stats_.hits += affected.size();
+  return affected;
+}
+
+void QueryMatcher::MatchInPartition(Partition& p,
+                                    const storage::Record* before,
+                                    const storage::Record& after,
+                                    std::vector<std::string>* out) {
+  std::unordered_set<size_t> seen;
+  if (use_index_ && !p.eq_index.empty()) {
+    // Probe buckets keyed by every (field, value) the record exposes in
+    // either image — a subscription can only newly (mis)match if one of its
+    // equality conditions agrees with a before- or after-image value.
+    auto probe_record = [&](const storage::Record& r) {
+      for (const auto& [field, value] : r.fields) {
+        auto bucket = p.eq_index.find(EqIndexKey(field, value));
+        if (bucket != p.eq_index.end()) {
+          ProbeCandidates(p, bucket->second, before, after, &seen, out);
+        }
+      }
+    };
+    if (before != nullptr) probe_record(*before);
+    probe_record(after);
+  }
+  ProbeCandidates(p, p.scan_list, before, after, &seen, out);
+}
+
+void QueryMatcher::ProbeCandidates(Partition& p,
+                                   const std::vector<size_t>& candidates,
+                                   const storage::Record* before,
+                                   const storage::Record& after,
+                                   std::unordered_set<size_t>* seen,
+                                   std::vector<std::string>* out) {
+  for (size_t slot : candidates) {
+    if (!seen->insert(slot).second) continue;
+    stats_.candidates_probed++;
+    const Query& q = p.queries[slot];
+    if (q.AffectedBy(before, after)) out->push_back(q.id);
+  }
+}
+
+}  // namespace speedkit::invalidation

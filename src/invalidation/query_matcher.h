@@ -1,0 +1,80 @@
+// Real-time query matcher — the in-process stand-in for InvaliDB.
+//
+// Subscriptions (cached query results that must be invalidated when their
+// result set changes) are spread over `partitions` buckets by query-id
+// hash, mirroring InvaliDB's cluster sharding; per-write work is the sum of
+// partition costs, and the simulated matching latency is the max (they run
+// in parallel in the real system).
+//
+// Within a partition, subscriptions whose predicate contains an equality
+// condition on a field are indexed under (field, value): a write only
+// probes the buckets for its before/after field values plus the residual
+// scan list. For e-commerce predicates (category == X) this removes ~all
+// non-candidates — the effect E6 measures, and disabling it is the
+// full-scan ablation.
+#ifndef SPEEDKIT_INVALIDATION_QUERY_MATCHER_H_
+#define SPEEDKIT_INVALIDATION_QUERY_MATCHER_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/status.h"
+#include "invalidation/predicate.h"
+
+namespace speedkit::invalidation {
+
+struct MatcherStats {
+  uint64_t writes_matched = 0;
+  uint64_t candidates_probed = 0;  // predicate evaluations performed
+  uint64_t hits = 0;               // affected subscriptions found
+};
+
+class QueryMatcher {
+ public:
+  explicit QueryMatcher(int partitions = 1, bool use_index = true);
+
+  // Registers a cached query result to watch. Fails on duplicate id.
+  Status Subscribe(Query query);
+  Status Unsubscribe(std::string_view query_id);
+  size_t subscription_count() const { return count_; }
+
+  // Returns the ids of all subscriptions affected by the write.
+  std::vector<std::string> MatchWrite(const storage::Record* before,
+                                      const storage::Record& after);
+
+  const MatcherStats& stats() const { return stats_; }
+  int partitions() const { return static_cast<int>(partitions_.size()); }
+
+ private:
+  struct Partition {
+    // (field\0value) -> subscription indices with that equality condition.
+    std::unordered_map<std::string, std::vector<size_t>> eq_index;
+    std::vector<size_t> scan_list;  // subscriptions without usable equality
+    std::vector<Query> queries;     // slot-stable storage
+    std::unordered_map<std::string, size_t> by_id;
+    std::unordered_set<size_t> free_slots;
+  };
+
+  Partition& PartitionFor(std::string_view query_id);
+  void MatchInPartition(Partition& p, const storage::Record* before,
+                        const storage::Record& after,
+                        std::vector<std::string>* out);
+  void ProbeCandidates(Partition& p, const std::vector<size_t>& candidates,
+                       const storage::Record* before,
+                       const storage::Record& after,
+                       std::unordered_set<size_t>* seen,
+                       std::vector<std::string>* out);
+
+  bool use_index_;
+  std::vector<Partition> partitions_;
+  size_t count_ = 0;
+  MatcherStats stats_;
+};
+
+}  // namespace speedkit::invalidation
+
+#endif  // SPEEDKIT_INVALIDATION_QUERY_MATCHER_H_

@@ -1,0 +1,384 @@
+#include "origin/origin_server.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/strings.h"
+#include "invalidation/pipeline.h"
+
+namespace speedkit::origin {
+
+namespace {
+
+// Deterministic filler so synthetic bodies hit their target transfer size.
+std::string FillBody(std::string prefix, size_t target_bytes) {
+  if (prefix.size() < target_bytes) {
+    prefix.append(target_bytes - prefix.size(), 'x');
+  }
+  return prefix;
+}
+
+// Extracts "name=value" from a query string; empty when absent.
+std::string_view QueryParam(std::string_view query, std::string_view name) {
+  for (std::string_view pair : SplitView(query, '&')) {
+    size_t eq = pair.find('=');
+    if (eq == std::string_view::npos) continue;
+    if (EqualsIgnoreCase(pair.substr(0, eq), name)) {
+      return pair.substr(eq + 1);
+    }
+  }
+  return {};
+}
+
+std::string VersionETag(uint64_t version) {
+  return "\"v" + std::to_string(version) + "\"";
+}
+
+}  // namespace
+
+OriginServer::OriginServer(const OriginConfig& config, sim::SimClock* clock,
+                           storage::ObjectStore* store,
+                           ttl::TtlPolicy* ttl_policy,
+                           sketch::CacheSketch* sketch)
+    : config_(config),
+      clock_(clock),
+      store_(store),
+      ttl_policy_(ttl_policy),
+      sketch_(sketch),
+      render_cache_(config.render_cache_entries) {
+  store_->AddWriteListener(
+      [this](const storage::Record* before, const storage::Record& after) {
+        OnWrite(before, after);
+      });
+}
+
+storage::FieldValue OriginServer::MaterializedQuery::SortValueOf(
+    const storage::Record& record) const {
+  if (!query.IsOrdered()) return storage::FieldValue(static_cast<int64_t>(0));
+  const storage::FieldValue* value = record.GetField(query.order_by);
+  // Records missing the sort field sort first (SQL NULLS FIRST).
+  if (value == nullptr) return storage::FieldValue(INT64_MIN);
+  return *value;
+}
+
+void OriginServer::MaterializedQuery::Insert(const storage::Record& record) {
+  std::pair<storage::FieldValue, std::string> entry{SortValueOf(record),
+                                                    record.id};
+  auto less = [](const auto& a, const auto& b) {
+    if (invalidation::TotalOrderLess(a.first, b.first)) return true;
+    if (invalidation::TotalOrderLess(b.first, a.first)) return false;
+    return a.second < b.second;
+  };
+  members.insert(std::lower_bound(members.begin(), members.end(), entry, less),
+                 std::move(entry));
+}
+
+bool OriginServer::MaterializedQuery::EraseById(const std::string& id) {
+  for (auto it = members.begin(); it != members.end(); ++it) {
+    if (it->second == id) {
+      members.erase(it);
+      return true;
+    }
+  }
+  return false;
+}
+
+std::vector<std::string> OriginServer::MaterializedQuery::ComputeVisible()
+    const {
+  std::vector<std::string> out;
+  size_t n = members.size();
+  size_t take = query.limit == 0 ? n : std::min(query.limit, n);
+  out.reserve(take);
+  if (query.descending) {
+    for (size_t i = 0; i < take; ++i) out.push_back(members[n - 1 - i].second);
+  } else {
+    for (size_t i = 0; i < take; ++i) out.push_back(members[i].second);
+  }
+  return out;
+}
+
+Status OriginServer::RegisterQuery(invalidation::Query query) {
+  if (queries_.count(query.id) != 0) {
+    return Status::AlreadyExists("query registered: " + query.id);
+  }
+  MaterializedQuery mq;
+  mq.query = query;
+  store_->Scan([&mq](const storage::Record& record) {
+    if (mq.query.Matches(record)) mq.Insert(record);
+  });
+  mq.visible = mq.ComputeVisible();
+  queries_.emplace(query.id, std::move(mq));
+  return Status::Ok();
+}
+
+void OriginServer::OnWrite(const storage::Record* before,
+                           const storage::Record& after) {
+  SimTime now = clock_->Now();
+  ttl_policy_->ObserveWrite(invalidation::RecordCacheKey(after.id), now);
+  for (auto& [id, mq] : queries_) {
+    bool was_member = mq.EraseById(after.id);
+    bool is_member = mq.query.Matches(after);
+    if (!was_member && !is_member) continue;
+    if (is_member) mq.Insert(after);
+
+    // The rendered result changed iff the visible slice changed, or the
+    // written record sits inside the (old or new) slice — an in-place
+    // field change of a visible member changes the body even when the
+    // slice's id sequence is identical.
+    std::vector<std::string> new_visible = mq.ComputeVisible();
+    auto contains = [&](const std::vector<std::string>& ids) {
+      return std::find(ids.begin(), ids.end(), after.id) != ids.end();
+    };
+    bool changed = new_visible != mq.visible || contains(mq.visible) ||
+                   contains(new_visible);
+    mq.visible = std::move(new_visible);
+    if (!changed) continue;
+
+    mq.result_version++;
+    ttl_policy_->ObserveWrite(invalidation::QueryCacheKey(id), now);
+    if (query_version_listener_) {
+      query_version_listener_(invalidation::QueryCacheKey(id),
+                              mq.result_version);
+    }
+  }
+}
+
+http::HttpResponse OriginServer::Handle(const http::HttpRequest& request) {
+  stats_.requests++;
+  if (!available_) {
+    stats_.rejected_unavailable++;
+    return http::MakeServiceUnavailable();
+  }
+  const std::string& path = request.url.path();
+  if (StartsWith(path, "/api/records/")) {
+    stats_.record_requests++;
+    http::HttpResponse resp =
+        ServeRecord(request, std::string_view(path).substr(13));
+    ChargeServerTime(request, config_.record_render_time, &resp);
+    return resp;
+  }
+  if (StartsWith(path, "/api/queries/")) {
+    stats_.query_requests++;
+    http::HttpResponse resp =
+        ServeQuery(request, std::string_view(path).substr(13));
+    ChargeServerTime(request, config_.query_render_time, &resp);
+    return resp;
+  }
+  if (StartsWith(path, "/api/fragments/")) {
+    stats_.fragment_requests++;
+    http::HttpResponse resp =
+        ServeFragment(request, std::string_view(path).substr(15));
+    ChargeServerTime(request, config_.fragment_render_time, &resp);
+    return resp;
+  }
+  if (StartsWith(path, "/assets/")) {
+    stats_.asset_requests++;
+    http::HttpResponse resp =
+        ServeAsset(request, std::string_view(path).substr(8));
+    ChargeServerTime(request, config_.asset_render_time, &resp);
+    return resp;
+  }
+  if (StartsWith(path, "/pages/")) {
+    stats_.asset_requests++;
+    http::HttpResponse resp =
+        ServeShell(request, std::string_view(path).substr(7));
+    ChargeServerTime(request, config_.shell_render_time, &resp);
+    return resp;
+  }
+  if (path == "/sketch") {
+    stats_.sketch_requests++;
+    return ServeSketch();
+  }
+  return http::MakeNotFound();
+}
+
+void OriginServer::ChargeServerTime(const http::HttpRequest& request,
+                                    Duration render_time,
+                                    http::HttpResponse* resp) {
+  if (!resp->ok() && !resp->IsNotModified()) return;
+  if (resp->IsNotModified()) {
+    // Validation needs the current version, not a render.
+    resp->server_time = config_.render_cache_hit_time;
+    return;
+  }
+  if (config_.render_cache_entries == 0) {
+    resp->server_time = render_time;
+    stats_.render_cache_misses++;
+    stats_.render_time_us += render_time.micros();
+    return;
+  }
+  std::string key = request.url.CacheKey();
+  uint64_t* cached_version = render_cache_.Get(key);
+  if (cached_version != nullptr && *cached_version == resp->object_version) {
+    stats_.render_cache_hits++;
+    stats_.render_time_saved_us +=
+        (render_time - config_.render_cache_hit_time).micros();
+    resp->server_time = config_.render_cache_hit_time;
+    return;
+  }
+  stats_.render_cache_misses++;
+  stats_.render_time_us += render_time.micros();
+  render_cache_.Put(key, resp->object_version);
+  resp->server_time = render_time;
+}
+
+http::HttpResponse OriginServer::ServeRecord(const http::HttpRequest& request,
+                                             std::string_view id) {
+  const storage::Record* record = store_->Peek(id);
+  if (record == nullptr) return http::MakeNotFound();
+  Duration ttl = ttl_policy_->TtlFor(request.url.CacheKey(), clock_->Now());
+  return Finish(request, record->Render(), record->version, ttl,
+                /*shared_cacheable=*/true);
+}
+
+http::HttpResponse OriginServer::ServeQuery(const http::HttpRequest& request,
+                                            std::string_view query_id) {
+  auto it = queries_.find(std::string(query_id));
+  if (it == queries_.end()) return http::MakeNotFound();
+  const MaterializedQuery& mq = it->second;
+  std::string body = "{\"query\":\"" + mq.query.id + "\",\"results\":[";
+  bool first = true;
+  for (const std::string& member : mq.visible) {
+    if (!first) body += ",";
+    first = false;
+    const storage::Record* record = store_->Peek(member);
+    if (record != nullptr) body += record->Render();
+  }
+  body += "]}";
+  Duration ttl = ttl_policy_->TtlFor(request.url.CacheKey(), clock_->Now());
+  return Finish(request, std::move(body), mq.result_version, ttl,
+                /*shared_cacheable=*/true);
+}
+
+http::HttpResponse OriginServer::ServeFragment(const http::HttpRequest& request,
+                                               std::string_view block_id) {
+  const std::string& query = request.url.query();
+  std::string_view user = QueryParam(query, "user");
+  if (!user.empty()) {
+    // Legacy personalization: rendered per user, carries identity, never
+    // cacheable anywhere. This is the baseline GDPR mode replaces.
+    std::string body = FillBody(
+        StrFormat("<div class=\"%s\">Hello user %s! Recommendations: ...",
+                  std::string(block_id).c_str(), std::string(user).c_str()),
+        config_.fragment_bytes);
+    http::HttpResponse resp;
+    resp.status_code = 200;
+    resp.body = std::move(body);
+    http::CacheControl cc;
+    cc.is_private = true;
+    cc.no_store = true;
+    resp.SetCacheControl(cc);
+    resp.object_version = 1;
+    resp.generated_at = clock_->Now();
+    return resp;
+  }
+
+  std::string prefix;
+  if (QueryParam(query, "tpl") == "1") {
+    // Anonymous template of a user-scoped block: placeholders only, fully
+    // cacheable. The client proxy joins it with vault data on-device.
+    prefix = StrFormat(
+        "<div class=\"%s\">Hello {{name}}! Your cart: {{cart}}. "
+        "Recommendations for {{segment}}: ...",
+        std::string(block_id).c_str());
+  } else {
+    std::string_view seg = QueryParam(query, "seg");
+    prefix = StrFormat("<div class=\"%s\" data-segment=\"%s\">...",
+                       std::string(block_id).c_str(),
+                       std::string(seg).c_str());
+  }
+  Duration ttl = ttl_policy_->TtlFor(request.url.CacheKey(), clock_->Now());
+  return Finish(request, FillBody(std::move(prefix), config_.fragment_bytes),
+                /*body_version=*/1, ttl, /*shared_cacheable=*/true);
+}
+
+http::HttpResponse OriginServer::ServeAsset(const http::HttpRequest& request,
+                                            std::string_view name) {
+  // skopt=1 requests the optimized variant (transcoded/minified by the
+  // acceleration service): same content, fewer bytes.
+  size_t bytes = config_.asset_bytes;
+  std::string prefix = "asset:" + std::string(name) + ";";
+  if (QueryParam(request.url.query(), "skopt") == "1") {
+    bytes = static_cast<size_t>(static_cast<double>(bytes) *
+                                config_.optimized_asset_factor);
+    prefix = "asset-optimized:" + std::string(name) + ";";
+  }
+  return Finish(request, FillBody(std::move(prefix), bytes),
+                /*body_version=*/1, config_.asset_ttl,
+                /*shared_cacheable=*/true);
+}
+
+http::HttpResponse OriginServer::ServeShell(const http::HttpRequest& request,
+                                            std::string_view name) {
+  std::string body =
+      FillBody("<html><!-- shell:" + std::string(name) + " -->",
+               config_.shell_bytes);
+  // HTML is dynamic content: its cacheability is exactly what the TTL
+  // policy (and with it the deployed system variant) decides. A site
+  // without coherence ships no-cache HTML; Speed Kit's estimator makes the
+  // shell cacheable because the sketch bounds its staleness. The
+  // configured shell_ttl caps the policy's answer.
+  Duration ttl = std::min(
+      ttl_policy_->TtlFor(request.url.CacheKey(), clock_->Now()),
+      config_.shell_ttl);
+  return Finish(request, std::move(body), /*body_version=*/1, ttl,
+                /*shared_cacheable=*/true);
+}
+
+http::HttpResponse OriginServer::ServeSketch() {
+  http::HttpResponse resp;
+  resp.status_code = 200;
+  resp.body = SketchSnapshot();
+  http::CacheControl cc;
+  cc.no_store = true;  // snapshots must never be cached
+  resp.SetCacheControl(cc);
+  resp.generated_at = clock_->Now();
+  return resp;
+}
+
+std::string OriginServer::SketchSnapshot() {
+  if (sketch_ == nullptr) {
+    return sketch::BloomFilter(64, 1).Serialize();  // empty filter
+  }
+  return sketch_->SerializedSnapshot(clock_->Now());
+}
+
+http::HttpResponse OriginServer::Finish(const http::HttpRequest& request,
+                                        std::string body,
+                                        uint64_t body_version, Duration ttl,
+                                        bool shared_cacheable) {
+  SimTime now = clock_->Now();
+  http::CacheControl cc;
+  cc.is_public = shared_cacheable;
+  Duration swr = Duration::Zero();
+  if (ttl > Duration::Zero()) {
+    cc.max_age = ttl;
+    if (config_.swr_fraction > 0) {
+      swr = ttl * config_.swr_fraction;
+      cc.stale_while_revalidate = swr;
+    }
+  } else {
+    cc.no_cache = true;  // storable, but must be revalidated before use
+    cc.max_age = Duration::Zero();
+  }
+  std::string etag = VersionETag(body_version);
+
+  if (ttl > Duration::Zero()) {
+    // The stale horizon must cover the SWR window too: a client may
+    // legitimately re-serve this copy that long.
+    expiry_book_.RecordServed(request.url.CacheKey(), now + ttl + swr);
+  }
+
+  if (auto inm = request.headers.Get("If-None-Match");
+      inm.has_value() && *inm == etag) {
+    stats_.not_modified++;
+    return http::MakeNotModified(etag, cc, body_version, now);
+  }
+
+  http::HttpResponse resp =
+      http::MakeOkResponse(std::move(body), cc, body_version, now);
+  resp.SetETag(etag);
+  return resp;
+}
+
+}  // namespace speedkit::origin

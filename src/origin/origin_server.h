@@ -1,0 +1,194 @@
+// The origin: renders HTTP responses from the object store and stamps them
+// with TTLs from the configured policy.
+//
+// Routes (all under one host, matching the key conventions in
+// invalidation/pipeline.h):
+//   /api/records/<id>                 record detail (ETag "v<version>")
+//   /api/queries/<query-id>           materialized query result listing
+//   /api/fragments/<block>?seg=<s>    segment-scoped dynamic block
+//   /api/fragments/<block>?tpl=1      anonymous template of a user block
+//                                     (cacheable; placeholders only)
+//   /api/fragments/<block>?user=<id>  legacy personalized block — rendered
+//                                     with PII, Cache-Control: private,
+//                                     no-store (the non-GDPR baseline)
+//   /assets/<name>                    immutable static asset
+//   /pages/<name>                     page shell
+//   /sketch                           current Cache Sketch snapshot
+//
+// Query results are materialized incrementally from the store's write feed
+// (before/after membership deltas), so listing requests are O(result), not
+// O(catalog). Every cacheable response is recorded in the ExpiryBook — the
+// sketch's source of stale horizons. Conditional requests (If-None-Match)
+// yield 304 with refreshed freshness.
+#ifndef SPEEDKIT_ORIGIN_ORIGIN_SERVER_H_
+#define SPEEDKIT_ORIGIN_ORIGIN_SERVER_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "cache/lru_cache.h"
+#include "common/sim_time.h"
+#include "http/message.h"
+#include "invalidation/expiry_book.h"
+#include "invalidation/predicate.h"
+#include "sim/clock.h"
+#include "sketch/cache_sketch.h"
+#include "storage/object_store.h"
+#include "ttl/ttl_policy.h"
+
+namespace speedkit::origin {
+
+struct OriginConfig {
+  std::string host = "shop.example.com";
+  size_t asset_bytes = 40 * 1024;
+  size_t shell_bytes = 30 * 1024;
+  size_t fragment_bytes = 2 * 1024;
+  // Fixed freshness for immutable assets and shells.
+  Duration asset_ttl = Duration::Seconds(86400);
+  Duration shell_ttl = Duration::Seconds(300);
+
+  // stale-while-revalidate window as a fraction of each response's TTL
+  // (0 disables). Safe under sketch coherence: a written key is flagged,
+  // so SWR only ever re-serves content that is merely TTL-expired, not
+  // actually changed. The ExpiryBook horizon covers TTL + SWR.
+  double swr_fraction = 0.5;
+
+  // Byte size of an optimized asset variant relative to the original
+  // (Speed Kit's image/asset optimization service); served for requests
+  // carrying skopt=1.
+  double optimized_asset_factor = 0.55;
+
+  // Server-side processing costs (DB access + templating) charged per
+  // request via HttpResponse::server_time — the quantity the server-side
+  // render cache saves.
+  Duration record_render_time = Duration::Millis(8);
+  Duration query_render_time = Duration::Millis(25);
+  Duration fragment_render_time = Duration::Millis(5);
+  Duration asset_render_time = Duration::Millis(1);
+  Duration shell_render_time = Duration::Millis(15);
+  // Serving a cached render / validating a 304.
+  Duration render_cache_hit_time = Duration::Micros(500);
+
+  // The polyglot architecture's server cache tier (Redis-style rendered
+  // responses keyed by content version, so it can never serve stale).
+  // 0 disables.
+  size_t render_cache_entries = 100000;
+};
+
+struct OriginStats {
+  uint64_t requests = 0;
+  uint64_t not_modified = 0;  // 304s served
+  uint64_t record_requests = 0;
+  uint64_t query_requests = 0;
+  uint64_t fragment_requests = 0;
+  uint64_t asset_requests = 0;
+  uint64_t sketch_requests = 0;
+  uint64_t rejected_unavailable = 0;
+  uint64_t render_cache_hits = 0;
+  uint64_t render_cache_misses = 0;
+  // Total processing time spent (and avoided) rendering.
+  int64_t render_time_us = 0;
+  int64_t render_time_saved_us = 0;
+};
+
+class OriginServer {
+ public:
+  // `sketch` may be null (baselines without coherence). `ttl_policy` is
+  // owned by the caller and must outlive the server.
+  OriginServer(const OriginConfig& config, sim::SimClock* clock,
+               storage::ObjectStore* store, ttl::TtlPolicy* ttl_policy,
+               sketch::CacheSketch* sketch);
+
+  // Registers a query whose result is exposed at /api/queries/<query.id>.
+  Status RegisterQuery(invalidation::Query query);
+
+  // Observes every materialized-result version bump (cache key, new
+  // version). The staleness tracker hangs off this to date query-result
+  // versions the same way it dates record versions.
+  using QueryVersionListener =
+      std::function<void(const std::string& cache_key, uint64_t version)>;
+  void SetQueryVersionListener(QueryVersionListener listener) {
+    query_version_listener_ = std::move(listener);
+  }
+
+  // Serves one request on the simulated clock.
+  http::HttpResponse Handle(const http::HttpRequest& request);
+
+  // Sketch snapshot bytes (what the /sketch route returns).
+  std::string SketchSnapshot();
+
+  // Fault injection: while unavailable, every request returns 503.
+  void set_available(bool available) { available_ = available; }
+  bool available() const { return available_; }
+
+  invalidation::ExpiryBook& expiry_book() { return expiry_book_; }
+  const OriginStats& stats() const { return stats_; }
+
+ private:
+  struct MaterializedQuery {
+    invalidation::Query query;
+    // All predicate-matching records, ascending by (sort value, id); for
+    // unordered queries the sort value is a constant and id order rules.
+    std::vector<std::pair<storage::FieldValue, std::string>> members;
+    // The currently visible slice (ordering direction + limit applied).
+    std::vector<std::string> visible;
+    uint64_t result_version = 1;
+
+    storage::FieldValue SortValueOf(const storage::Record& record) const;
+    void Insert(const storage::Record& record);
+    bool EraseById(const std::string& id);
+    std::vector<std::string> ComputeVisible() const;
+  };
+
+  void OnWrite(const storage::Record* before, const storage::Record& after);
+
+  http::HttpResponse ServeRecord(const http::HttpRequest& request,
+                                 std::string_view id);
+  http::HttpResponse ServeQuery(const http::HttpRequest& request,
+                                std::string_view query_id);
+  http::HttpResponse ServeFragment(const http::HttpRequest& request,
+                                   std::string_view block_id);
+  http::HttpResponse ServeAsset(const http::HttpRequest& request,
+                                std::string_view name);
+  http::HttpResponse ServeShell(const http::HttpRequest& request,
+                                std::string_view name);
+  http::HttpResponse ServeSketch();
+
+  // Applies TTL policy + ETag + expiry-book accounting, honouring
+  // If-None-Match. `body_version` feeds both the ETag and staleness checks.
+  http::HttpResponse Finish(const http::HttpRequest& request,
+                            std::string body, uint64_t body_version,
+                            Duration ttl, bool shared_cacheable);
+
+  // Charges server processing time onto the response: full render cost on
+  // a render-cache miss, the cache-hit cost when this (key, version) was
+  // rendered before, validation cost for 304s.
+  void ChargeServerTime(const http::HttpRequest& request,
+                        Duration render_time, http::HttpResponse* resp);
+
+  OriginConfig config_;
+  sim::SimClock* clock_;
+  storage::ObjectStore* store_;
+  ttl::TtlPolicy* ttl_policy_;
+  sketch::CacheSketch* sketch_;
+  bool available_ = true;
+
+  std::unordered_map<std::string, MaterializedQuery> queries_;
+  invalidation::ExpiryBook expiry_book_;
+  QueryVersionListener query_version_listener_;
+  // Render cache: cache key -> last rendered content version. Version-
+  // keyed, so it can never serve a stale render.
+  cache::LruCache<uint64_t> render_cache_;
+  OriginStats stats_;
+};
+
+}  // namespace speedkit::origin
+
+#endif  // SPEEDKIT_ORIGIN_ORIGIN_SERVER_H_

@@ -1,0 +1,105 @@
+#include "personalization/pii.h"
+
+#include <algorithm>
+
+#include "common/strings.h"
+
+namespace speedkit::personalization {
+
+bool IsPiiFieldName(std::string_view field) {
+  static constexpr std::string_view kPiiFields[] = {
+      "name",    "first_name", "last_name", "email",   "phone",
+      "address", "user_id",    "session",   "cart",    "order_history",
+      "payment", "birthday",   "ip",        "location"};
+  for (std::string_view f : kPiiFields) {
+    if (EqualsIgnoreCase(field, f)) return true;
+  }
+  return false;
+}
+
+void PiiVault::Put(std::string_view field, std::string_view value) {
+  fields_[std::string(field)] = std::string(value);
+}
+
+std::optional<std::string_view> PiiVault::Get(std::string_view field) const {
+  auto it = fields_.find(std::string(field));
+  if (it == fields_.end()) return std::nullopt;
+  return std::string_view(it->second);
+}
+
+std::string PiiVault::RenderLocally(std::string_view fragment_template) const {
+  std::string out;
+  out.reserve(fragment_template.size());
+  size_t pos = 0;
+  while (pos < fragment_template.size()) {
+    size_t open = fragment_template.find("{{", pos);
+    if (open == std::string_view::npos) {
+      out += fragment_template.substr(pos);
+      break;
+    }
+    size_t close = fragment_template.find("}}", open + 2);
+    if (close == std::string_view::npos) {
+      out += fragment_template.substr(pos);
+      break;
+    }
+    out += fragment_template.substr(pos, open - pos);
+    std::string_view field =
+        TrimWhitespace(fragment_template.substr(open + 2, close - open - 2));
+    if (auto value = Get(field); value.has_value()) {
+      out += *value;
+    }
+    pos = close + 2;
+  }
+  return out;
+}
+
+void BoundaryAuditor::RegisterSensitive(std::string_view value) {
+  if (value.size() < 3) return;
+  std::string v(value);
+  if (std::find(sensitive_.begin(), sensitive_.end(), v) == sensitive_.end()) {
+    sensitive_.push_back(std::move(v));
+  }
+}
+
+void BoundaryAuditor::RegisterVault(const PiiVault& vault) {
+  RegisterSensitive(std::to_string(vault.user_id()));
+  for (const auto& [field, value] : vault.fields()) {
+    RegisterSensitive(value);
+  }
+}
+
+bool BoundaryAuditor::Inspect(const http::HttpRequest& request) {
+  inspected_++;
+  bool clean = true;
+  std::string url = request.url.ToString();
+  for (const std::string& token : sensitive_) {
+    if (url.find(token) != std::string::npos) {
+      Record(request, token, "url");
+      clean = false;
+    }
+    for (const auto& [name, value] : request.headers) {
+      if (value.find(token) != std::string::npos) {
+        Record(request, token, "header");
+        clean = false;
+      }
+    }
+    if (request.body.find(token) != std::string::npos) {
+      Record(request, token, "body");
+      clean = false;
+    }
+  }
+  return clean;
+}
+
+void BoundaryAuditor::Record(const http::HttpRequest& request,
+                             std::string_view token,
+                             std::string_view location) {
+  violations_++;
+  if (samples_.size() < kMaxSamples) {
+    samples_.push_back(AuditViolation{request.url.ToString(),
+                                      std::string(token),
+                                      std::string(location)});
+  }
+}
+
+}  // namespace speedkit::personalization

@@ -1,0 +1,87 @@
+// GDPR machinery: the on-device PII vault and the network-boundary auditor.
+//
+// The paper's compliance claim is architectural: all personal data is
+// handled *inside* the client proxy, so no processing agreement with the
+// CDN is ever needed. We make that claim checkable. Every sensitive value
+// lives in a per-user `PiiVault`; the `BoundaryAuditor` registers those
+// values and inspects every request that leaves the device — URL, headers
+// and body. A violation (a sensitive token crossing the boundary) is
+// counted and sampled. The GDPR-mode proxy must produce zero violations on
+// any workload; the legacy baseline demonstrably does not.
+#ifndef SPEEDKIT_PERSONALIZATION_PII_H_
+#define SPEEDKIT_PERSONALIZATION_PII_H_
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "http/message.h"
+
+namespace speedkit::personalization {
+
+// Field names conventionally treated as personal data.
+bool IsPiiFieldName(std::string_view field);
+
+class PiiVault {
+ public:
+  explicit PiiVault(uint64_t user_id) : user_id_(user_id) {}
+
+  uint64_t user_id() const { return user_id_; }
+
+  void Put(std::string_view field, std::string_view value);
+  std::optional<std::string_view> Get(std::string_view field) const;
+  const std::map<std::string, std::string>& fields() const { return fields_; }
+
+  // Renders a user-scoped block on-device by substituting {{field}}
+  // placeholders in `fragment_template` from the vault. Unknown fields
+  // render as empty — data never leaves; missing data never blocks.
+  std::string RenderLocally(std::string_view fragment_template) const;
+
+ private:
+  uint64_t user_id_;
+  std::map<std::string, std::string> fields_;
+};
+
+struct AuditViolation {
+  std::string url;
+  std::string leaked_token;
+  std::string location;  // "url" | "header" | "body"
+};
+
+class BoundaryAuditor {
+ public:
+  // Registers a sensitive value to watch for. Values shorter than 3 chars
+  // are ignored (they'd match everywhere and mean nothing).
+  void RegisterSensitive(std::string_view value);
+
+  // Registers everything in a vault, including the user id itself: a
+  // stable user identifier crossing the boundary is what GDPR-mode
+  // caching must avoid.
+  void RegisterVault(const PiiVault& vault);
+
+  // Inspects an outgoing request; returns true when clean. Violations are
+  // recorded (first `kMaxSamples` kept verbatim).
+  bool Inspect(const http::HttpRequest& request);
+
+  uint64_t inspected() const { return inspected_; }
+  uint64_t violations() const { return violations_; }
+  const std::vector<AuditViolation>& samples() const { return samples_; }
+
+ private:
+  static constexpr size_t kMaxSamples = 16;
+
+  void Record(const http::HttpRequest& request, std::string_view token,
+              std::string_view location);
+
+  std::vector<std::string> sensitive_;
+  uint64_t inspected_ = 0;
+  uint64_t violations_ = 0;
+  std::vector<AuditViolation> samples_;
+};
+
+}  // namespace speedkit::personalization
+
+#endif  // SPEEDKIT_PERSONALIZATION_PII_H_

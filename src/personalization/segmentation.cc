@@ -1,0 +1,26 @@
+#include "personalization/segmentation.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/hash.h"
+
+namespace speedkit::personalization {
+
+Segmenter::Segmenter(int num_segments)
+    : num_segments_(std::max(1, num_segments)) {
+  int n = num_segments_;
+  assign_ = [n](uint64_t user_id) {
+    return "seg-" + std::to_string(Mix64(user_id) % static_cast<uint64_t>(n));
+  };
+}
+
+Segmenter::Segmenter(int num_segments,
+                     std::function<std::string(uint64_t)> assign)
+    : num_segments_(std::max(1, num_segments)), assign_(std::move(assign)) {}
+
+double Segmenter::IdentityBits() const {
+  return std::log2(static_cast<double>(num_segments_));
+}
+
+}  // namespace speedkit::personalization

@@ -1,0 +1,38 @@
+// Segmentation: mapping users to cacheable cohorts.
+//
+// Segment ids must be non-identifying — with S segments and U >> S users,
+// a segment id narrows identity by log2(S) bits only; the policy exposes
+// that anonymity measure so deployments can pick S against their k-anonymity
+// target. The default policy hashes the user id into S buckets; custom
+// attribute-based policies plug in via the functional constructor.
+#ifndef SPEEDKIT_PERSONALIZATION_SEGMENTATION_H_
+#define SPEEDKIT_PERSONALIZATION_SEGMENTATION_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace speedkit::personalization {
+
+class Segmenter {
+ public:
+  // Hash-based assignment into `num_segments` cohorts.
+  explicit Segmenter(int num_segments);
+
+  // Custom assignment (e.g. by country or loyalty tier).
+  Segmenter(int num_segments, std::function<std::string(uint64_t)> assign);
+
+  std::string SegmentFor(uint64_t user_id) const { return assign_(user_id); }
+  int num_segments() const { return num_segments_; }
+
+  // Bits of identity a segment id reveals: log2(num_segments).
+  double IdentityBits() const;
+
+ private:
+  int num_segments_;
+  std::function<std::string(uint64_t)> assign_;
+};
+
+}  // namespace speedkit::personalization
+
+#endif  // SPEEDKIT_PERSONALIZATION_SEGMENTATION_H_

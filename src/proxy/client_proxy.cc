@@ -1,0 +1,407 @@
+#include "proxy/client_proxy.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/hash.h"
+#include "common/strings.h"
+
+namespace speedkit::proxy {
+
+namespace {
+// Approximate wire size of a 304 (status line + validator headers).
+constexpr size_t kNotModifiedWireBytes = 256;
+}  // namespace
+
+std::string_view ServedFromName(ServedFrom source) {
+  switch (source) {
+    case ServedFrom::kBrowserCache:
+      return "browser";
+    case ServedFrom::kEdgeCache:
+      return "edge";
+    case ServedFrom::kOrigin:
+      return "origin";
+    case ServedFrom::kOfflineCache:
+      return "offline";
+    case ServedFrom::kError:
+      return "error";
+  }
+  return "error";
+}
+
+ClientProxy::ClientProxy(const ProxyConfig& config, uint64_t client_id,
+                         sim::SimClock* clock, sim::Network* network,
+                         cache::Cdn* cdn, origin::OriginServer* origin,
+                         personalization::BoundaryAuditor* auditor)
+    : config_(config),
+      client_id_(client_id),
+      clock_(clock),
+      network_(network),
+      cdn_(cdn),
+      origin_(origin),
+      auditor_(auditor),
+      browser_cache_(/*shared=*/false, config.browser_cache_bytes),
+      client_sketch_(config.sketch_refresh_interval) {}
+
+FetchResult ClientProxy::Fetch(std::string_view url_text) {
+  auto url = http::Url::Parse(url_text);
+  if (!url.ok()) {
+    stats_.errors++;
+    FetchResult result;
+    result.response.status_code = 400;
+    result.source = ServedFrom::kError;
+    return result;
+  }
+  return Fetch(*url);
+}
+
+FetchResult ClientProxy::Fetch(const http::Url& url) {
+  // Asset optimization: the service worker reroutes asset requests to the
+  // optimized variant. The variant is its own cache key everywhere.
+  if (config_.enabled && config_.optimize_assets &&
+      StartsWith(url.path(), "/assets/") &&
+      url.query().find("skopt=") == std::string::npos) {
+    std::string rewritten = url.CacheKey();
+    rewritten += url.query().empty() ? "?skopt=1" : "&skopt=1";
+    auto optimized = http::Url::Parse(rewritten);
+    if (optimized.ok()) return FetchResolved(*optimized);
+  }
+  return FetchResolved(url);
+}
+
+FetchResult ClientProxy::FetchResolved(const http::Url& url) {
+  stats_.requests++;
+  SimTime now = clock_->Now();
+  std::string key = url.CacheKey();
+  Duration overhead =
+      config_.enabled ? config_.device_overhead : Duration::Zero();
+
+  bool use_sketch = config_.enabled && config_.use_sketch;
+  Duration refresh_latency =
+      use_sketch ? MaybeRefreshSketchLatency() : Duration::Zero();
+
+  // One sketch verdict drives the whole flow: a flagged key must bypass
+  // every expiration-based cache between the device and the origin.
+  bool flagged = use_sketch && client_sketch_.MightBeStale(key);
+
+  http::HttpRequest request = http::HttpRequest::Get(url);
+  cache::LookupResult lookup = browser_cache_.Lookup(key, now);
+
+  if (lookup.outcome == cache::LookupOutcome::kFreshHit && !flagged) {
+    // Serving from the browser cache is gated on the sketch check, so a
+    // due refresh is on the critical path here.
+    stats_.browser_hits++;
+    return ServeFromEntry(*lookup.entry, ServedFrom::kBrowserCache,
+                          overhead + refresh_latency);
+  }
+
+  if (lookup.outcome == cache::LookupOutcome::kStaleHit && !flagged &&
+      config_.enabled && config_.stale_while_revalidate &&
+      lookup.entry->WithinSwrWindow(now)) {
+    // Sketch-clean + within the SWR window: the copy is merely
+    // TTL-expired, not invalidated. Serve it instantly and revalidate in
+    // the background (the revalidation's latency is off the critical
+    // path; its cache updates happen now).
+    stats_.swr_serves++;
+    FetchResult served = ServeFromEntry(*lookup.entry,
+                                        ServedFrom::kBrowserCache,
+                                        overhead + refresh_latency);
+    http::HttpRequest reval = http::HttpRequest::Get(url);
+    std::string etag = lookup.entry->response.ETag();
+    if (!etag.empty()) reval.headers.Set("If-None-Match", etag);
+    stats_.background_revalidations++;
+    (void)FetchOverNetwork(reval, key, /*bypass_shared=*/false);
+    return served;
+  }
+
+  // Attach our validator when we hold any copy (fresh-but-flagged or
+  // stale): the origin can then answer with a cheap 304.
+  if (lookup.entry != nullptr) {
+    std::string etag = lookup.entry->response.ETag();
+    if (!etag.empty()) request.headers.Set("If-None-Match", etag);
+  }
+
+  FetchResult result = FetchOverNetwork(request, key, flagged);
+  if (flagged) {
+    // The bypass decision needed the fresh snapshot, so refresh and fetch
+    // serialize.
+    result.latency += overhead + refresh_latency;
+    result.sketch_bypass = true;
+    stats_.sketch_bypasses++;
+  } else {
+    // Un-flagged network fetches overlap the snapshot refresh: the request
+    // is sent optimistically and the sketch arrives while it is in flight
+    // (it is only consulted again at serve time).
+    result.latency =
+        overhead + std::max(refresh_latency, result.latency);
+  }
+  return result;
+}
+
+Duration ClientProxy::MaybeRefreshSketchLatency() {
+  SimTime now = clock_->Now();
+  if (!client_sketch_.NeedsRefresh(now)) return Duration::Zero();
+  if (!origin_->available()) return Duration::Zero();  // keep the old snapshot
+  std::string snapshot = origin_->SketchSnapshot();
+  if (!client_sketch_.Update(snapshot, now).ok()) return Duration::Zero();
+  stats_.sketch_refreshes++;
+  stats_.sketch_bytes += snapshot.size();
+  // The sketch service answers from the edge tier.
+  return network_->RequestTime(sim::Link::kClientEdge, snapshot.size());
+}
+
+FetchResult ClientProxy::FetchOverNetwork(const http::HttpRequest& request,
+                                          const std::string& key,
+                                          bool bypass_shared) {
+  SimTime now = clock_->Now();
+  Audit(request);
+
+  bool via_edge = config_.enabled && config_.use_cdn && cdn_ != nullptr;
+  if (!via_edge) {
+    http::HttpResponse resp = origin_->Handle(request);
+    if (resp.status_code == 503) {
+      return OfflineFallback(key, network_->SampleRtt(sim::Link::kClientOrigin));
+    }
+    size_t down =
+        resp.IsNotModified() ? kNotModifiedWireBytes : resp.WireSize();
+    Duration lat = network_->SampleRtt(sim::Link::kClientOrigin) +
+                   network_->TransferTime(sim::Link::kClientOrigin, down) +
+                   resp.server_time;
+    return FinishClientResponse(request, key, resp, ServedFrom::kOrigin, lat);
+  }
+
+  cache::HttpCache& edge = cdn_->edge(cdn_->RouteFor(client_id_));
+  if (!bypass_shared) {
+    cache::LookupResult el = edge.Lookup(key, now);
+    if (el.outcome == cache::LookupOutcome::kFreshHit) {
+      // A matching client validator gets a cache-minted 304. Its
+      // generated_at is the entry's original render time so the browser
+      // inherits the remaining freshness, never more.
+      auto inm = request.headers.Get("If-None-Match");
+      if (inm.has_value() && *inm == el.entry->response.ETag()) {
+        http::HttpResponse edge_304 = http::MakeNotModified(
+            *inm, el.entry->response.GetCacheControl(),
+            el.entry->response.object_version,
+            el.entry->response.generated_at);
+        Duration lat = network_->RequestTime(sim::Link::kClientEdge,
+                                             kNotModifiedWireBytes);
+        return FinishClientResponse(request, key, edge_304,
+                                    ServedFrom::kEdgeCache, lat);
+      }
+      Duration lat =
+          network_->RequestTime(sim::Link::kClientEdge,
+                                el.entry->response.WireSize());
+      return FinishClientResponse(request, key, el.entry->response,
+                                  ServedFrom::kEdgeCache, lat);
+    }
+    if (el.outcome == cache::LookupOutcome::kStaleHit) {
+      // The edge revalidates with ITS validator; the client still gets a
+      // full body from the edge either way.
+      http::HttpRequest forwarded = request;
+      std::string edge_etag = el.entry->response.ETag();
+      if (!edge_etag.empty()) {
+        forwarded.headers.Set("If-None-Match", edge_etag);
+      }
+      http::HttpResponse oresp = origin_->Handle(forwarded);
+      if (oresp.status_code == 503) {
+        return OfflineFallback(
+            key, network_->SampleRtt(sim::Link::kClientEdge) +
+                     network_->SampleRtt(sim::Link::kEdgeOrigin));
+      }
+      if (oresp.IsNotModified()) {
+        edge.Refresh(key, oresp, now);
+        cache::LookupResult refreshed = edge.Lookup(key, now);
+        if (refreshed.entry != nullptr) {
+          Duration upstream =
+              network_->SampleRtt(sim::Link::kClientEdge) +
+              network_->SampleRtt(sim::Link::kEdgeOrigin) +
+              network_->TransferTime(sim::Link::kEdgeOrigin,
+                                     kNotModifiedWireBytes) +
+              oresp.server_time;
+          // If the client's validator also matches, forward the origin's
+          // 304 instead of re-sending the body.
+          auto inm = request.headers.Get("If-None-Match");
+          if (inm.has_value() && *inm == oresp.ETag()) {
+            Duration lat = upstream +
+                           network_->TransferTime(sim::Link::kClientEdge,
+                                                  kNotModifiedWireBytes);
+            return FinishClientResponse(request, key, oresp,
+                                        ServedFrom::kEdgeCache, lat);
+          }
+          Duration lat =
+              upstream +
+              network_->TransferTime(sim::Link::kClientEdge,
+                                     refreshed.entry->response.WireSize());
+          return FinishClientResponse(request, key,
+                                      refreshed.entry->response,
+                                      ServedFrom::kEdgeCache, lat);
+        }
+        // Entry evicted under us; fall through to a plain origin fetch.
+      } else {
+        edge.Store(key, oresp, now);
+        Duration lat =
+            network_->SampleRtt(sim::Link::kClientEdge) +
+            network_->SampleRtt(sim::Link::kEdgeOrigin) +
+            network_->TransferTime(sim::Link::kEdgeOrigin, oresp.WireSize()) +
+            network_->TransferTime(sim::Link::kClientEdge, oresp.WireSize()) +
+            oresp.server_time;
+        return FinishClientResponse(request, key, oresp, ServedFrom::kOrigin,
+                                    lat);
+      }
+    }
+  }
+
+  // Pass-through: edge miss, or a sketch-flagged request that must reach
+  // the origin. The client's own validator travels with the request; the
+  // edge is refreshed on the way back so later clients benefit.
+  http::HttpResponse oresp = origin_->Handle(request);
+  if (oresp.status_code == 503) {
+    return OfflineFallback(key,
+                           network_->SampleRtt(sim::Link::kClientEdge) +
+                               network_->SampleRtt(sim::Link::kEdgeOrigin));
+  }
+  size_t down =
+      oresp.IsNotModified() ? kNotModifiedWireBytes : oresp.WireSize();
+  Duration lat = network_->SampleRtt(sim::Link::kClientEdge) +
+                 network_->SampleRtt(sim::Link::kEdgeOrigin) +
+                 network_->TransferTime(sim::Link::kEdgeOrigin, down) +
+                 network_->TransferTime(sim::Link::kClientEdge, down) +
+                 oresp.server_time;
+  if (oresp.IsNotModified()) {
+    edge.Refresh(key, oresp, now);
+  } else {
+    edge.Store(key, oresp, now);
+  }
+  return FinishClientResponse(request, key, oresp, ServedFrom::kOrigin, lat);
+}
+
+FetchResult ClientProxy::FinishClientResponse(const http::HttpRequest& request,
+                                              const std::string& key,
+                                              const http::HttpResponse& resp,
+                                              ServedFrom source,
+                                              Duration latency) {
+  SimTime now = clock_->Now();
+  if (resp.IsNotModified()) {
+    stats_.revalidations_304++;
+    stats_.bytes_over_network += kNotModifiedWireBytes;
+    browser_cache_.Refresh(key, resp, now);
+    cache::LookupResult refreshed = browser_cache_.Lookup(key, now);
+    if (refreshed.entry != nullptr) {
+      FetchResult result = ServeFromEntry(*refreshed.entry, source, latency);
+      result.revalidated = true;
+      return result;
+    }
+    // The entry vanished (eviction) between validation and serve; a real
+    // SW would re-issue unconditionally. Model that as an error: it is
+    // rare enough not to warrant a second hop here.
+    stats_.errors++;
+    FetchResult result;
+    result.response.status_code = 504;
+    result.latency = latency;
+    return result;
+  }
+  if (!resp.ok()) {
+    stats_.errors++;
+    FetchResult result;
+    result.response = resp;
+    result.latency = latency;
+    return result;
+  }
+  if (request.IsConditional()) stats_.revalidations_200++;
+  if (source == ServedFrom::kEdgeCache) {
+    stats_.edge_hits++;
+  } else {
+    stats_.origin_fetches++;
+  }
+  stats_.bytes_over_network += resp.WireSize();
+  browser_cache_.Store(key, resp, now);
+  FetchResult result;
+  result.response = resp;
+  result.latency = latency;
+  result.source = source;
+  return result;
+}
+
+FetchResult ClientProxy::OfflineFallback(const std::string& key,
+                                         Duration attempt_latency) {
+  SimTime now = clock_->Now();
+  if (config_.enabled && config_.offline_mode) {
+    cache::LookupResult lookup = browser_cache_.Lookup(key, now);
+    if (lookup.entry != nullptr) {
+      stats_.offline_serves++;
+      return ServeFromEntry(*lookup.entry, ServedFrom::kOfflineCache,
+                            attempt_latency);
+    }
+  }
+  stats_.errors++;
+  FetchResult result;
+  result.response = http::MakeServiceUnavailable();
+  result.latency = attempt_latency;
+  return result;
+}
+
+FetchResult ClientProxy::ServeFromEntry(const cache::CacheEntry& entry,
+                                        ServedFrom source, Duration latency) {
+  stats_.bytes_from_browser_cache += entry.response.body.size();
+  FetchResult result;
+  result.response = entry.response;
+  result.latency = latency;
+  result.source = source;
+  return result;
+}
+
+BlockResult ClientProxy::FetchBlock(
+    const personalization::PageTemplate& page,
+    const personalization::DynamicBlock& block,
+    const personalization::Segmenter& segmenter) {
+  std::string base = "https://" + std::string("shop.example.com") +
+                     "/api/fragments/" + block.id +
+                     "?page=" + StrFormat("%016llx",
+                                          static_cast<unsigned long long>(
+                                              Fnv1a_64(page.url)));
+  uint64_t user_id = vault_ != nullptr ? vault_->user_id() : client_id_;
+
+  BlockResult out;
+  switch (block.scope) {
+    case personalization::BlockScope::kStatic: {
+      FetchResult r = Fetch(base);
+      out.content = r.response.body;
+      out.latency = r.latency;
+      out.source = r.source;
+      return out;
+    }
+    case personalization::BlockScope::kSegment: {
+      FetchResult r = Fetch(base + "&seg=" + segmenter.SegmentFor(user_id));
+      out.content = r.response.body;
+      out.latency = r.latency;
+      out.source = r.source;
+      return out;
+    }
+    case personalization::BlockScope::kUser: {
+      if (config_.enabled && config_.gdpr_mode) {
+        // GDPR path: cacheable anonymous template + on-device join.
+        FetchResult r = Fetch(base + "&tpl=1");
+        out.content = vault_ != nullptr
+                          ? vault_->RenderLocally(r.response.body)
+                          : r.response.body;
+        out.latency = r.latency + config_.render_overhead;
+        out.source = r.source;
+        out.rendered_on_device = true;
+        return out;
+      }
+      // Legacy path: identity crosses the boundary, nothing cacheable.
+      FetchResult r = Fetch(base + "&user=" + std::to_string(user_id));
+      out.content = r.response.body;
+      out.latency = r.latency;
+      out.source = r.source;
+      return out;
+    }
+  }
+  return out;
+}
+
+void ClientProxy::Audit(const http::HttpRequest& request) {
+  if (auditor_ != nullptr) auditor_->Inspect(request);
+}
+
+}  // namespace speedkit::proxy

@@ -1,0 +1,181 @@
+// The Speed Kit client proxy — the Service Worker analogue.
+//
+// Intercepts every request the (simulated) page makes and implements the
+// paper's request flow:
+//
+//   1. refresh the Cache Sketch snapshot if it is older than Δ (blocking,
+//      so the staleness bound below holds unconditionally);
+//   2. look up the browser cache; a fresh hit is served ONLY if the sketch
+//      does not flag the key — a flagged key forces a revalidation that
+//      bypasses every shared cache on the way to the origin;
+//   3. otherwise fetch through the client's CDN edge (fresh edge hits are
+//      served from the edge; stale edge entries revalidate at the origin
+//      with their validator);
+//   4. if the origin is down and offline mode is on, serve the most recent
+//      browser copy even if expired (availability over freshness).
+//
+// Δ-atomicity: a value written at time W can only be served from a cache
+// after W if the client's snapshot predates W; snapshots are at most Δ old
+// at check time, so no read observes data overwritten more than
+// Δ + (purge propagation) ago.
+//
+// GDPR: user-scoped blocks are joined on-device (template + PII vault);
+// every request that leaves the device first passes the BoundaryAuditor.
+#ifndef SPEEDKIT_PROXY_CLIENT_PROXY_H_
+#define SPEEDKIT_PROXY_CLIENT_PROXY_H_
+
+#include <cstdint>
+#include <string>
+
+#include "cache/cdn.h"
+#include "cache/http_cache.h"
+#include "common/random.h"
+#include "common/sim_time.h"
+#include "http/message.h"
+#include "origin/origin_server.h"
+#include "personalization/dynamic_block.h"
+#include "personalization/pii.h"
+#include "personalization/segmentation.h"
+#include "sim/clock.h"
+#include "sim/network.h"
+#include "sketch/client_sketch.h"
+
+namespace speedkit::proxy {
+
+enum class ServedFrom {
+  kBrowserCache,
+  kEdgeCache,
+  kOrigin,
+  kOfflineCache,  // stale browser copy served during an origin outage
+  kError,
+};
+
+std::string_view ServedFromName(ServedFrom source);
+
+struct FetchResult {
+  http::HttpResponse response;
+  Duration latency = Duration::Zero();
+  ServedFrom source = ServedFrom::kError;
+  bool revalidated = false;    // a conditional round trip happened
+  bool sketch_bypass = false;  // the sketch forced this to the network
+};
+
+struct BlockResult {
+  std::string content;
+  Duration latency = Duration::Zero();
+  ServedFrom source = ServedFrom::kError;
+  bool rendered_on_device = false;  // GDPR-mode local join happened
+};
+
+struct ProxyConfig {
+  bool enabled = true;      // false: vanilla browser (cache + origin only)
+  bool use_cdn = true;
+  bool use_sketch = true;
+  bool gdpr_mode = true;    // user blocks via on-device join
+  bool offline_mode = true;
+  // Serve TTL-expired (but sketch-clean) copies instantly and revalidate
+  // in the background. Safe: a genuinely changed key is flagged by the
+  // sketch and never takes this path.
+  bool stale_while_revalidate = true;
+  // Rewrite /assets/ requests to the optimized variant (skopt=1): fewer
+  // bytes per asset via the acceleration service's transcoding.
+  bool optimize_assets = true;
+  Duration sketch_refresh_interval = Duration::Seconds(30);  // Δ
+  size_t browser_cache_bytes = 50u * 1024 * 1024;
+  // Service-worker interception cost per request on the device.
+  Duration device_overhead = Duration::Micros(300);
+  // On-device template-join cost for a user-scoped block.
+  Duration render_overhead = Duration::Millis(1);
+};
+
+struct ProxyStats {
+  uint64_t requests = 0;
+  uint64_t browser_hits = 0;
+  uint64_t edge_hits = 0;
+  uint64_t origin_fetches = 0;
+  uint64_t revalidations_304 = 0;
+  uint64_t revalidations_200 = 0;
+  uint64_t sketch_bypasses = 0;
+  uint64_t offline_serves = 0;
+  uint64_t errors = 0;
+  uint64_t sketch_refreshes = 0;
+  uint64_t sketch_bytes = 0;
+  uint64_t swr_serves = 0;  // stale served while revalidating in background
+  uint64_t background_revalidations = 0;
+  uint64_t bytes_from_browser_cache = 0;
+  uint64_t bytes_over_network = 0;
+};
+
+class ClientProxy {
+ public:
+  // `cdn` may be null when use_cdn is false; `auditor` is optional and
+  // observes every outgoing request.
+  ClientProxy(const ProxyConfig& config, uint64_t client_id,
+              sim::SimClock* clock, sim::Network* network, cache::Cdn* cdn,
+              origin::OriginServer* origin,
+              personalization::BoundaryAuditor* auditor = nullptr);
+
+  // Fetches one resource through the full decision flow (including the
+  // asset-optimization rewrite).
+  FetchResult Fetch(const http::Url& url);
+  FetchResult Fetch(std::string_view url_text);
+
+  // Fetches/renders one dynamic block of a page for the attached user.
+  BlockResult FetchBlock(const personalization::PageTemplate& page,
+                         const personalization::DynamicBlock& block,
+                         const personalization::Segmenter& segmenter);
+
+  // Attaches the device's PII vault (required for user-scoped blocks).
+  void AttachVault(const personalization::PiiVault* vault) { vault_ = vault; }
+
+  cache::HttpCache& browser_cache() { return browser_cache_; }
+  sketch::ClientSketch& client_sketch() { return client_sketch_; }
+  const ProxyStats& stats() const { return stats_; }
+  uint64_t client_id() const { return client_id_; }
+  const ProxyConfig& config() const { return config_; }
+
+ private:
+  // The decision flow proper, after any URL rewriting.
+  FetchResult FetchResolved(const http::Url& url);
+
+  // One network fetch (request already carries any validator). When
+  // `bypass_shared` is set, edge caches are passed through, not consulted.
+  FetchResult FetchOverNetwork(const http::HttpRequest& request,
+                               const std::string& key, bool bypass_shared);
+
+  // Handles the client-side outcome of a network response: 304 -> refresh
+  // and serve the stored body; 200 -> store and serve; else error.
+  FetchResult FinishClientResponse(const http::HttpRequest& request,
+                                   const std::string& key,
+                                   const http::HttpResponse& resp,
+                                   ServedFrom source, Duration latency);
+
+  // Origin unreachable: serve a (possibly stale) browser copy if allowed.
+  FetchResult OfflineFallback(const std::string& key,
+                              Duration attempt_latency);
+
+  FetchResult ServeFromEntry(const cache::CacheEntry& entry,
+                             ServedFrom source, Duration latency);
+
+  // Refreshes the sketch snapshot if due; returns the added latency.
+  Duration MaybeRefreshSketchLatency();
+
+  void Audit(const http::HttpRequest& request);
+
+  ProxyConfig config_;
+  uint64_t client_id_;
+  sim::SimClock* clock_;
+  sim::Network* network_;
+  cache::Cdn* cdn_;
+  origin::OriginServer* origin_;
+  personalization::BoundaryAuditor* auditor_;
+  const personalization::PiiVault* vault_ = nullptr;
+
+  cache::HttpCache browser_cache_;
+  sketch::ClientSketch client_sketch_;
+  ProxyStats stats_;
+};
+
+}  // namespace speedkit::proxy
+
+#endif  // SPEEDKIT_PROXY_CLIENT_PROXY_H_

@@ -1,0 +1,32 @@
+// The simulated clock every component reads.
+//
+// Components never call wall-clock APIs; they hold a `const SimClock*` (or a
+// `Clock*` when they drive it) so that a whole simulation — TTL expiry,
+// sketch refresh intervals, Δ-atomicity windows — advances deterministically.
+#ifndef SPEEDKIT_SIM_CLOCK_H_
+#define SPEEDKIT_SIM_CLOCK_H_
+
+#include "common/sim_time.h"
+
+namespace speedkit::sim {
+
+class SimClock {
+ public:
+  SimClock() = default;
+
+  SimTime Now() const { return now_; }
+
+  // Moves time forward. Moving backwards is a programming error and is
+  // ignored, so a component that races the driver cannot corrupt the clock.
+  void AdvanceTo(SimTime t) {
+    if (t > now_) now_ = t;
+  }
+  void Advance(Duration d) { now_ = now_ + d; }
+
+ private:
+  SimTime now_;
+};
+
+}  // namespace speedkit::sim
+
+#endif  // SPEEDKIT_SIM_CLOCK_H_

@@ -1,0 +1,31 @@
+#include "sim/event_queue.h"
+
+#include <utility>
+
+namespace speedkit::sim {
+
+void EventQueue::At(SimTime at, std::function<void()> fn) {
+  if (at < clock_->Now()) at = clock_->Now();
+  heap_.push(Event{at, next_seq_++, std::move(fn)});
+}
+
+void EventQueue::After(Duration delay, std::function<void()> fn) {
+  At(clock_->Now() + delay, std::move(fn));
+}
+
+size_t EventQueue::RunUntil(SimTime until) {
+  size_t ran = 0;
+  while (!heap_.empty() && heap_.top().at <= until) {
+    // Copy out before pop: the callback may schedule new events and
+    // invalidate the heap top.
+    Event ev = heap_.top();
+    heap_.pop();
+    clock_->AdvanceTo(ev.at);
+    ev.fn();
+    ++ran;
+  }
+  if (until != SimTime::Max()) clock_->AdvanceTo(until);
+  return ran;
+}
+
+}  // namespace speedkit::sim

@@ -1,0 +1,61 @@
+// Discrete-event scheduler.
+//
+// A min-heap of (fire time, sequence, callback). The sequence number breaks
+// ties in insertion order so that runs are deterministic even when many
+// events share a timestamp (common with zero-delay local hops).
+#ifndef SPEEDKIT_SIM_EVENT_QUEUE_H_
+#define SPEEDKIT_SIM_EVENT_QUEUE_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/sim_time.h"
+#include "sim/clock.h"
+
+namespace speedkit::sim {
+
+class EventQueue {
+ public:
+  explicit EventQueue(SimClock* clock) : clock_(clock) {}
+
+  // Schedules `fn` to run at absolute time `at` (clamped to now if in the
+  // past, so callers can schedule "immediately").
+  void At(SimTime at, std::function<void()> fn);
+
+  // Schedules `fn` to run `delay` from now.
+  void After(Duration delay, std::function<void()> fn);
+
+  // Runs events in time order until the queue is empty or `until` is
+  // reached. The clock is advanced to each event's fire time; finally to
+  // `until` if the queue drained early. Returns the number of events run.
+  size_t RunUntil(SimTime until);
+
+  // Drains everything.
+  size_t RunAll() { return RunUntil(SimTime::Max()); }
+
+  bool empty() const { return heap_.empty(); }
+  size_t pending() const { return heap_.size(); }
+
+ private:
+  struct Event {
+    SimTime at;
+    uint64_t seq;
+    std::function<void()> fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.at != b.at) return a.at > b.at;
+      return a.seq > b.seq;
+    }
+  };
+
+  SimClock* clock_;
+  uint64_t next_seq_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> heap_;
+};
+
+}  // namespace speedkit::sim
+
+#endif  // SPEEDKIT_SIM_EVENT_QUEUE_H_

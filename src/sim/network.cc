@@ -1,0 +1,52 @@
+#include "sim/network.h"
+
+#include <cmath>
+
+namespace speedkit::sim {
+
+NetworkConfig NetworkConfig::Instant() {
+  NetworkConfig config;
+  // Bandwidth 0 disables transfer-time modelling entirely.
+  config.client_edge = LinkSpec{Duration::Zero(), 0.0, 0.0};
+  config.client_origin = LinkSpec{Duration::Zero(), 0.0, 0.0};
+  config.edge_origin = LinkSpec{Duration::Zero(), 0.0, 0.0};
+  return config;
+}
+
+Network::Network(const NetworkConfig& config, Pcg32 rng)
+    : config_(config), rng_(rng) {}
+
+const LinkSpec& Network::spec(Link link) const {
+  switch (link) {
+    case Link::kClientEdge:
+      return config_.client_edge;
+    case Link::kClientOrigin:
+      return config_.client_origin;
+    case Link::kEdgeOrigin:
+      return config_.edge_origin;
+  }
+  return config_.client_origin;
+}
+
+Duration Network::SampleRtt(Link link) {
+  const LinkSpec& s = spec(link);
+  if (s.median_rtt == Duration::Zero()) return Duration::Zero();
+  if (s.log_sigma <= 0.0) return s.median_rtt;
+  // Lognormal with median m: m * exp(N(0, sigma)).
+  double factor = rng_.LogNormal(0.0, s.log_sigma);
+  return Duration::Micros(
+      static_cast<int64_t>(s.median_rtt.micros() * factor));
+}
+
+Duration Network::TransferTime(Link link, size_t bytes) const {
+  const LinkSpec& s = spec(link);
+  if (s.bandwidth_bytes_per_sec <= 0.0) return Duration::Zero();
+  return Duration::Seconds(static_cast<double>(bytes) /
+                           s.bandwidth_bytes_per_sec);
+}
+
+Duration Network::RequestTime(Link link, size_t response_bytes) {
+  return SampleRtt(link) + TransferTime(link, response_bytes);
+}
+
+}  // namespace speedkit::sim

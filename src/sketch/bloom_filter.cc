@@ -1,0 +1,107 @@
+#include "sketch/bloom_filter.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+#include "common/hash.h"
+
+namespace speedkit::sketch {
+
+namespace {
+constexpr double kLn2 = 0.6931471805599453;
+}  // namespace
+
+BloomFilter::BloomFilter(size_t bits, int num_hashes) {
+  num_bits_ = std::max<size_t>(64, (bits + 63) / 64 * 64);
+  num_hashes_ = std::clamp(num_hashes, 1, 16);
+  words_.assign(num_bits_ / 64, 0);
+}
+
+size_t BloomFilter::OptimalBits(size_t n, double fpr) {
+  if (n == 0) return 64;
+  fpr = std::clamp(fpr, 1e-10, 0.5);
+  double m = -static_cast<double>(n) * std::log(fpr) / (kLn2 * kLn2);
+  return static_cast<size_t>(std::ceil(m));
+}
+
+int BloomFilter::OptimalHashes(size_t bits, size_t n) {
+  if (n == 0) return 1;
+  double k = static_cast<double>(bits) / static_cast<double>(n) * kLn2;
+  return std::clamp(static_cast<int>(std::lround(k)), 1, 16);
+}
+
+BloomFilter BloomFilter::ForCapacity(size_t n, double fpr) {
+  size_t bits = OptimalBits(n, fpr);
+  return BloomFilter(bits, OptimalHashes(bits, n));
+}
+
+void BloomFilter::Add(std::string_view key) {
+  Hash128 h = Murmur3_128(key);
+  for (int i = 0; i < num_hashes_; ++i) {
+    uint64_t bit = (h.h1 + static_cast<uint64_t>(i) * h.h2) % num_bits_;
+    words_[bit >> 6] |= (1ULL << (bit & 63));
+  }
+}
+
+bool BloomFilter::MightContain(std::string_view key) const {
+  Hash128 h = Murmur3_128(key);
+  for (int i = 0; i < num_hashes_; ++i) {
+    uint64_t bit = (h.h1 + static_cast<uint64_t>(i) * h.h2) % num_bits_;
+    if ((words_[bit >> 6] & (1ULL << (bit & 63))) == 0) return false;
+  }
+  return true;
+}
+
+void BloomFilter::Clear() { std::fill(words_.begin(), words_.end(), 0); }
+
+size_t BloomFilter::PopCount() const {
+  size_t count = 0;
+  for (uint64_t w : words_) count += std::popcount(w);
+  return count;
+}
+
+double BloomFilter::EstimatedFpr() const {
+  double fill = static_cast<double>(PopCount()) / static_cast<double>(num_bits_);
+  return std::pow(fill, num_hashes_);
+}
+
+std::string BloomFilter::Serialize() const {
+  std::string out;
+  out.reserve(8 + words_.size() * 8);
+  auto put_le = [&out](uint64_t v, int bytes) {
+    for (int i = 0; i < bytes; ++i) out.push_back(static_cast<char>(v >> (8 * i)));
+  };
+  put_le(num_bits_, 4);
+  put_le(static_cast<uint64_t>(num_hashes_), 2);
+  put_le(0, 2);  // reserved
+  for (uint64_t w : words_) put_le(w, 8);
+  return out;
+}
+
+Result<BloomFilter> BloomFilter::Deserialize(std::string_view data) {
+  if (data.size() < 8) return Status::Corruption("bloom snapshot too short");
+  auto get_le = [&data](size_t off, int bytes) {
+    uint64_t v = 0;
+    for (int i = bytes - 1; i >= 0; --i) {
+      v = (v << 8) | static_cast<uint8_t>(data[off + i]);
+    }
+    return v;
+  };
+  size_t bits = get_le(0, 4);
+  int k = static_cast<int>(get_le(4, 2));
+  if (bits == 0 || bits % 64 != 0 || k < 1 || k > 16) {
+    return Status::Corruption("bloom snapshot header invalid");
+  }
+  size_t words = bits / 64;
+  if (data.size() != 8 + words * 8) {
+    return Status::Corruption("bloom snapshot body size mismatch");
+  }
+  BloomFilter filter(bits, k);
+  for (size_t i = 0; i < words; ++i) {
+    filter.words_[i] = get_le(8 + i * 8, 8);
+  }
+  return filter;
+}
+
+}  // namespace speedkit::sketch

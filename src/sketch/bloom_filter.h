@@ -1,0 +1,69 @@
+// Plain Bloom filter — the wire format of the Cache Sketch.
+//
+// The server materializes its counting filter into one of these and ships it
+// to clients every Δ seconds; the client consults it before serving any
+// cached response. Hash positions come from Kirsch-Mitzenmacher double
+// hashing over a single Murmur3 pass: g_i(x) = h1 + i*h2 (mod m), which is
+// provably as good as k independent hashes and an order of magnitude
+// cheaper — this matters because the check runs on the user's device for
+// every intercepted request.
+#ifndef SPEEDKIT_SKETCH_BLOOM_FILTER_H_
+#define SPEEDKIT_SKETCH_BLOOM_FILTER_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+
+namespace speedkit::sketch {
+
+class BloomFilter {
+ public:
+  // `bits` is rounded up to a multiple of 64; `num_hashes` is clamped to
+  // [1, 16]. An empty filter (bits==0) reports nothing as contained.
+  BloomFilter(size_t bits, int num_hashes);
+  BloomFilter() : BloomFilter(64, 1) {}
+
+  // Sizing math (Bloom 1970): for n elements at target false-positive rate
+  // p, the optimal bit count is m = -n ln p / (ln 2)^2 and the optimal hash
+  // count is k = (m/n) ln 2.
+  static size_t OptimalBits(size_t n, double fpr);
+  static int OptimalHashes(size_t bits, size_t n);
+  static BloomFilter ForCapacity(size_t n, double fpr);
+
+  void Add(std::string_view key);
+  bool MightContain(std::string_view key) const;
+  void Clear();
+
+  size_t bits() const { return num_bits_; }
+  int num_hashes() const { return num_hashes_; }
+  size_t SizeBytes() const { return words_.size() * 8; }
+
+  // Number of set bits.
+  size_t PopCount() const;
+
+  // Expected false-positive rate from the current fill factor:
+  // (set_bits / m)^k — tighter than the classic (1-e^{-kn/m})^k when the
+  // actual bit pattern is known.
+  double EstimatedFpr() const;
+
+  // Wire format: [u32 bits][u16 k][u16 reserved][words little-endian].
+  std::string Serialize() const;
+  static Result<BloomFilter> Deserialize(std::string_view data);
+
+  friend bool operator==(const BloomFilter& a, const BloomFilter& b) {
+    return a.num_bits_ == b.num_bits_ && a.num_hashes_ == b.num_hashes_ &&
+           a.words_ == b.words_;
+  }
+
+ private:
+  size_t num_bits_;
+  int num_hashes_;
+  std::vector<uint64_t> words_;
+};
+
+}  // namespace speedkit::sketch
+
+#endif  // SPEEDKIT_SKETCH_BLOOM_FILTER_H_

@@ -1,0 +1,73 @@
+#include "sketch/cache_sketch.h"
+
+#include <algorithm>
+
+namespace speedkit::sketch {
+
+CacheSketch::CacheSketch(size_t expected_entries, double target_fpr)
+    : num_cells_(BloomFilter::OptimalBits(expected_entries, target_fpr)),
+      filter_(num_cells_,
+              BloomFilter::OptimalHashes(num_cells_, expected_entries)) {
+  num_cells_ = filter_.cells();  // after rounding
+}
+
+void CacheSketch::ReportInvalidation(std::string_view key, SimTime stale_until,
+                                     SimTime now) {
+  stats_.reports++;
+  if (stale_until <= now) return;
+  auto [it, inserted] = horizon_.emplace(std::string(key), stale_until);
+  if (inserted) {
+    filter_.Add(key);
+    stats_.inserts++;
+    stats_.current_entries = horizon_.size();
+    expiry_.push(HeapItem{stale_until, it->first});
+  } else if (stale_until > it->second) {
+    it->second = stale_until;
+    stats_.extensions++;
+    // Lazy: the heap keeps the old deadline; expiry re-checks the map and
+    // re-pushes if the horizon moved.
+    expiry_.push(HeapItem{stale_until, it->first});
+  }
+}
+
+void CacheSketch::ExpireUntil(SimTime now) {
+  while (!expiry_.empty() && expiry_.top().at <= now) {
+    HeapItem item = expiry_.top();
+    expiry_.pop();
+    auto it = horizon_.find(item.key);
+    if (it == horizon_.end()) continue;  // already expired via another entry
+    if (it->second > now) continue;      // horizon was extended; later entry covers it
+    filter_.Remove(item.key);
+    horizon_.erase(it);
+    stats_.expirations++;
+  }
+  stats_.current_entries = horizon_.size();
+}
+
+bool CacheSketch::Contains(std::string_view key) const {
+  return horizon_.find(std::string(key)) != horizon_.end();
+}
+
+BloomFilter CacheSketch::Snapshot(SimTime now) {
+  ExpireUntil(now);
+  stats_.snapshots++;
+  return filter_.Materialize();
+}
+
+BloomFilter CacheSketch::CompactSnapshot(SimTime now, double target_fpr) {
+  ExpireUntil(now);
+  stats_.snapshots++;
+  BloomFilter compact =
+      BloomFilter::ForCapacity(std::max<size_t>(1, horizon_.size()),
+                               target_fpr);
+  for (const auto& [key, until] : horizon_) {
+    compact.Add(key);
+  }
+  return compact;
+}
+
+std::string CacheSketch::SerializedSnapshot(SimTime now) {
+  return CompactSnapshot(now).Serialize();
+}
+
+}  // namespace speedkit::sketch

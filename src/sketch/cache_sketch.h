@@ -1,0 +1,99 @@
+// The server-side Cache Sketch — the heart of Speed Kit's cache coherence
+// protocol.
+//
+// Invariant: at any time, the sketch contains (at least) every cache key for
+// which some expiration-based cache anywhere (browser or CDN edge) may still
+// hold a stale copy. A key enters the sketch when its object is written
+// while previously-served copies are still within their TTL; it leaves when
+// the last such copy's TTL has run out (`stale_until`). Clients that check a
+// fresh-enough snapshot before serving from cache therefore never read a
+// value staler than the snapshot age — this is what bounds staleness to Δ.
+//
+// Implementation: exact membership and expiry live in a hash map + lazy
+// min-heap; the counting Bloom filter mirrors membership so that a compact
+// `BloomFilter` snapshot can be materialized in O(m) without touching the
+// map. False positives only cause unnecessary revalidations, never stale
+// reads.
+#ifndef SPEEDKIT_SKETCH_CACHE_SKETCH_H_
+#define SPEEDKIT_SKETCH_CACHE_SKETCH_H_
+
+#include <cstdint>
+#include <queue>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/sim_time.h"
+#include "sketch/bloom_filter.h"
+#include "sketch/counting_bloom.h"
+
+namespace speedkit::sketch {
+
+struct CacheSketchStats {
+  uint64_t reports = 0;       // ReportInvalidation calls
+  uint64_t inserts = 0;       // distinct keys added
+  uint64_t extensions = 0;    // stale_until pushed out for tracked keys
+  uint64_t expirations = 0;   // keys removed on expiry
+  uint64_t snapshots = 0;
+  size_t current_entries = 0;
+};
+
+class CacheSketch {
+ public:
+  // Sizes the counting filter for `expected_entries` simultaneously-tracked
+  // keys at the given snapshot false-positive rate.
+  CacheSketch(size_t expected_entries, double target_fpr);
+
+  // Records that `key` was invalidated while cached copies may live until
+  // `stale_until`. Extends the horizon if the key is already tracked.
+  // Reports with `stale_until <= now` are dropped (nothing can be stale).
+  void ReportInvalidation(std::string_view key, SimTime stale_until,
+                          SimTime now);
+
+  // Removes keys whose stale horizon has passed.
+  void ExpireUntil(SimTime now);
+
+  // True if the sketch currently tracks `key` exactly (not via the filter).
+  bool Contains(std::string_view key) const;
+
+  // Expires, then materializes the client-facing Bloom snapshot from the
+  // counting filter (O(filter size), independent of entry count).
+  BloomFilter Snapshot(SimTime now);
+
+  // Expires, then builds a snapshot re-hashed from the exact key set and
+  // sized for the *current* number of tracked entries at `target_fpr` —
+  // the form that actually travels to clients, since its size scales with
+  // the stale set (typically a few hundred bytes) instead of the sketch's
+  // provisioned capacity. Costs O(entries x k) per snapshot; E12/A2
+  // quantifies the trade against Snapshot().
+  BloomFilter CompactSnapshot(SimTime now, double target_fpr = 0.02);
+
+  // Serialized compact snapshot (what actually travels to clients).
+  std::string SerializedSnapshot(SimTime now);
+
+  const CacheSketchStats& stats() const { return stats_; }
+  size_t entries() const { return horizon_.size(); }
+  size_t FilterSizeBytes() const { return num_cells_ / 8; }  // as bits
+
+ private:
+  struct HeapItem {
+    SimTime at;
+    std::string key;
+  };
+  struct Later {
+    bool operator()(const HeapItem& a, const HeapItem& b) const {
+      return a.at > b.at;
+    }
+  };
+
+  size_t num_cells_;
+  CountingBloomFilter filter_;
+  std::unordered_map<std::string, SimTime> horizon_;  // key -> stale_until
+  std::priority_queue<HeapItem, std::vector<HeapItem>, Later> expiry_;
+  CacheSketchStats stats_;
+};
+
+}  // namespace speedkit::sketch
+
+#endif  // SPEEDKIT_SKETCH_CACHE_SKETCH_H_

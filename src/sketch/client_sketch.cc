@@ -1,0 +1,34 @@
+#include "sketch/client_sketch.h"
+
+#include <utility>
+
+namespace speedkit::sketch {
+
+bool ClientSketch::NeedsRefresh(SimTime now) const {
+  if (!has_snapshot_) return true;
+  return now - fetched_at_ >= refresh_interval_;
+}
+
+Status ClientSketch::Update(std::string_view serialized, SimTime now) {
+  auto filter = BloomFilter::Deserialize(serialized);
+  if (!filter.ok()) return filter.status();
+  filter_ = std::move(filter).value();
+  has_snapshot_ = true;
+  fetched_at_ = now;
+  stats_.refreshes++;
+  stats_.bytes_fetched += serialized.size();
+  return Status::Ok();
+}
+
+bool ClientSketch::MightBeStale(std::string_view key) {
+  stats_.checks++;
+  if (!has_snapshot_) {
+    stats_.positives++;
+    return true;
+  }
+  bool positive = filter_.MightContain(key);
+  if (positive) stats_.positives++;
+  return positive;
+}
+
+}  // namespace speedkit::sketch

@@ -1,0 +1,64 @@
+// The client's view of the Cache Sketch.
+//
+// The client proxy holds one of these and refreshes it from the server at
+// most every Δ (`refresh_interval`). Between refreshes, `MightBeStale` is
+// answered from the last snapshot; the snapshot's age is exactly the
+// staleness bound the protocol guarantees. A client that has never fetched
+// a snapshot answers "might be stale" for everything — conservative, never
+// wrong.
+#ifndef SPEEDKIT_SKETCH_CLIENT_SKETCH_H_
+#define SPEEDKIT_SKETCH_CLIENT_SKETCH_H_
+
+#include <cstdint>
+#include <string_view>
+
+#include "common/sim_time.h"
+#include "common/status.h"
+#include "sketch/bloom_filter.h"
+
+namespace speedkit::sketch {
+
+struct ClientSketchStats {
+  uint64_t refreshes = 0;
+  uint64_t bytes_fetched = 0;
+  uint64_t checks = 0;
+  uint64_t positives = 0;  // "might be stale" answers
+};
+
+class ClientSketch {
+ public:
+  explicit ClientSketch(Duration refresh_interval)
+      : refresh_interval_(refresh_interval) {}
+
+  // True when the snapshot is older than Δ (or absent) and should be
+  // re-fetched before the next cache read.
+  bool NeedsRefresh(SimTime now) const;
+
+  // Installs a snapshot received from the server.
+  Status Update(std::string_view serialized, SimTime now);
+
+  // Membership check against the last snapshot. `true` means the cached
+  // copy must be revalidated; `false` means it is safe to serve (up to the
+  // snapshot's age in staleness).
+  bool MightBeStale(std::string_view key);
+
+  bool HasSnapshot() const { return has_snapshot_; }
+  SimTime fetched_at() const { return fetched_at_; }
+  Duration refresh_interval() const { return refresh_interval_; }
+  Duration Age(SimTime now) const {
+    return has_snapshot_ ? now - fetched_at_ : Duration::Max();
+  }
+
+  const ClientSketchStats& stats() const { return stats_; }
+
+ private:
+  Duration refresh_interval_;
+  BloomFilter filter_;
+  bool has_snapshot_ = false;
+  SimTime fetched_at_;
+  ClientSketchStats stats_;
+};
+
+}  // namespace speedkit::sketch
+
+#endif  // SPEEDKIT_SKETCH_CLIENT_SKETCH_H_

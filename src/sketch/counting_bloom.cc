@@ -1,0 +1,92 @@
+#include "sketch/counting_bloom.h"
+
+#include <algorithm>
+
+#include "common/hash.h"
+
+namespace speedkit::sketch {
+
+CountingBloomFilter::CountingBloomFilter(size_t cells, int num_hashes) {
+  // Cell count mirrors BloomFilter's bit rounding so Materialize() maps
+  // counter i to bit i with identical hash positions.
+  num_cells_ = std::max<size_t>(64, (cells + 63) / 64 * 64);
+  num_hashes_ = std::clamp(num_hashes, 1, 16);
+  nibbles_.assign((num_cells_ + 1) / 2, 0);
+}
+
+uint8_t CountingBloomFilter::Get(size_t i) const {
+  uint8_t byte = nibbles_[i >> 1];
+  return (i & 1) ? (byte >> 4) : (byte & 0x0f);
+}
+
+void CountingBloomFilter::Set(size_t i, uint8_t v) {
+  uint8_t& byte = nibbles_[i >> 1];
+  if (i & 1) {
+    byte = static_cast<uint8_t>((byte & 0x0f) | (v << 4));
+  } else {
+    byte = static_cast<uint8_t>((byte & 0xf0) | (v & 0x0f));
+  }
+}
+
+void CountingBloomFilter::Add(std::string_view key) {
+  Hash128 h = Murmur3_128(key);
+  for (int i = 0; i < num_hashes_; ++i) {
+    size_t cell = (h.h1 + static_cast<uint64_t>(i) * h.h2) % num_cells_;
+    uint8_t c = Get(cell);
+    if (c == 15) continue;  // saturated: sticky
+    if (c == 14) ++saturated_;
+    Set(cell, static_cast<uint8_t>(c + 1));
+  }
+}
+
+void CountingBloomFilter::Remove(std::string_view key) {
+  Hash128 h = Murmur3_128(key);
+  for (int i = 0; i < num_hashes_; ++i) {
+    size_t cell = (h.h1 + static_cast<uint64_t>(i) * h.h2) % num_cells_;
+    uint8_t c = Get(cell);
+    if (c == 15 || c == 0) continue;  // sticky or (erroneously) empty
+    Set(cell, static_cast<uint8_t>(c - 1));
+  }
+}
+
+bool CountingBloomFilter::MightContain(std::string_view key) const {
+  Hash128 h = Murmur3_128(key);
+  for (int i = 0; i < num_hashes_; ++i) {
+    size_t cell = (h.h1 + static_cast<uint64_t>(i) * h.h2) % num_cells_;
+    if (Get(cell) == 0) return false;
+  }
+  return true;
+}
+
+void CountingBloomFilter::Clear() {
+  std::fill(nibbles_.begin(), nibbles_.end(), 0);
+  saturated_ = 0;
+}
+
+BloomFilter CountingBloomFilter::Materialize() const {
+  BloomFilter filter(num_cells_, num_hashes_);
+  // Reconstruct bit-by-bit; BloomFilter has no bulk setter by design (its
+  // invariant is "bits only come from Add or Deserialize"), so we go
+  // through the serialized form.
+  std::string bytes;
+  bytes.reserve(8 + num_cells_ / 8);
+  auto put_le = [&bytes](uint64_t v, int n) {
+    for (int i = 0; i < n; ++i) bytes.push_back(static_cast<char>(v >> (8 * i)));
+  };
+  put_le(num_cells_, 4);
+  put_le(static_cast<uint64_t>(num_hashes_), 2);
+  put_le(0, 2);
+  uint64_t word = 0;
+  for (size_t i = 0; i < num_cells_; ++i) {
+    if (Get(i) != 0) word |= (1ULL << (i & 63));
+    if ((i & 63) == 63) {
+      put_le(word, 8);
+      word = 0;
+    }
+  }
+  auto result = BloomFilter::Deserialize(bytes);
+  // Serialization above is well-formed by construction.
+  return result.ok() ? std::move(result).value() : filter;
+}
+
+}  // namespace speedkit::sketch

@@ -1,0 +1,56 @@
+// Counting Bloom filter — the server-side representation of the Cache
+// Sketch.
+//
+// The server must *remove* keys when their residual cache lifetime expires,
+// which a plain Bloom filter cannot do; 4-bit saturating counters (Fan et
+// al., "Summary Cache", 1998) support deletion at 4x the memory. Counters
+// that saturate at 15 are never decremented again (they stay "stuck") —
+// this trades a tiny permanent false-positive floor for never producing a
+// false NEGATIVE, which is the failure mode that would break Δ-atomicity.
+#ifndef SPEEDKIT_SKETCH_COUNTING_BLOOM_H_
+#define SPEEDKIT_SKETCH_COUNTING_BLOOM_H_
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "sketch/bloom_filter.h"
+
+namespace speedkit::sketch {
+
+class CountingBloomFilter {
+ public:
+  CountingBloomFilter(size_t cells, int num_hashes);
+
+  void Add(std::string_view key);
+  // Decrements the key's counters. Callers must only remove keys they
+  // previously added (the sketch tracks exact membership alongside);
+  // removing an absent key would corrupt other keys' counters.
+  void Remove(std::string_view key);
+
+  bool MightContain(std::string_view key) const;
+  void Clear();
+
+  size_t cells() const { return num_cells_; }
+  int num_hashes() const { return num_hashes_; }
+
+  // Number of counters that ever saturated (diagnostic: a high count means
+  // the filter is undersized for the workload).
+  size_t saturated_cells() const { return saturated_; }
+
+  // Collapses counters to bits: the client-facing snapshot.
+  BloomFilter Materialize() const;
+
+ private:
+  uint8_t Get(size_t i) const;
+  void Set(size_t i, uint8_t v);
+
+  size_t num_cells_;
+  int num_hashes_;
+  size_t saturated_ = 0;
+  std::vector<uint8_t> nibbles_;  // two 4-bit counters per byte
+};
+
+}  // namespace speedkit::sketch
+
+#endif  // SPEEDKIT_SKETCH_COUNTING_BLOOM_H_

@@ -1,0 +1,59 @@
+#include "storage/record.h"
+
+#include "common/strings.h"
+
+namespace speedkit::storage {
+
+std::string FieldValueToString(const FieldValue& v) {
+  switch (v.index()) {
+    case 0:
+      return std::to_string(std::get<int64_t>(v));
+    case 1:
+      return StrFormat("%.6g", std::get<double>(v));
+    case 2:
+      return "\"" + std::get<std::string>(v) + "\"";
+    case 3:
+      return std::get<bool>(v) ? "true" : "false";
+  }
+  return "null";
+}
+
+std::optional<int> CompareFields(const FieldValue& a, const FieldValue& b) {
+  // Numeric cross-type comparison (int vs double) is meaningful; everything
+  // else requires matching alternatives.
+  auto as_double = [](const FieldValue& v) -> std::optional<double> {
+    if (std::holds_alternative<int64_t>(v)) {
+      return static_cast<double>(std::get<int64_t>(v));
+    }
+    if (std::holds_alternative<double>(v)) return std::get<double>(v);
+    return std::nullopt;
+  };
+  auto da = as_double(a);
+  auto db = as_double(b);
+  if (da.has_value() && db.has_value()) {
+    if (*da < *db) return -1;
+    if (*da > *db) return 1;
+    return 0;
+  }
+  if (a.index() != b.index()) return std::nullopt;
+  if (std::holds_alternative<std::string>(a)) {
+    return std::get<std::string>(a).compare(std::get<std::string>(b));
+  }
+  if (std::holds_alternative<bool>(a)) {
+    return static_cast<int>(std::get<bool>(a)) -
+           static_cast<int>(std::get<bool>(b));
+  }
+  return std::nullopt;
+}
+
+std::string Record::Render() const {
+  std::string out = "{\"id\":\"" + id + "\",\"version\":" +
+                    std::to_string(version);
+  for (const auto& [name, value] : fields) {
+    out += ",\"" + name + "\":" + FieldValueToString(value);
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace speedkit::storage

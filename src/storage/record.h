@@ -1,0 +1,49 @@
+// Field-structured, versioned records — the origin's data model.
+//
+// Records carry typed fields so the invalidation pipeline can evaluate
+// query predicates (price < 100, category == "shoes") against the before-
+// and after-images of a write, exactly what InvaliDB-style real-time query
+// matching needs. Versions are monotonic per record; response staleness is
+// measured by comparing served `object_version` against the store's head.
+#ifndef SPEEDKIT_STORAGE_RECORD_H_
+#define SPEEDKIT_STORAGE_RECORD_H_
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <variant>
+
+#include "common/sim_time.h"
+
+namespace speedkit::storage {
+
+using FieldValue = std::variant<int64_t, double, std::string, bool>;
+
+std::string FieldValueToString(const FieldValue& v);
+
+// Numeric comparison helper: returns nullopt when the two values are not
+// comparable (e.g. string vs. int), three-way result otherwise.
+std::optional<int> CompareFields(const FieldValue& a, const FieldValue& b);
+
+struct Record {
+  std::string id;
+  // Ordered map: deterministic render output for a given record state.
+  std::map<std::string, FieldValue> fields;
+  uint64_t version = 0;
+  SimTime updated_at;
+  bool deleted = false;
+
+  const FieldValue* GetField(std::string_view name) const {
+    auto it = fields.find(std::string(name));
+    return it == fields.end() ? nullptr : &it->second;
+  }
+
+  // Deterministic JSON-ish rendering; doubles as the response body.
+  std::string Render() const;
+};
+
+}  // namespace speedkit::storage
+
+#endif  // SPEEDKIT_STORAGE_RECORD_H_

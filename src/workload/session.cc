@@ -1,0 +1,90 @@
+#include "workload/session.h"
+
+namespace speedkit::workload {
+
+SessionGenerator::SessionGenerator(const Catalog* catalog,
+                                   const SessionConfig& config, Pcg32 rng)
+    : catalog_(catalog),
+      config_(config),
+      product_popularity_(catalog->num_products(), config.product_skew),
+      rng_(rng) {}
+
+std::vector<PageView> SessionGenerator::NextSession() {
+  std::vector<PageView> pages;
+  PageView current;
+  // Sessions open on the homepage (70%) or deep-link to a product (30%),
+  // mirroring direct vs. search/ad entry.
+  if (rng_.WithProbability(0.7)) {
+    current.type = PageType::kHome;
+  } else {
+    current.type = PageType::kProduct;
+    current.product_rank = product_popularity_.Sample(rng_);
+    current.category = catalog_->CategoryOf(current.product_rank);
+  }
+  current.think_time_before = Duration::Zero();
+  pages.push_back(current);
+
+  while (static_cast<int>(pages.size()) < config_.max_pages &&
+         rng_.WithProbability(config_.continue_probability)) {
+    PageView next = NextPage(pages.back());
+    next.think_time_before = Duration::Seconds(
+        rng_.Exponential(1.0 / config_.mean_think_time.seconds()));
+    pages.push_back(next);
+    if (next.type == PageType::kCart) break;  // checkout ends the session
+  }
+  return pages;
+}
+
+PageView SessionGenerator::NextPage(const PageView& current) {
+  PageView next;
+  double u = rng_.NextDouble();
+  switch (current.type) {
+    case PageType::kHome:
+      if (u < 0.7) {
+        next.type = PageType::kCategory;
+        next.category =
+            static_cast<int>(rng_.NextBounded(catalog_->num_categories()));
+      } else {
+        next.type = PageType::kProduct;
+        next.product_rank = product_popularity_.Sample(rng_);
+        next.category = catalog_->CategoryOf(next.product_rank);
+      }
+      break;
+    case PageType::kCategory:
+      if (u < 0.75) {
+        // Pick within the current category: resample until the category
+        // matches (bounded tries keep determinism cheap).
+        next.type = PageType::kProduct;
+        next.product_rank = product_popularity_.Sample(rng_);
+        for (int tries = 0;
+             tries < 8 && catalog_->CategoryOf(next.product_rank) != current.category;
+             ++tries) {
+          next.product_rank = product_popularity_.Sample(rng_);
+        }
+        next.category = catalog_->CategoryOf(next.product_rank);
+      } else {
+        next.type = PageType::kCategory;
+        next.category =
+            static_cast<int>(rng_.NextBounded(catalog_->num_categories()));
+      }
+      break;
+    case PageType::kProduct:
+      if (u < 0.45) {
+        next.type = PageType::kProduct;  // related product
+        next.product_rank = product_popularity_.Sample(rng_);
+        next.category = catalog_->CategoryOf(next.product_rank);
+      } else if (u < 0.75) {
+        next.type = PageType::kCategory;  // back to the listing
+        next.category = current.category;
+      } else {
+        next.type = PageType::kCart;
+      }
+      break;
+    case PageType::kCart:
+      next.type = PageType::kHome;
+      break;
+  }
+  return next;
+}
+
+}  // namespace speedkit::workload

@@ -1,0 +1,56 @@
+// E-commerce browsing sessions — the shape of the paper's field traffic.
+//
+// A session is a first-order Markov walk over page types (home -> category
+// -> product -> ... -> cart) with exponential think times and Zipfian
+// product choice. Session structure matters for caching results because it
+// concentrates repeat views (back-navigation, related products) inside a
+// short window — exactly where browser caches shine.
+#ifndef SPEEDKIT_WORKLOAD_SESSION_H_
+#define SPEEDKIT_WORKLOAD_SESSION_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/random.h"
+#include "common/sim_time.h"
+#include "workload/catalog.h"
+#include "workload/zipf.h"
+
+namespace speedkit::workload {
+
+enum class PageType { kHome, kCategory, kProduct, kCart };
+
+struct PageView {
+  PageType type = PageType::kHome;
+  size_t product_rank = 0;  // for kProduct
+  int category = 0;         // for kCategory (and the product's category)
+  Duration think_time_before = Duration::Zero();
+};
+
+struct SessionConfig {
+  double product_skew = 0.9;       // Zipf exponent for product choice
+  Duration mean_think_time = Duration::Seconds(8);
+  int max_pages = 30;              // hard stop against unbounded walks
+  double continue_probability = 0.75;
+};
+
+class SessionGenerator {
+ public:
+  SessionGenerator(const Catalog* catalog, const SessionConfig& config,
+                   Pcg32 rng);
+
+  // One full session for one (anonymous) visitor.
+  std::vector<PageView> NextSession();
+
+ private:
+  PageView NextPage(const PageView& current);
+
+  const Catalog* catalog_;
+  SessionConfig config_;
+  ZipfGenerator product_popularity_;
+  Pcg32 rng_;
+};
+
+}  // namespace speedkit::workload
+
+#endif  // SPEEDKIT_WORKLOAD_SESSION_H_

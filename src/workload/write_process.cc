@@ -1,0 +1,19 @@
+#include "workload/write_process.h"
+
+namespace speedkit::workload {
+
+WriteProcess::WriteProcess(size_t num_objects, double writes_per_sec,
+                           double write_skew, Pcg32 rng)
+    : writes_per_sec_(writes_per_sec),
+      popularity_(num_objects, write_skew),
+      rng_(rng) {}
+
+WriteEvent WriteProcess::Next(SimTime from) {
+  if (writes_per_sec_ <= 0) {
+    return WriteEvent{SimTime::Max(), 0};
+  }
+  Duration gap = Duration::Seconds(rng_.Exponential(writes_per_sec_));
+  return WriteEvent{from + gap, popularity_.Sample(rng_)};
+}
+
+}  // namespace speedkit::workload

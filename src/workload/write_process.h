@@ -1,0 +1,43 @@
+// Poisson write traffic against the catalog — the stand-in for the paper's
+// production update streams (price changes, stock updates, CMS edits).
+//
+// Global write arrivals are Poisson with rate `writes_per_sec`; each write
+// picks its target object from a Zipf distribution (hot objects are also
+// written more, the adversarial case for caching: popular AND volatile).
+// An independent write-skew exponent lets experiments decouple read and
+// write popularity.
+#ifndef SPEEDKIT_WORKLOAD_WRITE_PROCESS_H_
+#define SPEEDKIT_WORKLOAD_WRITE_PROCESS_H_
+
+#include <cstddef>
+
+#include "common/random.h"
+#include "common/sim_time.h"
+#include "workload/zipf.h"
+
+namespace speedkit::workload {
+
+struct WriteEvent {
+  SimTime at;
+  size_t object_rank;
+};
+
+class WriteProcess {
+ public:
+  WriteProcess(size_t num_objects, double writes_per_sec, double write_skew,
+               Pcg32 rng);
+
+  // The next write at-or-after `from`.
+  WriteEvent Next(SimTime from);
+
+  double writes_per_sec() const { return writes_per_sec_; }
+
+ private:
+  double writes_per_sec_;
+  ZipfGenerator popularity_;
+  Pcg32 rng_;
+};
+
+}  // namespace speedkit::workload
+
+#endif  // SPEEDKIT_WORKLOAD_WRITE_PROCESS_H_

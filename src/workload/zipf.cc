@@ -1,0 +1,32 @@
+#include "workload/zipf.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace speedkit::workload {
+
+ZipfGenerator::ZipfGenerator(size_t n, double s) : s_(s) {
+  if (n == 0) n = 1;
+  cdf_.resize(n);
+  double total = 0;
+  for (size_t k = 0; k < n; ++k) {
+    total += 1.0 / std::pow(static_cast<double>(k + 1), s_);
+    cdf_[k] = total;
+  }
+  for (double& c : cdf_) c /= total;
+  cdf_.back() = 1.0;  // guard against rounding
+}
+
+size_t ZipfGenerator::Sample(Pcg32& rng) const {
+  double u = rng.NextDouble();
+  auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return static_cast<size_t>(it - cdf_.begin());
+}
+
+double ZipfGenerator::Pmf(size_t rank) const {
+  if (rank >= cdf_.size()) return 0.0;
+  if (rank == 0) return cdf_[0];
+  return cdf_[rank] - cdf_[rank - 1];
+}
+
+}  // namespace speedkit::workload

@@ -1,0 +1,91 @@
+#include "cache/cdn.h"
+
+#include <gtest/gtest.h>
+
+namespace speedkit::cache {
+namespace {
+
+SimTime At(double seconds) {
+  return SimTime::Origin() + Duration::Seconds(seconds);
+}
+
+http::HttpResponse CacheableResponse() {
+  http::HttpResponse resp;
+  resp.status_code = 200;
+  resp.body = "x";
+  resp.headers.Set("Cache-Control", "public, max-age=60");
+  resp.generated_at = At(0);
+  return resp;
+}
+
+TEST(CdnTest, RoutingIsStablePerClient) {
+  Cdn cdn(8, 0);
+  for (uint64_t client = 0; client < 50; ++client) {
+    int e = cdn.RouteFor(client);
+    EXPECT_EQ(e, cdn.RouteFor(client));
+    EXPECT_GE(e, 0);
+    EXPECT_LT(e, 8);
+  }
+}
+
+TEST(CdnTest, RoutingSpreadsClients) {
+  Cdn cdn(4, 0);
+  int counts[4] = {0};
+  for (uint64_t client = 0; client < 4000; ++client) {
+    counts[cdn.RouteFor(client)]++;
+  }
+  for (int c : counts) EXPECT_NEAR(c, 1000, 150);
+}
+
+TEST(CdnTest, AtLeastOneEdge) {
+  Cdn cdn(0, 0);
+  EXPECT_EQ(cdn.num_edges(), 1);
+  EXPECT_EQ(cdn.RouteFor(123), 0);
+}
+
+TEST(CdnTest, EdgesAreIndependentCaches) {
+  Cdn cdn(2, 0);
+  cdn.edge(0).Store("k", CacheableResponse(), At(0));
+  EXPECT_EQ(cdn.edge(0).Lookup("k", At(1)).outcome, LookupOutcome::kFreshHit);
+  EXPECT_EQ(cdn.edge(1).Lookup("k", At(1)).outcome, LookupOutcome::kMiss);
+}
+
+TEST(CdnTest, PurgeAllReachesEveryEdge) {
+  Cdn cdn(3, 0);
+  for (int i = 0; i < 3; ++i) cdn.edge(i).Store("k", CacheableResponse(), At(0));
+  EXPECT_EQ(cdn.PurgeAll("k"), 3);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(cdn.edge(i).Lookup("k", At(1)).outcome, LookupOutcome::kMiss);
+  }
+  EXPECT_EQ(cdn.PurgeAll("k"), 0);
+}
+
+TEST(CdnTest, PurgeEdgeIsLocal) {
+  Cdn cdn(2, 0);
+  cdn.edge(0).Store("k", CacheableResponse(), At(0));
+  cdn.edge(1).Store("k", CacheableResponse(), At(0));
+  EXPECT_TRUE(cdn.PurgeEdge(0, "k"));
+  EXPECT_EQ(cdn.edge(1).Lookup("k", At(1)).outcome, LookupOutcome::kFreshHit);
+}
+
+TEST(CdnTest, TotalStatsAggregates) {
+  Cdn cdn(2, 0);
+  cdn.edge(0).Store("a", CacheableResponse(), At(0));
+  cdn.edge(1).Store("b", CacheableResponse(), At(0));
+  cdn.edge(0).Lookup("a", At(1));
+  cdn.edge(1).Lookup("missing", At(1));
+  HttpCacheStats total = cdn.TotalStats();
+  EXPECT_EQ(total.stores, 2u);
+  EXPECT_EQ(total.fresh_hits, 1u);
+  EXPECT_EQ(total.misses, 1u);
+}
+
+TEST(CdnTest, EdgesAreSharedCaches) {
+  Cdn cdn(1, 0);
+  http::HttpResponse priv = CacheableResponse();
+  priv.headers.Set("Cache-Control", "private, max-age=60");
+  EXPECT_FALSE(cdn.edge(0).Store("k", priv, At(0)));
+}
+
+}  // namespace
+}  // namespace speedkit::cache

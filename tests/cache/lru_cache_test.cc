@@ -1,0 +1,125 @@
+#include "cache/lru_cache.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace speedkit::cache {
+namespace {
+
+LruCache<std::string>::SizeFn BySize() {
+  return [](const std::string& s) { return s.size(); };
+}
+
+TEST(LruCacheTest, PutGetRoundTrip) {
+  LruCache<int> cache(0);
+  cache.Put("a", 1);
+  ASSERT_NE(cache.Get("a"), nullptr);
+  EXPECT_EQ(*cache.Get("a"), 1);
+  EXPECT_EQ(cache.Get("b"), nullptr);
+}
+
+TEST(LruCacheTest, PutReplacesValue) {
+  LruCache<int> cache(0);
+  cache.Put("a", 1);
+  cache.Put("a", 2);
+  EXPECT_EQ(*cache.Get("a"), 2);
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(LruCacheTest, EvictsLeastRecentlyUsed) {
+  LruCache<std::string> cache(10, BySize());
+  cache.Put("a", "12345");  // 5 bytes
+  cache.Put("b", "12345");  // 5 bytes, at budget
+  cache.Get("a");           // touch a: b is now LRU
+  cache.Put("c", "12345");  // evicts b
+  EXPECT_NE(cache.Get("a"), nullptr);
+  EXPECT_EQ(cache.Get("b"), nullptr);
+  EXPECT_NE(cache.Get("c"), nullptr);
+  EXPECT_EQ(cache.evictions(), 1u);
+}
+
+TEST(LruCacheTest, PeekDoesNotTouchRecency) {
+  LruCache<std::string> cache(10, BySize());
+  cache.Put("a", "12345");
+  cache.Put("b", "12345");
+  cache.Peek("a");          // must NOT promote a
+  cache.Put("c", "12345");  // evicts a (still LRU)
+  EXPECT_EQ(cache.Get("a"), nullptr);
+  EXPECT_NE(cache.Get("b"), nullptr);
+}
+
+TEST(LruCacheTest, OversizedEntryNotAdmitted) {
+  LruCache<std::string> cache(4, BySize());
+  cache.Put("big", "123456789");
+  EXPECT_EQ(cache.Get("big"), nullptr);
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.used_bytes(), 0u);
+}
+
+TEST(LruCacheTest, OversizedReplacementErasesOld) {
+  LruCache<std::string> cache(4, BySize());
+  cache.Put("k", "12");
+  cache.Put("k", "123456789");  // too big: old entry must go too
+  EXPECT_EQ(cache.Get("k"), nullptr);
+}
+
+TEST(LruCacheTest, UnboundedNeverEvicts) {
+  LruCache<std::string> cache(0, BySize());
+  for (int i = 0; i < 1000; ++i) {
+    cache.Put("k" + std::to_string(i), std::string(100, 'x'));
+  }
+  EXPECT_EQ(cache.size(), 1000u);
+  EXPECT_EQ(cache.evictions(), 0u);
+}
+
+TEST(LruCacheTest, ByteAccountingOnReplace) {
+  LruCache<std::string> cache(100, BySize());
+  cache.Put("a", std::string(40, 'x'));
+  EXPECT_EQ(cache.used_bytes(), 40u);
+  cache.Put("a", std::string(10, 'x'));
+  EXPECT_EQ(cache.used_bytes(), 10u);
+  cache.Erase("a");
+  EXPECT_EQ(cache.used_bytes(), 0u);
+}
+
+TEST(LruCacheTest, EraseMissingReturnsFalse) {
+  LruCache<int> cache(0);
+  EXPECT_FALSE(cache.Erase("x"));
+  cache.Put("x", 1);
+  EXPECT_TRUE(cache.Erase("x"));
+}
+
+TEST(LruCacheTest, EraseIfRemovesMatching) {
+  LruCache<int> cache(0);
+  for (int i = 0; i < 10; ++i) cache.Put("k" + std::to_string(i), i);
+  size_t removed = cache.EraseIf(
+      [](const std::string&, const int& v) { return v % 2 == 0; });
+  EXPECT_EQ(removed, 5u);
+  EXPECT_EQ(cache.size(), 5u);
+  EXPECT_EQ(cache.Get("k0"), nullptr);
+  EXPECT_NE(cache.Get("k1"), nullptr);
+}
+
+TEST(LruCacheTest, ClearEmptiesEverything) {
+  LruCache<std::string> cache(100, BySize());
+  cache.Put("a", "xyz");
+  cache.Clear();
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.used_bytes(), 0u);
+  EXPECT_EQ(cache.Get("a"), nullptr);
+}
+
+TEST(LruCacheTest, EvictionCascadeForLargeInsert) {
+  LruCache<std::string> cache(10, BySize());
+  cache.Put("a", "123");
+  cache.Put("b", "123");
+  cache.Put("c", "123");  // 9 bytes used
+  cache.Put("d", "1234567890");  // exactly at budget: evicts all three
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_NE(cache.Get("d"), nullptr);
+  EXPECT_EQ(cache.evictions(), 3u);
+}
+
+}  // namespace
+}  // namespace speedkit::cache

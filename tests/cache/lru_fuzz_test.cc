@@ -1,0 +1,116 @@
+// Randomized differential test: LruCache against a trivially-correct
+// reference model, across capacities and operation mixes.
+#include <gtest/gtest.h>
+
+#include <list>
+#include <map>
+#include <string>
+#include <tuple>
+
+#include "cache/lru_cache.h"
+#include "common/random.h"
+
+namespace speedkit::cache {
+namespace {
+
+// Reference: ordered list of (key, value), front = most recent, with the
+// same byte budget and whole-entry eviction policy.
+class ReferenceLru {
+ public:
+  explicit ReferenceLru(size_t capacity) : capacity_(capacity) {}
+
+  const std::string* Get(const std::string& key) {
+    for (auto it = order_.begin(); it != order_.end(); ++it) {
+      if (it->first == key) {
+        order_.splice(order_.begin(), order_, it);
+        return &order_.front().second;
+      }
+    }
+    return nullptr;
+  }
+
+  void Put(const std::string& key, std::string value) {
+    if (capacity_ != 0 && value.size() > capacity_) {
+      Erase(key);
+      return;
+    }
+    Erase(key);
+    order_.emplace_front(key, std::move(value));
+    if (capacity_ != 0) {
+      size_t used = 0;
+      for (const auto& [k, v] : order_) used += v.size();
+      while (used > capacity_ && !order_.empty()) {
+        used -= order_.back().second.size();
+        order_.pop_back();
+      }
+    }
+  }
+
+  bool Erase(const std::string& key) {
+    for (auto it = order_.begin(); it != order_.end(); ++it) {
+      if (it->first == key) {
+        order_.erase(it);
+        return true;
+      }
+    }
+    return false;
+  }
+
+  size_t size() const { return order_.size(); }
+  size_t used_bytes() const {
+    size_t used = 0;
+    for (const auto& [k, v] : order_) used += v.size();
+    return used;
+  }
+
+ private:
+  size_t capacity_;
+  std::list<std::pair<std::string, std::string>> order_;
+};
+
+class LruFuzz : public ::testing::TestWithParam<std::tuple<size_t, uint64_t>> {
+};
+
+TEST_P(LruFuzz, MatchesReferenceModel) {
+  auto [capacity, seed] = GetParam();
+  LruCache<std::string> cache(
+      capacity, [](const std::string& s) { return s.size(); });
+  ReferenceLru reference(capacity);
+  Pcg32 rng(seed);
+
+  for (int op = 0; op < 5000; ++op) {
+    std::string key = "k" + std::to_string(rng.NextBounded(20));
+    switch (rng.NextBounded(4)) {
+      case 0:
+      case 1: {  // Put with random size
+        std::string value(rng.NextBounded(40), 'v');
+        cache.Put(key, value);
+        reference.Put(key, value);
+        break;
+      }
+      case 2: {  // Get
+        std::string* got = cache.Get(key);
+        const std::string* expected = reference.Get(key);
+        ASSERT_EQ(got != nullptr, expected != nullptr)
+            << "op " << op << " key " << key;
+        if (got != nullptr) ASSERT_EQ(*got, *expected);
+        break;
+      }
+      case 3: {  // Erase
+        ASSERT_EQ(cache.Erase(key), reference.Erase(key)) << "op " << op;
+        break;
+      }
+    }
+    ASSERT_EQ(cache.size(), reference.size()) << "op " << op;
+    ASSERT_EQ(cache.used_bytes(), reference.used_bytes()) << "op " << op;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    CapacitiesAndSeeds, LruFuzz,
+    ::testing::Combine(::testing::Values(size_t{0}, size_t{50}, size_t{200},
+                                         size_t{1000}),
+                       ::testing::Values(1u, 2u, 3u)));
+
+}  // namespace
+}  // namespace speedkit::cache

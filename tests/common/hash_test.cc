@@ -1,0 +1,83 @@
+#include "common/hash.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <unordered_set>
+
+namespace speedkit {
+namespace {
+
+TEST(HashTest, Murmur3IsDeterministic) {
+  EXPECT_EQ(Murmur3_64("hello"), Murmur3_64("hello"));
+  EXPECT_EQ(Murmur3_128("hello").h1, Murmur3_128("hello").h1);
+  EXPECT_EQ(Murmur3_128("hello").h2, Murmur3_128("hello").h2);
+}
+
+TEST(HashTest, Murmur3SeedChangesOutput) {
+  EXPECT_NE(Murmur3_64("hello", 1), Murmur3_64("hello", 2));
+}
+
+TEST(HashTest, Murmur3DifferentInputsDiffer) {
+  EXPECT_NE(Murmur3_64("hello"), Murmur3_64("hellp"));
+  EXPECT_NE(Murmur3_64(""), Murmur3_64("a"));
+}
+
+TEST(HashTest, Murmur3HandlesAllTailLengths) {
+  // Exercise every switch-case in the tail handling (lengths 0..16+).
+  std::unordered_set<uint64_t> seen;
+  std::string s;
+  for (int len = 0; len <= 40; ++len) {
+    seen.insert(Murmur3_64(s));
+    s.push_back(static_cast<char>('a' + len % 26));
+  }
+  EXPECT_EQ(seen.size(), 41u);  // all distinct
+}
+
+TEST(HashTest, Hash128ComponentsAreIndependent) {
+  // h1 and h2 feed double hashing; they must not be trivially related.
+  int equal = 0;
+  for (int i = 0; i < 1000; ++i) {
+    Hash128 h = Murmur3_128("key" + std::to_string(i));
+    if ((h.h1 & 0xffff) == (h.h2 & 0xffff)) ++equal;
+  }
+  EXPECT_LT(equal, 5);
+}
+
+TEST(HashTest, Murmur3LowBitsAreWellDistributed) {
+  constexpr int kBuckets = 64;
+  int counts[kBuckets] = {0};
+  constexpr int kKeys = 64000;
+  for (int i = 0; i < kKeys; ++i) {
+    counts[Murmur3_64("url/" + std::to_string(i)) % kBuckets]++;
+  }
+  for (int c : counts) {
+    EXPECT_NEAR(c, kKeys / kBuckets, kKeys / kBuckets * 0.15);
+  }
+}
+
+TEST(HashTest, Fnv1aKnownVectors) {
+  // Published FNV-1a test vectors.
+  EXPECT_EQ(Fnv1a_64(""), 0xcbf29ce484222325ULL);
+  EXPECT_EQ(Fnv1a_64("a"), 0xaf63dc4c8601ec8cULL);
+  EXPECT_EQ(Fnv1a_64("foobar"), 0x85944171f73967e8ULL);
+}
+
+TEST(HashTest, Mix64IsBijectiveOnSamples) {
+  std::unordered_set<uint64_t> seen;
+  for (uint64_t i = 0; i < 10000; ++i) seen.insert(Mix64(i));
+  EXPECT_EQ(seen.size(), 10000u);
+}
+
+TEST(HashTest, Mix64AvalanchesSmallDeltas) {
+  // Consecutive inputs should land in different 1/16 partitions most of
+  // the time (used for CDN edge routing of consecutive client ids).
+  int same_bucket = 0;
+  for (uint64_t i = 0; i < 1000; ++i) {
+    if (Mix64(i) % 16 == Mix64(i + 1) % 16) ++same_bucket;
+  }
+  EXPECT_LT(same_bucket, 130);  // ~62 expected
+}
+
+}  // namespace
+}  // namespace speedkit

@@ -1,0 +1,120 @@
+#include "common/histogram.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace speedkit {
+namespace {
+
+TEST(HistogramTest, EmptyReportsZeros) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.min(), 0);
+  EXPECT_EQ(h.max(), 0);
+  EXPECT_EQ(h.Mean(), 0.0);
+  EXPECT_EQ(h.P50(), 0);
+  EXPECT_EQ(h.P99(), 0);
+}
+
+TEST(HistogramTest, SingleValue) {
+  Histogram h;
+  h.Add(100);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_EQ(h.min(), 100);
+  EXPECT_EQ(h.max(), 100);
+  EXPECT_EQ(h.Mean(), 100.0);
+  EXPECT_EQ(h.P50(), 100);
+  EXPECT_EQ(h.P99(), 100);
+}
+
+TEST(HistogramTest, SmallValuesAreExact) {
+  Histogram h;
+  for (int i = 0; i < 32; ++i) h.Add(i);
+  // Values below 32 land in exact unit buckets.
+  EXPECT_EQ(h.ValueAtQuantile(0.0), 0);
+  EXPECT_EQ(h.ValueAtQuantile(1.0), 31);
+  EXPECT_EQ(h.P50(), 15);
+}
+
+TEST(HistogramTest, NegativeValuesClampToZero) {
+  Histogram h;
+  h.Add(-5);
+  EXPECT_EQ(h.min(), 0);
+  EXPECT_EQ(h.max(), 0);
+  EXPECT_EQ(h.count(), 1u);
+}
+
+TEST(HistogramTest, QuantilesHaveBoundedRelativeError) {
+  Histogram h;
+  Pcg32 rng(7);
+  for (int i = 0; i < 100000; ++i) {
+    h.Add(static_cast<int64_t>(rng.Uniform(1000, 1000000)));
+  }
+  // Uniform[1e3, 1e6]: P50 ~ 500500, P90 ~ 900100.
+  EXPECT_NEAR(static_cast<double>(h.P50()), 500500.0, 500500.0 * 0.05);
+  EXPECT_NEAR(static_cast<double>(h.P90()), 900100.0, 900100.0 * 0.05);
+}
+
+TEST(HistogramTest, LargeValuesDoNotOverflow) {
+  Histogram h;
+  h.Add(INT64_MAX / 2);
+  h.Add(1);
+  EXPECT_EQ(h.count(), 2u);
+  EXPECT_EQ(h.max(), INT64_MAX / 2);
+  EXPECT_GE(h.ValueAtQuantile(1.0), INT64_MAX / 4);
+}
+
+TEST(HistogramTest, MergeCombinesCountsAndExtremes) {
+  Histogram a;
+  Histogram b;
+  a.Add(10);
+  a.Add(20);
+  b.Add(5);
+  b.Add(1000);
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 4u);
+  EXPECT_EQ(a.min(), 5);
+  EXPECT_EQ(a.max(), 1000);
+  EXPECT_NEAR(a.Mean(), (10 + 20 + 5 + 1000) / 4.0, 1.0);
+}
+
+TEST(HistogramTest, MergeIntoEmpty) {
+  Histogram a;
+  Histogram b;
+  b.Add(7);
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 1u);
+  EXPECT_EQ(a.min(), 7);
+}
+
+TEST(HistogramTest, ResetClearsEverything) {
+  Histogram h;
+  h.Add(42);
+  h.Reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.P99(), 0);
+  h.Add(10);
+  EXPECT_EQ(h.min(), 10);
+}
+
+TEST(HistogramTest, QuantileIsMonotone) {
+  Histogram h;
+  Pcg32 rng(3);
+  for (int i = 0; i < 10000; ++i) h.Add(rng.NextBounded(1 << 20));
+  int64_t prev = 0;
+  for (double q = 0.0; q <= 1.0; q += 0.05) {
+    int64_t v = h.ValueAtQuantile(q);
+    EXPECT_GE(v, prev);
+    prev = v;
+  }
+}
+
+TEST(HistogramTest, SummaryMentionsCount) {
+  Histogram h;
+  h.Add(5);
+  EXPECT_NE(h.Summary().find("count=1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace speedkit

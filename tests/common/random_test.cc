@@ -1,0 +1,140 @@
+#include "common/random.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace speedkit {
+namespace {
+
+TEST(Pcg32Test, DeterministicForSameSeed) {
+  Pcg32 a(123, 7);
+  Pcg32 b(123, 7);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(Pcg32Test, DifferentSeedsDiverge) {
+  Pcg32 a(1);
+  Pcg32 b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.Next() == b.Next()) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(Pcg32Test, DifferentStreamsDiverge) {
+  Pcg32 a(42, 1);
+  Pcg32 b(42, 2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.Next() == b.Next()) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(Pcg32Test, NextBoundedStaysInRange) {
+  Pcg32 rng(9);
+  for (uint32_t bound : {1u, 2u, 7u, 100u, 1u << 20}) {
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_LT(rng.NextBounded(bound), bound);
+    }
+  }
+}
+
+TEST(Pcg32Test, NextBoundedZeroAndOneReturnZero) {
+  Pcg32 rng(9);
+  EXPECT_EQ(rng.NextBounded(0), 0u);
+  EXPECT_EQ(rng.NextBounded(1), 0u);
+}
+
+TEST(Pcg32Test, NextBoundedIsRoughlyUniform) {
+  Pcg32 rng(17);
+  constexpr uint32_t kBuckets = 10;
+  constexpr int kDraws = 100000;
+  std::vector<int> counts(kBuckets, 0);
+  for (int i = 0; i < kDraws; ++i) counts[rng.NextBounded(kBuckets)]++;
+  for (int c : counts) {
+    EXPECT_NEAR(c, kDraws / kBuckets, kDraws / kBuckets * 0.1);
+  }
+}
+
+TEST(Pcg32Test, NextDoubleInUnitInterval) {
+  Pcg32 rng(5);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    double d = rng.NextDouble();
+    ASSERT_GE(d, 0.0);
+    ASSERT_LT(d, 1.0);
+    sum += d;
+  }
+  EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST(Pcg32Test, ExponentialHasCorrectMean) {
+  Pcg32 rng(11);
+  double rate = 4.0;
+  double sum = 0;
+  constexpr int kDraws = 50000;
+  for (int i = 0; i < kDraws; ++i) sum += rng.Exponential(rate);
+  EXPECT_NEAR(sum / kDraws, 1.0 / rate, 0.01);
+}
+
+TEST(Pcg32Test, NormalHasCorrectMoments) {
+  Pcg32 rng(13);
+  constexpr int kDraws = 50000;
+  double sum = 0;
+  double sq = 0;
+  for (int i = 0; i < kDraws; ++i) {
+    double x = rng.Normal(10.0, 2.0);
+    sum += x;
+    sq += x * x;
+  }
+  double mean = sum / kDraws;
+  double var = sq / kDraws - mean * mean;
+  EXPECT_NEAR(mean, 10.0, 0.05);
+  EXPECT_NEAR(std::sqrt(var), 2.0, 0.05);
+}
+
+TEST(Pcg32Test, LogNormalMedianIsExpMu) {
+  Pcg32 rng(19);
+  constexpr int kDraws = 50001;
+  std::vector<double> draws;
+  draws.reserve(kDraws);
+  for (int i = 0; i < kDraws; ++i) draws.push_back(rng.LogNormal(0.0, 0.5));
+  std::nth_element(draws.begin(), draws.begin() + kDraws / 2, draws.end());
+  EXPECT_NEAR(draws[kDraws / 2], 1.0, 0.03);  // median of LogNormal(0,.) = 1
+}
+
+TEST(Pcg32Test, ForkProducesIndependentStreams) {
+  Pcg32 parent(42);
+  Pcg32 child1 = parent.Fork(1);
+  Pcg32 child2 = parent.Fork(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (child1.Next() == child2.Next()) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(Pcg32Test, ForkIsDeterministic) {
+  Pcg32 p1(42);
+  Pcg32 p2(42);
+  Pcg32 c1 = p1.Fork(7);
+  Pcg32 c2 = p2.Fork(7);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(c1.Next(), c2.Next());
+}
+
+TEST(Pcg32Test, WithProbabilityExtremes) {
+  Pcg32 rng(3);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.WithProbability(0.0));
+    EXPECT_TRUE(rng.WithProbability(1.0));
+  }
+}
+
+}  // namespace
+}  // namespace speedkit

@@ -1,0 +1,55 @@
+#include "common/sim_time.h"
+
+#include <gtest/gtest.h>
+
+namespace speedkit {
+namespace {
+
+TEST(DurationTest, ConversionsAgree) {
+  EXPECT_EQ(Duration::Seconds(1.5).micros(), 1500000);
+  EXPECT_EQ(Duration::Millis(20).micros(), 20000);
+  EXPECT_EQ(Duration::Minutes(2).micros(), 120000000);
+  EXPECT_DOUBLE_EQ(Duration::Micros(2500).millis(), 2.5);
+  EXPECT_DOUBLE_EQ(Duration::Millis(1500).seconds(), 1.5);
+}
+
+TEST(DurationTest, Arithmetic) {
+  Duration d = Duration::Seconds(1) + Duration::Millis(500);
+  EXPECT_EQ(d.micros(), 1500000);
+  EXPECT_EQ((d - Duration::Millis(500)).micros(), 1000000);
+  EXPECT_EQ((Duration::Seconds(2) * 1.5).micros(), 3000000);
+  d += Duration::Seconds(1);
+  EXPECT_EQ(d.seconds(), 2.5);
+}
+
+TEST(DurationTest, Comparisons) {
+  EXPECT_LT(Duration::Millis(1), Duration::Millis(2));
+  EXPECT_EQ(Duration::Seconds(1), Duration::Millis(1000));
+  EXPECT_GT(Duration::Max(), Duration::Seconds(1e9));
+  EXPECT_EQ(Duration::Zero().micros(), 0);
+}
+
+TEST(DurationTest, ToStringPicksUnit) {
+  EXPECT_EQ(Duration::Seconds(3).ToString(), "3s");
+  EXPECT_EQ(Duration::Millis(20).ToString(), "20ms");
+  EXPECT_EQ(Duration::Micros(7).ToString(), "7us");
+}
+
+TEST(SimTimeTest, OriginAndAdvance) {
+  SimTime t = SimTime::Origin();
+  EXPECT_EQ(t.micros(), 0);
+  SimTime later = t + Duration::Seconds(10);
+  EXPECT_EQ(later.seconds(), 10.0);
+  EXPECT_EQ((later - t).seconds(), 10.0);
+}
+
+TEST(SimTimeTest, Comparisons) {
+  SimTime a = SimTime::FromMicros(5);
+  SimTime b = SimTime::FromMicros(6);
+  EXPECT_LT(a, b);
+  EXPECT_EQ(a, SimTime::FromMicros(5));
+  EXPECT_LT(a, SimTime::Max());
+}
+
+}  // namespace
+}  // namespace speedkit

@@ -1,0 +1,81 @@
+#include "common/strings.h"
+
+#include <gtest/gtest.h>
+
+namespace speedkit {
+namespace {
+
+TEST(StringsTest, AsciiLower) {
+  EXPECT_EQ(AsciiLower("Cache-Control"), "cache-control");
+  EXPECT_EQ(AsciiLower("already lower"), "already lower");
+  EXPECT_EQ(AsciiLower(""), "");
+  EXPECT_EQ(AsciiLower("MiXeD123!"), "mixed123!");
+}
+
+TEST(StringsTest, EqualsIgnoreCase) {
+  EXPECT_TRUE(EqualsIgnoreCase("ETag", "etag"));
+  EXPECT_TRUE(EqualsIgnoreCase("", ""));
+  EXPECT_FALSE(EqualsIgnoreCase("etag", "etags"));
+  EXPECT_FALSE(EqualsIgnoreCase("a", "b"));
+}
+
+TEST(StringsTest, TrimWhitespace) {
+  EXPECT_EQ(TrimWhitespace("  x  "), "x");
+  EXPECT_EQ(TrimWhitespace("\t\r\n a b \n"), "a b");
+  EXPECT_EQ(TrimWhitespace(""), "");
+  EXPECT_EQ(TrimWhitespace("   "), "");
+  EXPECT_EQ(TrimWhitespace("no-trim"), "no-trim");
+}
+
+TEST(StringsTest, SplitViewTrimsPieces) {
+  auto parts = SplitView("public, max-age=60 , no-cache", ',');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "public");
+  EXPECT_EQ(parts[1], "max-age=60");
+  EXPECT_EQ(parts[2], "no-cache");
+}
+
+TEST(StringsTest, SplitViewKeepsEmptyPieces) {
+  auto parts = SplitView("a,,b", ',');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[1], "");
+}
+
+TEST(StringsTest, SplitViewSingleToken) {
+  auto parts = SplitView("alone", ',');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "alone");
+}
+
+TEST(StringsTest, StartsEndsWith) {
+  EXPECT_TRUE(StartsWith("/api/records/p1", "/api/records/"));
+  EXPECT_FALSE(StartsWith("/api", "/api/records/"));
+  EXPECT_TRUE(EndsWith("style.css", ".css"));
+  EXPECT_FALSE(EndsWith("css", ".css"));
+  EXPECT_TRUE(StartsWith("x", ""));
+  EXPECT_TRUE(EndsWith("x", ""));
+}
+
+TEST(StringsTest, ParseInt64Valid) {
+  EXPECT_EQ(ParseInt64("0").value(), 0);
+  EXPECT_EQ(ParseInt64("60").value(), 60);
+  EXPECT_EQ(ParseInt64("86400").value(), 86400);
+}
+
+TEST(StringsTest, ParseInt64Rejects) {
+  EXPECT_FALSE(ParseInt64("").has_value());
+  EXPECT_FALSE(ParseInt64("-1").has_value());
+  EXPECT_FALSE(ParseInt64("+1").has_value());
+  EXPECT_FALSE(ParseInt64("12a").has_value());
+  EXPECT_FALSE(ParseInt64(" 12").has_value());
+  EXPECT_FALSE(ParseInt64("99999999999999999999").has_value());  // overflow
+}
+
+TEST(StringsTest, StrFormat) {
+  EXPECT_EQ(StrFormat("%d-%s", 7, "x"), "7-x");
+  EXPECT_EQ(StrFormat("%.2f", 1.5), "1.50");
+  EXPECT_EQ(StrFormat("plain"), "plain");
+}
+
+}  // namespace
+}  // namespace speedkit

@@ -1,0 +1,55 @@
+#include "common/time_series.h"
+
+#include <gtest/gtest.h>
+
+namespace speedkit {
+namespace {
+
+SimTime At(double seconds) {
+  return SimTime::Origin() + Duration::Seconds(seconds);
+}
+
+TEST(TimeSeriesTest, BucketsByTime) {
+  TimeSeries ts(Duration::Seconds(60));
+  ts.Add(At(10), 1.0);
+  ts.Add(At(59), 0.0);
+  ts.Add(At(61), 1.0);
+  EXPECT_EQ(ts.num_buckets(), 2u);
+  EXPECT_EQ(ts.CountAt(0), 2u);
+  EXPECT_EQ(ts.CountAt(1), 1u);
+  EXPECT_DOUBLE_EQ(ts.MeanAt(0), 0.5);
+  EXPECT_DOUBLE_EQ(ts.MeanAt(1), 1.0);
+}
+
+TEST(TimeSeriesTest, EmptyBucketsReportZero) {
+  TimeSeries ts(Duration::Seconds(60));
+  ts.Add(At(150), 5.0);  // bucket 2; 0 and 1 stay empty
+  EXPECT_EQ(ts.num_buckets(), 3u);
+  EXPECT_EQ(ts.CountAt(0), 0u);
+  EXPECT_DOUBLE_EQ(ts.MeanAt(0), 0.0);
+  EXPECT_DOUBLE_EQ(ts.MeanAt(2), 5.0);
+  EXPECT_DOUBLE_EQ(ts.SumAt(2), 5.0);
+}
+
+TEST(TimeSeriesTest, OutOfRangeQueriesAreSafe) {
+  TimeSeries ts;
+  EXPECT_EQ(ts.CountAt(99), 0u);
+  EXPECT_DOUBLE_EQ(ts.MeanAt(99), 0.0);
+  EXPECT_DOUBLE_EQ(ts.SumAt(99), 0.0);
+}
+
+TEST(TimeSeriesTest, BucketStart) {
+  TimeSeries ts(Duration::Minutes(1));
+  EXPECT_EQ(ts.BucketStart(0), SimTime::Origin());
+  EXPECT_EQ(ts.BucketStart(3), At(180));
+}
+
+TEST(TimeSeriesTest, BoundaryLandsInUpperBucket) {
+  TimeSeries ts(Duration::Seconds(60));
+  ts.Add(At(60), 1.0);  // exactly on the boundary
+  EXPECT_EQ(ts.CountAt(0), 0u);
+  EXPECT_EQ(ts.CountAt(1), 1u);
+}
+
+}  // namespace
+}  // namespace speedkit

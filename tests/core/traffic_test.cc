@@ -1,0 +1,100 @@
+#include "core/traffic.h"
+
+#include <gtest/gtest.h>
+
+namespace speedkit::core {
+namespace {
+
+workload::CatalogConfig SmallCatalog() {
+  workload::CatalogConfig config;
+  config.num_products = 200;
+  config.num_categories = 10;
+  return config;
+}
+
+TrafficConfig ShortTraffic() {
+  TrafficConfig config;
+  config.num_clients = 10;
+  config.duration = Duration::Minutes(5);
+  config.writes_per_sec = 1.0;
+  return config;
+}
+
+TEST(TrafficSimulationTest, GeneratesTrafficAndWrites) {
+  StackConfig config;
+  SpeedKitStack stack(config);
+  workload::Catalog catalog(SmallCatalog(), Pcg32(1));
+  catalog.Populate(&stack.store(), stack.clock().Now());
+  for (int c = 0; c < catalog.num_categories(); ++c) {
+    ASSERT_TRUE(stack.origin().RegisterQuery(catalog.CategoryQuery(c)).ok());
+  }
+  TrafficSimulation sim(&stack, &catalog, ShortTraffic());
+  TrafficResult result = sim.Run();
+  EXPECT_GT(result.page_views, 50u);
+  EXPECT_GT(result.writes_applied, 200u);  // ~300 expected at 1/s for 5min
+  EXPECT_GT(result.proxies.requests, 0u);
+  EXPECT_GT(result.api_latency_us.count(), 0u);
+  // Clock advanced the full duration.
+  EXPECT_EQ(stack.clock().Now().seconds(), 300.0);
+}
+
+TEST(TrafficSimulationTest, CachingProducesHits) {
+  StackConfig config;
+  SpeedKitStack stack(config);
+  workload::Catalog catalog(SmallCatalog(), Pcg32(1));
+  catalog.Populate(&stack.store(), stack.clock().Now());
+  TrafficConfig traffic = ShortTraffic();
+  traffic.writes_per_sec = 0.1;  // mostly-read workload
+  TrafficSimulation sim(&stack, &catalog, traffic);
+  TrafficResult result = sim.Run();
+  EXPECT_GT(result.BrowserHitRatio() + result.EdgeHitRatio(), 0.2);
+  EXPECT_LT(result.OriginRatio(), 0.8);
+}
+
+TEST(TrafficSimulationTest, NoCachingBaselineAlwaysHitsOrigin) {
+  StackConfig config;
+  config.variant = SystemVariant::kNoCaching;
+  SpeedKitStack stack(config);
+  workload::Catalog catalog(SmallCatalog(), Pcg32(1));
+  catalog.Populate(&stack.store(), stack.clock().Now());
+  TrafficSimulation sim(&stack, &catalog, ShortTraffic());
+  TrafficResult result = sim.Run();
+  EXPECT_EQ(result.proxies.browser_hits, 0u);
+  EXPECT_EQ(result.proxies.edge_hits, 0u);
+  EXPECT_GT(result.proxies.origin_fetches, 0u);
+}
+
+TEST(TrafficSimulationTest, DeterministicForSameSeed) {
+  auto run = [] {
+    StackConfig config;
+    config.seed = 7;
+    SpeedKitStack stack(config);
+    workload::Catalog catalog(SmallCatalog(), Pcg32(1));
+    catalog.Populate(&stack.store(), stack.clock().Now());
+    TrafficSimulation sim(&stack, &catalog, ShortTraffic());
+    TrafficResult result = sim.Run();
+    return std::make_tuple(result.page_views, result.writes_applied,
+                           result.proxies.browser_hits,
+                           result.api_latency_us.count(),
+                           result.api_latency_us.max());
+  };
+  EXPECT_EQ(run(), run());
+}
+
+TEST(TrafficSimulationTest, SpeedKitReducesOriginLoadVsNoCache) {
+  auto origin_requests = [](SystemVariant variant) {
+    StackConfig config;
+    config.variant = variant;
+    SpeedKitStack stack(config);
+    workload::Catalog catalog(SmallCatalog(), Pcg32(1));
+    catalog.Populate(&stack.store(), stack.clock().Now());
+    TrafficSimulation sim(&stack, &catalog, ShortTraffic());
+    sim.Run();
+    return stack.origin().stats().requests;
+  };
+  EXPECT_LT(origin_requests(SystemVariant::kSpeedKit),
+            origin_requests(SystemVariant::kNoCaching));
+}
+
+}  // namespace
+}  // namespace speedkit::core

@@ -1,0 +1,93 @@
+#include "http/cache_control.h"
+
+#include <gtest/gtest.h>
+
+namespace speedkit::http {
+namespace {
+
+TEST(CacheControlTest, ParsesCommonDirectives) {
+  CacheControl cc = CacheControl::Parse(
+      "public, max-age=60, s-maxage=300, stale-while-revalidate=30");
+  EXPECT_TRUE(cc.is_public);
+  EXPECT_EQ(cc.max_age.value(), Duration::Seconds(60));
+  EXPECT_EQ(cc.s_maxage.value(), Duration::Seconds(300));
+  EXPECT_EQ(cc.stale_while_revalidate.value(), Duration::Seconds(30));
+  EXPECT_FALSE(cc.no_store);
+}
+
+TEST(CacheControlTest, ParsesBooleans) {
+  CacheControl cc =
+      CacheControl::Parse("private, no-store, no-cache, must-revalidate, immutable");
+  EXPECT_TRUE(cc.is_private);
+  EXPECT_TRUE(cc.no_store);
+  EXPECT_TRUE(cc.no_cache);
+  EXPECT_TRUE(cc.must_revalidate);
+  EXPECT_TRUE(cc.immutable);
+}
+
+TEST(CacheControlTest, CaseInsensitiveDirectives) {
+  CacheControl cc = CacheControl::Parse("PUBLIC, Max-Age=10");
+  EXPECT_TRUE(cc.is_public);
+  EXPECT_EQ(cc.max_age.value(), Duration::Seconds(10));
+}
+
+TEST(CacheControlTest, QuotedValues) {
+  CacheControl cc = CacheControl::Parse("max-age=\"120\"");
+  EXPECT_EQ(cc.max_age.value(), Duration::Seconds(120));
+}
+
+TEST(CacheControlTest, MalformedNumericValueInvalidatesOnlyThatDirective) {
+  CacheControl cc = CacheControl::Parse("public, max-age=abc, s-maxage=5");
+  EXPECT_TRUE(cc.is_public);
+  EXPECT_FALSE(cc.max_age.has_value());
+  EXPECT_EQ(cc.s_maxage.value(), Duration::Seconds(5));
+}
+
+TEST(CacheControlTest, UnknownDirectivesIgnored) {
+  CacheControl cc = CacheControl::Parse("frobnicate, max-age=9, x=y");
+  EXPECT_EQ(cc.max_age.value(), Duration::Seconds(9));
+}
+
+TEST(CacheControlTest, EmptyValue) {
+  CacheControl cc = CacheControl::Parse("");
+  EXPECT_FALSE(cc.max_age.has_value());
+  EXPECT_FALSE(cc.no_store);
+  EXPECT_TRUE(cc.Storable(true));
+}
+
+TEST(CacheControlTest, RoundTripThroughToString) {
+  CacheControl cc;
+  cc.is_public = true;
+  cc.max_age = Duration::Seconds(60);
+  cc.s_maxage = Duration::Seconds(120);
+  cc.no_cache = true;
+  CacheControl back = CacheControl::Parse(cc.ToString());
+  EXPECT_TRUE(back.is_public);
+  EXPECT_TRUE(back.no_cache);
+  EXPECT_EQ(back.max_age.value(), Duration::Seconds(60));
+  EXPECT_EQ(back.s_maxage.value(), Duration::Seconds(120));
+}
+
+TEST(CacheControlTest, FreshnessSharedPrefersSMaxage) {
+  CacheControl cc = CacheControl::Parse("max-age=60, s-maxage=300");
+  EXPECT_EQ(cc.FreshnessForPrivateCache().value(), Duration::Seconds(60));
+  EXPECT_EQ(cc.FreshnessForSharedCache().value(), Duration::Seconds(300));
+}
+
+TEST(CacheControlTest, FreshnessSharedFallsBackToMaxAge) {
+  CacheControl cc = CacheControl::Parse("max-age=60");
+  EXPECT_EQ(cc.FreshnessForSharedCache().value(), Duration::Seconds(60));
+}
+
+TEST(CacheControlTest, StorableRules) {
+  EXPECT_FALSE(CacheControl::Parse("no-store").Storable(false));
+  EXPECT_FALSE(CacheControl::Parse("no-store").Storable(true));
+  EXPECT_TRUE(CacheControl::Parse("private").Storable(false));
+  EXPECT_FALSE(CacheControl::Parse("private").Storable(true));
+  EXPECT_TRUE(CacheControl::Parse("public, max-age=1").Storable(true));
+  // no-cache is storable (it gates *use*, not storage).
+  EXPECT_TRUE(CacheControl::Parse("no-cache").Storable(true));
+}
+
+}  // namespace
+}  // namespace speedkit::http

@@ -1,0 +1,73 @@
+#include "http/headers.h"
+
+#include <gtest/gtest.h>
+
+namespace speedkit::http {
+namespace {
+
+TEST(HeaderMapTest, SetAndGetCaseInsensitive) {
+  HeaderMap h;
+  h.Set("Cache-Control", "max-age=60");
+  EXPECT_EQ(h.Get("cache-control").value(), "max-age=60");
+  EXPECT_EQ(h.Get("CACHE-CONTROL").value(), "max-age=60");
+  EXPECT_FALSE(h.Get("ETag").has_value());
+}
+
+TEST(HeaderMapTest, SetReplacesAllValues) {
+  HeaderMap h;
+  h.Add("X-A", "1");
+  h.Add("x-a", "2");
+  h.Set("X-A", "3");
+  EXPECT_EQ(h.GetAll("x-a").size(), 1u);
+  EXPECT_EQ(h.Get("x-a").value(), "3");
+}
+
+TEST(HeaderMapTest, AddKeepsMultipleValues) {
+  HeaderMap h;
+  h.Add("Set-Cookie", "a=1");
+  h.Add("Set-Cookie", "b=2");
+  auto all = h.GetAll("set-cookie");
+  ASSERT_EQ(all.size(), 2u);
+  EXPECT_EQ(all[0], "a=1");
+  EXPECT_EQ(all[1], "b=2");
+  // Get returns the first.
+  EXPECT_EQ(h.Get("set-cookie").value(), "a=1");
+}
+
+TEST(HeaderMapTest, RemoveDeletesAllMatches) {
+  HeaderMap h;
+  h.Add("X", "1");
+  h.Add("x", "2");
+  h.Add("Y", "3");
+  h.Remove("X");
+  EXPECT_FALSE(h.Has("x"));
+  EXPECT_TRUE(h.Has("y"));
+  EXPECT_EQ(h.size(), 1u);
+}
+
+TEST(HeaderMapTest, IterationPreservesInsertionOrder) {
+  HeaderMap h;
+  h.Add("B", "2");
+  h.Add("A", "1");
+  std::vector<std::string> names;
+  for (const auto& [name, value] : h) names.push_back(name);
+  ASSERT_EQ(names.size(), 2u);
+  EXPECT_EQ(names[0], "B");
+  EXPECT_EQ(names[1], "A");
+}
+
+TEST(HeaderMapTest, WireSizeCountsSeparators) {
+  HeaderMap h;
+  h.Set("AB", "cd");  // "AB: cd\r\n" = 8 bytes
+  EXPECT_EQ(h.WireSize(), 8u);
+}
+
+TEST(HeaderMapTest, EmptyMap) {
+  HeaderMap h;
+  EXPECT_TRUE(h.empty());
+  EXPECT_EQ(h.WireSize(), 0u);
+  EXPECT_TRUE(h.GetAll("x").empty());
+}
+
+}  // namespace
+}  // namespace speedkit::http

@@ -1,0 +1,85 @@
+#include "http/url.h"
+
+#include <gtest/gtest.h>
+
+namespace speedkit::http {
+namespace {
+
+TEST(UrlTest, ParsesFullUrl) {
+  auto url = Url::Parse("https://Shop.Example.com:8443/p/42?ref=a#top");
+  ASSERT_TRUE(url.ok());
+  EXPECT_EQ(url->scheme(), "https");
+  EXPECT_EQ(url->host(), "shop.example.com");  // lowercased
+  EXPECT_EQ(url->port(), 8443);
+  EXPECT_EQ(url->path(), "/p/42");
+  EXPECT_EQ(url->query(), "ref=a");
+  EXPECT_EQ(url->fragment(), "top");
+}
+
+TEST(UrlTest, DefaultsForBareHost) {
+  auto url = Url::Parse("http://example.com");
+  ASSERT_TRUE(url.ok());
+  EXPECT_EQ(url->path(), "/");
+  EXPECT_EQ(url->query(), "");
+  EXPECT_EQ(url->EffectivePort(), 80);
+}
+
+TEST(UrlTest, HttpsDefaultPort) {
+  auto url = Url::Parse("https://example.com/x");
+  ASSERT_TRUE(url.ok());
+  EXPECT_EQ(url->EffectivePort(), 443);
+}
+
+TEST(UrlTest, RejectsMalformed) {
+  EXPECT_FALSE(Url::Parse("no-scheme.com/path").ok());
+  EXPECT_FALSE(Url::Parse("ftp://example.com/x").ok());
+  EXPECT_FALSE(Url::Parse("http:///path-only").ok());
+  EXPECT_FALSE(Url::Parse("http://host:0/x").ok());
+  EXPECT_FALSE(Url::Parse("http://host:99999/x").ok());
+  EXPECT_FALSE(Url::Parse("http://host:abc/x").ok());
+  EXPECT_FALSE(Url::Parse("").ok());
+}
+
+TEST(UrlTest, CacheKeyDropsFragmentKeepsQuery) {
+  auto url = Url::Parse("https://a.com/p?x=1#frag");
+  ASSERT_TRUE(url.ok());
+  EXPECT_EQ(url->CacheKey(), "https://a.com/p?x=1");
+}
+
+TEST(UrlTest, CacheKeyElidesDefaultPort) {
+  EXPECT_EQ(Url::Parse("https://a.com:443/p")->CacheKey(), "https://a.com/p");
+  EXPECT_EQ(Url::Parse("http://a.com:80/p")->CacheKey(), "http://a.com/p");
+  EXPECT_EQ(Url::Parse("http://a.com:8080/p")->CacheKey(),
+            "http://a.com:8080/p");
+}
+
+TEST(UrlTest, EqualityUsesCacheKey) {
+  auto a = Url::Parse("https://A.com/p#x");
+  auto b = Url::Parse("https://a.com/p#y");
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_TRUE(*a == *b);
+}
+
+TEST(UrlTest, QueryOnlyNoPath) {
+  auto url = Url::Parse("https://a.com?x=1");
+  ASSERT_TRUE(url.ok());
+  EXPECT_EQ(url->path(), "/");
+  EXPECT_EQ(url->query(), "x=1");
+}
+
+TEST(UrlTest, FragmentOnlyNoPath) {
+  auto url = Url::Parse("https://a.com#frag");
+  ASSERT_TRUE(url.ok());
+  EXPECT_EQ(url->path(), "/");
+  EXPECT_EQ(url->fragment(), "frag");
+}
+
+TEST(UrlTest, RoundTripToString) {
+  auto url = Url::Parse("https://a.com/p/1?q=2#f");
+  ASSERT_TRUE(url.ok());
+  EXPECT_EQ(url->ToString(), "https://a.com/p/1?q=2#f");
+}
+
+}  // namespace
+}  // namespace speedkit::http

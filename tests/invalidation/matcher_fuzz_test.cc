@@ -1,0 +1,130 @@
+// Randomized differential test: the indexed, partitioned QueryMatcher
+// against a brute-force evaluation of every subscription, across random
+// predicates and write streams. Any pruning bug in the equality index
+// shows up as a mismatch here.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <tuple>
+
+#include "common/random.h"
+#include "invalidation/query_matcher.h"
+
+namespace speedkit::invalidation {
+namespace {
+
+storage::FieldValue RandomValue(Pcg32& rng) {
+  switch (rng.NextBounded(4)) {
+    case 0:
+      return static_cast<int64_t>(rng.NextBounded(8));
+    case 1:
+      return rng.Uniform(0, 100.0);
+    case 2:
+      return std::string("s") + std::to_string(rng.NextBounded(5));
+    default:
+      return rng.WithProbability(0.5);
+  }
+}
+
+storage::Record RandomRecord(Pcg32& rng, uint64_t version) {
+  static const char* kFields[] = {"category", "price", "brand", "flag"};
+  storage::Record r;
+  r.id = "p" + std::to_string(rng.NextBounded(10));
+  r.version = version;
+  for (const char* field : kFields) {
+    if (rng.WithProbability(0.8)) {
+      r.fields[field] = RandomValue(rng);
+    }
+  }
+  return r;
+}
+
+Query RandomQuery(Pcg32& rng, int id) {
+  static const char* kFields[] = {"category", "price", "brand", "flag"};
+  static const Op kOps[] = {Op::kEq,  Op::kNe, Op::kLt, Op::kLe,
+                            Op::kGt, Op::kGe, Op::kContains};
+  Query q;
+  q.id = "q" + std::to_string(id);
+  uint32_t conditions = 1 + rng.NextBounded(3);
+  for (uint32_t i = 0; i < conditions; ++i) {
+    Condition c;
+    c.field = kFields[rng.NextBounded(4)];
+    c.op = kOps[rng.NextBounded(7)];
+    c.value = RandomValue(rng);
+    q.conditions.push_back(std::move(c));
+  }
+  return q;
+}
+
+class MatcherFuzz
+    : public ::testing::TestWithParam<std::tuple<int, uint64_t>> {};
+
+TEST_P(MatcherFuzz, IndexedMatchEqualsBruteForce) {
+  auto [partitions, seed] = GetParam();
+  Pcg32 rng(seed);
+
+  std::vector<Query> queries;
+  QueryMatcher matcher(partitions, /*use_index=*/true);
+  for (int i = 0; i < 200; ++i) {
+    queries.push_back(RandomQuery(rng, i));
+    ASSERT_TRUE(matcher.Subscribe(queries.back()).ok());
+  }
+
+  for (int write = 0; write < 500; ++write) {
+    bool has_before = rng.WithProbability(0.7);
+    storage::Record before = RandomRecord(rng, 1);
+    storage::Record after = RandomRecord(rng, 2);
+    after.id = before.id;  // same record, new image
+    if (rng.WithProbability(0.1)) after.deleted = true;
+
+    std::vector<std::string> got =
+        matcher.MatchWrite(has_before ? &before : nullptr, after);
+    std::sort(got.begin(), got.end());
+
+    std::vector<std::string> expected;
+    for (const Query& q : queries) {
+      if (q.AffectedBy(has_before ? &before : nullptr, after)) {
+        expected.push_back(q.id);
+      }
+    }
+    std::sort(expected.begin(), expected.end());
+    ASSERT_EQ(got, expected) << "write " << write << " seed " << seed;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PartitionsAndSeeds, MatcherFuzz,
+    ::testing::Combine(::testing::Values(1, 4, 16),
+                       ::testing::Values(11u, 22u, 33u)));
+
+TEST(MatcherFuzzTest, SubscribeUnsubscribeChurnStaysConsistent) {
+  Pcg32 rng(77);
+  QueryMatcher matcher(4, true);
+  std::map<std::string, Query> live;
+  for (int round = 0; round < 300; ++round) {
+    if (live.empty() || rng.WithProbability(0.6)) {
+      Query q = RandomQuery(rng, round);
+      if (matcher.Subscribe(q).ok()) live[q.id] = q;
+    } else {
+      auto it = live.begin();
+      std::advance(it, rng.NextBounded(static_cast<uint32_t>(live.size())));
+      ASSERT_TRUE(matcher.Unsubscribe(it->first).ok());
+      live.erase(it);
+    }
+    ASSERT_EQ(matcher.subscription_count(), live.size());
+
+    storage::Record after = RandomRecord(rng, 2);
+    std::vector<std::string> got = matcher.MatchWrite(nullptr, after);
+    std::sort(got.begin(), got.end());
+    std::vector<std::string> expected;
+    for (const auto& [id, q] : live) {
+      if (q.AffectedBy(nullptr, after)) expected.push_back(id);
+    }
+    std::sort(expected.begin(), expected.end());
+    ASSERT_EQ(got, expected) << "round " << round;
+  }
+}
+
+}  // namespace
+}  // namespace speedkit::invalidation

@@ -1,0 +1,164 @@
+#include "invalidation/pipeline.h"
+
+#include <gtest/gtest.h>
+
+namespace speedkit::invalidation {
+namespace {
+
+http::HttpResponse CacheableResponse(SimTime now) {
+  http::HttpResponse resp;
+  resp.status_code = 200;
+  resp.body = "x";
+  resp.headers.Set("Cache-Control", "public, max-age=300");
+  resp.generated_at = now;
+  return resp;
+}
+
+class PipelineTest : public ::testing::Test {
+ protected:
+  PipelineTest()
+      : events_(&clock_),
+        cdn_(3, 0),
+        sketch_(1000, 0.01),
+        pipeline_(Config(), &clock_, &events_, &cdn_, &sketch_, Pcg32(7)) {
+    pipeline_.AttachTo(&store_);
+  }
+
+  static PipelineConfig Config() {
+    PipelineConfig config;
+    config.purge_median_delay = Duration::Millis(80);
+    config.purge_log_sigma = 0.0;  // deterministic purge timing
+    return config;
+  }
+
+  void WriteProduct(const std::string& id, int64_t category, double price) {
+    store_.Update(id,
+                  {{"category", category}, {"price", price}},
+                  clock_.Now());
+  }
+
+  sim::SimClock clock_;
+  sim::EventQueue events_;
+  cache::Cdn cdn_;
+  sketch::CacheSketch sketch_;
+  storage::ObjectStore store_;
+  InvalidationPipeline pipeline_;
+};
+
+TEST_F(PipelineTest, WriteSchedulesPurgeOnEveryEdge) {
+  std::string key = RecordCacheKey("p1");
+  for (int i = 0; i < 3; ++i) {
+    cdn_.edge(i).Store(key, CacheableResponse(clock_.Now()), clock_.Now());
+  }
+  WriteProduct("p1", 1, 10.0);
+  EXPECT_EQ(pipeline_.stats().purges_scheduled, 3u);
+  // Purges have not landed yet.
+  EXPECT_EQ(pipeline_.stats().purges_effective, 0u);
+  events_.RunUntil(clock_.Now() + Duration::Millis(100));
+  EXPECT_EQ(pipeline_.stats().purges_effective, 3u);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(cdn_.edge(i).Lookup(key, clock_.Now()).outcome,
+              cache::LookupOutcome::kMiss);
+  }
+}
+
+TEST_F(PipelineTest, WriteEntersSketchUntilStaleHorizon) {
+  std::string key = RecordCacheKey("p1");
+  // A copy is outstanding until t=200s.
+  pipeline_.expiry_book().RecordServed(key, SimTime::Origin() +
+                                                Duration::Seconds(200));
+  WriteProduct("p1", 1, 10.0);
+  EXPECT_TRUE(sketch_.Contains(key));
+  // Key must stay in snapshots until the horizon passes.
+  EXPECT_TRUE(sketch_.Snapshot(SimTime::Origin() + Duration::Seconds(199))
+                  .MightContain(key));
+  EXPECT_FALSE(sketch_.Snapshot(SimTime::Origin() + Duration::Seconds(201))
+                   .MightContain(key));
+}
+
+TEST_F(PipelineTest, SketchHorizonCoversPurgePropagation) {
+  // No outstanding client copies, but purges take 80ms: the key must stay
+  // in the sketch at least that long (an unpurged edge could re-serve it).
+  WriteProduct("p1", 1, 10.0);
+  std::string key = RecordCacheKey("p1");
+  EXPECT_TRUE(sketch_.Contains(key));
+  sketch_.ExpireUntil(clock_.Now() + Duration::Millis(79));
+  EXPECT_TRUE(sketch_.Contains(key));
+  sketch_.ExpireUntil(clock_.Now() + Duration::Millis(81));
+  EXPECT_FALSE(sketch_.Contains(key));
+}
+
+TEST_F(PipelineTest, AffectedQueryResultsAreInvalidated) {
+  Query q;
+  q.id = "cat1";
+  q.conditions.push_back({"category", Op::kEq, static_cast<int64_t>(1)});
+  std::string qkey = QueryCacheKey("cat1");
+  ASSERT_TRUE(pipeline_.WatchQuery(q, qkey).ok());
+  cdn_.edge(0).Store(qkey, CacheableResponse(clock_.Now()), clock_.Now());
+  pipeline_.expiry_book().RecordServed(qkey, SimTime::Origin() +
+                                                 Duration::Seconds(100));
+
+  WriteProduct("p1", 1, 10.0);  // enters cat1
+  events_.RunUntil(clock_.Now() + Duration::Seconds(1));
+  EXPECT_EQ(cdn_.edge(0).Lookup(qkey, clock_.Now()).outcome,
+            cache::LookupOutcome::kMiss);
+  EXPECT_TRUE(sketch_.Contains(qkey));
+}
+
+TEST_F(PipelineTest, UnrelatedQueryNotInvalidated) {
+  Query q;
+  q.id = "cat9";
+  q.conditions.push_back({"category", Op::kEq, static_cast<int64_t>(9)});
+  ASSERT_TRUE(pipeline_.WatchQuery(q, QueryCacheKey("cat9")).ok());
+  WriteProduct("p1", 1, 10.0);
+  EXPECT_FALSE(sketch_.Contains(QueryCacheKey("cat9")));
+  // Record key itself is invalidated exactly once.
+  EXPECT_EQ(pipeline_.stats().keys_invalidated, 1u);
+}
+
+TEST_F(PipelineTest, UnwatchStopsInvalidation) {
+  Query q;
+  q.id = "cat1";
+  q.conditions.push_back({"category", Op::kEq, static_cast<int64_t>(1)});
+  ASSERT_TRUE(pipeline_.WatchQuery(q, QueryCacheKey("cat1")).ok());
+  ASSERT_TRUE(pipeline_.UnwatchQuery("cat1").ok());
+  WriteProduct("p1", 1, 10.0);
+  EXPECT_FALSE(sketch_.Contains(QueryCacheKey("cat1")));
+}
+
+TEST_F(PipelineTest, CustomRecordKeyMapper) {
+  pipeline_.SetRecordKeyMapper([](const storage::Record& r) {
+    return std::vector<std::string>{"custom://" + r.id,
+                                    "custom://" + r.id + "/alt"};
+  });
+  WriteProduct("p1", 1, 10.0);
+  EXPECT_TRUE(sketch_.Contains("custom://p1"));
+  EXPECT_TRUE(sketch_.Contains("custom://p1/alt"));
+  EXPECT_EQ(pipeline_.stats().keys_invalidated, 2u);
+}
+
+TEST_F(PipelineTest, PropagationLatencyRecorded) {
+  WriteProduct("p1", 1, 10.0);
+  EXPECT_EQ(pipeline_.propagation_latency_us().count(), 1u);
+  // With zero jitter: last purge = median delay.
+  EXPECT_NEAR(static_cast<double>(
+                  pipeline_.propagation_latency_us().max()),
+              80000.0, 2600.0);
+}
+
+TEST(PipelineStandaloneTest, WorksWithoutSketchAndCdn) {
+  sim::SimClock clock;
+  sim::EventQueue events(&clock);
+  PipelineConfig config;
+  InvalidationPipeline pipeline(config, &clock, &events, nullptr, nullptr,
+                                Pcg32(1));
+  storage::Record r;
+  r.id = "p1";
+  r.version = 1;
+  pipeline.OnWrite(nullptr, r);  // must not crash
+  EXPECT_EQ(pipeline.stats().keys_invalidated, 1u);
+  EXPECT_EQ(pipeline.stats().purges_scheduled, 0u);
+}
+
+}  // namespace
+}  // namespace speedkit::invalidation

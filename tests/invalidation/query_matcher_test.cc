@@ -1,0 +1,162 @@
+#include "invalidation/query_matcher.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace speedkit::invalidation {
+namespace {
+
+storage::Record Product(std::string id, int64_t category, double price) {
+  storage::Record r;
+  r.id = std::move(id);
+  r.version = 1;
+  r.fields["category"] = category;
+  r.fields["price"] = price;
+  return r;
+}
+
+Query CategoryQuery(std::string id, int64_t category) {
+  Query q;
+  q.id = std::move(id);
+  q.conditions.push_back({"category", Op::kEq, category});
+  return q;
+}
+
+Query PriceQuery(std::string id, double below) {
+  Query q;
+  q.id = std::move(id);
+  q.conditions.push_back({"price", Op::kLt, below});
+  return q;
+}
+
+class QueryMatcherParam : public ::testing::TestWithParam<std::tuple<int, bool>> {
+ protected:
+  QueryMatcher MakeMatcher() {
+    auto [partitions, use_index] = GetParam();
+    return QueryMatcher(partitions, use_index);
+  }
+};
+
+TEST_P(QueryMatcherParam, MatchesAffectedSubscriptionsExactly) {
+  QueryMatcher matcher = MakeMatcher();
+  ASSERT_TRUE(matcher.Subscribe(CategoryQuery("cat1", 1)).ok());
+  ASSERT_TRUE(matcher.Subscribe(CategoryQuery("cat2", 2)).ok());
+  ASSERT_TRUE(matcher.Subscribe(PriceQuery("cheap", 50.0)).ok());
+
+  // Insert into category 1, price 20: affects cat1 and cheap, not cat2.
+  storage::Record after = Product("p1", 1, 20);
+  auto hits = matcher.MatchWrite(nullptr, after);
+  std::sort(hits.begin(), hits.end());
+  EXPECT_EQ(hits, (std::vector<std::string>{"cat1", "cheap"}));
+
+  // Move it to category 2 (leaves cat1, enters cat2, stays cheap).
+  storage::Record moved = Product("p1", 2, 20);
+  hits = matcher.MatchWrite(&after, moved);
+  std::sort(hits.begin(), hits.end());
+  EXPECT_EQ(hits, (std::vector<std::string>{"cat1", "cat2", "cheap"}));
+
+  // Price-only change within category 2, still cheap: cat2 (member
+  // changed) and cheap fire; cat1 must not.
+  storage::Record repriced = Product("p1", 2, 30);
+  hits = matcher.MatchWrite(&moved, repriced);
+  std::sort(hits.begin(), hits.end());
+  EXPECT_EQ(hits, (std::vector<std::string>{"cat2", "cheap"}));
+}
+
+TEST_P(QueryMatcherParam, UnrelatedWriteMatchesNothing) {
+  QueryMatcher matcher = MakeMatcher();
+  ASSERT_TRUE(matcher.Subscribe(CategoryQuery("cat1", 1)).ok());
+  storage::Record r = Product("p9", 7, 500);
+  EXPECT_TRUE(matcher.MatchWrite(nullptr, r).empty());
+}
+
+TEST_P(QueryMatcherParam, UnsubscribeStopsMatching) {
+  QueryMatcher matcher = MakeMatcher();
+  ASSERT_TRUE(matcher.Subscribe(CategoryQuery("cat1", 1)).ok());
+  ASSERT_TRUE(matcher.Unsubscribe("cat1").ok());
+  EXPECT_EQ(matcher.subscription_count(), 0u);
+  storage::Record r = Product("p1", 1, 20);
+  EXPECT_TRUE(matcher.MatchWrite(nullptr, r).empty());
+}
+
+TEST_P(QueryMatcherParam, ResubscribeAfterUnsubscribeReusesSlot) {
+  QueryMatcher matcher = MakeMatcher();
+  ASSERT_TRUE(matcher.Subscribe(CategoryQuery("a", 1)).ok());
+  ASSERT_TRUE(matcher.Unsubscribe("a").ok());
+  ASSERT_TRUE(matcher.Subscribe(CategoryQuery("a", 2)).ok());
+  storage::Record r = Product("p1", 2, 20);
+  auto hits = matcher.MatchWrite(nullptr, r);
+  EXPECT_EQ(hits, std::vector<std::string>{"a"});
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Configs, QueryMatcherParam,
+    ::testing::Combine(::testing::Values(1, 4, 16),
+                       ::testing::Values(false, true)));
+
+TEST(QueryMatcherTest, DuplicateSubscribeFails) {
+  QueryMatcher matcher(4, true);
+  ASSERT_TRUE(matcher.Subscribe(CategoryQuery("q", 1)).ok());
+  EXPECT_EQ(matcher.Subscribe(CategoryQuery("q", 2)).code(),
+            StatusCode::kAlreadyExists);
+  EXPECT_EQ(matcher.subscription_count(), 1u);
+}
+
+TEST(QueryMatcherTest, UnsubscribeMissingFails) {
+  QueryMatcher matcher(4, true);
+  EXPECT_TRUE(matcher.Unsubscribe("ghost").IsNotFound());
+}
+
+TEST(QueryMatcherTest, IndexPrunesCandidateProbes) {
+  // 1000 equality subscriptions on distinct categories: the index should
+  // probe ~1 candidate per write instead of all 1000.
+  QueryMatcher indexed(1, /*use_index=*/true);
+  QueryMatcher scanning(1, /*use_index=*/false);
+  for (int i = 0; i < 1000; ++i) {
+    std::string id = "cat" + std::to_string(i);
+    ASSERT_TRUE(indexed.Subscribe(CategoryQuery(id, i)).ok());
+    ASSERT_TRUE(scanning.Subscribe(CategoryQuery(id, i)).ok());
+  }
+  storage::Record r = Product("p1", 500, 20);
+  auto hits_indexed = indexed.MatchWrite(nullptr, r);
+  auto hits_scanning = scanning.MatchWrite(nullptr, r);
+  EXPECT_EQ(hits_indexed, hits_scanning);
+  EXPECT_EQ(hits_indexed, std::vector<std::string>{"cat500"});
+  EXPECT_LT(indexed.stats().candidates_probed, 20u);
+  EXPECT_EQ(scanning.stats().candidates_probed, 1000u);
+}
+
+TEST(QueryMatcherTest, IndexAndScanAgreeOnMixedPredicates) {
+  QueryMatcher indexed(4, true);
+  QueryMatcher scanning(4, false);
+  for (int i = 0; i < 50; ++i) {
+    Query eq = CategoryQuery("eq" + std::to_string(i), i % 10);
+    Query lt = PriceQuery("lt" + std::to_string(i), 10.0 * i);
+    ASSERT_TRUE(indexed.Subscribe(eq).ok());
+    ASSERT_TRUE(indexed.Subscribe(lt).ok());
+    ASSERT_TRUE(scanning.Subscribe(eq).ok());
+    ASSERT_TRUE(scanning.Subscribe(lt).ok());
+  }
+  storage::Record before = Product("p1", 3, 120);
+  storage::Record after = Product("p1", 7, 80);
+  auto a = indexed.MatchWrite(&before, after);
+  auto b = scanning.MatchWrite(&before, after);
+  std::sort(a.begin(), a.end());
+  std::sort(b.begin(), b.end());
+  EXPECT_EQ(a, b);
+  EXPECT_FALSE(a.empty());
+}
+
+TEST(QueryMatcherTest, StatsCountHits) {
+  QueryMatcher matcher(2, true);
+  ASSERT_TRUE(matcher.Subscribe(CategoryQuery("c", 1)).ok());
+  storage::Record r = Product("p1", 1, 5);
+  matcher.MatchWrite(nullptr, r);
+  matcher.MatchWrite(nullptr, r);
+  EXPECT_EQ(matcher.stats().writes_matched, 2u);
+  EXPECT_EQ(matcher.stats().hits, 2u);
+}
+
+}  // namespace
+}  // namespace speedkit::invalidation

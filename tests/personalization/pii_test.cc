@@ -1,0 +1,110 @@
+#include "personalization/pii.h"
+
+#include <gtest/gtest.h>
+
+namespace speedkit::personalization {
+namespace {
+
+http::HttpRequest Request(std::string_view url) {
+  return http::HttpRequest::Get(*http::Url::Parse(url));
+}
+
+TEST(PiiFieldTest, KnownFieldsDetected) {
+  EXPECT_TRUE(IsPiiFieldName("email"));
+  EXPECT_TRUE(IsPiiFieldName("EMAIL"));
+  EXPECT_TRUE(IsPiiFieldName("user_id"));
+  EXPECT_TRUE(IsPiiFieldName("cart"));
+  EXPECT_FALSE(IsPiiFieldName("price"));
+  EXPECT_FALSE(IsPiiFieldName("category"));
+}
+
+TEST(PiiVaultTest, PutGet) {
+  PiiVault vault(42);
+  vault.Put("name", "Ada");
+  EXPECT_EQ(vault.Get("name").value(), "Ada");
+  EXPECT_FALSE(vault.Get("email").has_value());
+  EXPECT_EQ(vault.user_id(), 42u);
+}
+
+TEST(PiiVaultTest, RenderLocallySubstitutesPlaceholders) {
+  PiiVault vault(42);
+  vault.Put("name", "Ada");
+  vault.Put("cart", "3 items");
+  EXPECT_EQ(vault.RenderLocally("Hello {{name}}, cart: {{ cart }}!"),
+            "Hello Ada, cart: 3 items!");
+}
+
+TEST(PiiVaultTest, RenderLocallyUnknownFieldsEmpty) {
+  PiiVault vault(42);
+  EXPECT_EQ(vault.RenderLocally("Hi {{ghost}}!"), "Hi !");
+}
+
+TEST(PiiVaultTest, RenderLocallyMalformedTemplate) {
+  PiiVault vault(42);
+  vault.Put("name", "Ada");
+  // Unclosed placeholder: rest is passed through verbatim.
+  EXPECT_EQ(vault.RenderLocally("Hi {{name"), "Hi {{name");
+  EXPECT_EQ(vault.RenderLocally("no placeholders"), "no placeholders");
+  EXPECT_EQ(vault.RenderLocally(""), "");
+}
+
+TEST(BoundaryAuditorTest, CleanRequestPasses) {
+  BoundaryAuditor auditor;
+  auditor.RegisterSensitive("ada@example.org");
+  EXPECT_TRUE(auditor.Inspect(Request("https://shop.example.com/p/1")));
+  EXPECT_EQ(auditor.violations(), 0u);
+  EXPECT_EQ(auditor.inspected(), 1u);
+}
+
+TEST(BoundaryAuditorTest, DetectsTokenInUrl) {
+  BoundaryAuditor auditor;
+  auditor.RegisterSensitive("user-777");
+  EXPECT_FALSE(
+      auditor.Inspect(Request("https://shop.example.com/rec?id=user-777")));
+  EXPECT_EQ(auditor.violations(), 1u);
+  ASSERT_EQ(auditor.samples().size(), 1u);
+  EXPECT_EQ(auditor.samples()[0].location, "url");
+  EXPECT_EQ(auditor.samples()[0].leaked_token, "user-777");
+}
+
+TEST(BoundaryAuditorTest, DetectsTokenInHeaderAndBody) {
+  BoundaryAuditor auditor;
+  auditor.RegisterSensitive("secret-token");
+  http::HttpRequest req = Request("https://shop.example.com/x");
+  req.headers.Set("Cookie", "sess=secret-token");
+  EXPECT_FALSE(auditor.Inspect(req));
+  EXPECT_EQ(auditor.samples()[0].location, "header");
+
+  http::HttpRequest req2 = Request("https://shop.example.com/x");
+  req2.body = "payload with secret-token inside";
+  EXPECT_FALSE(auditor.Inspect(req2));
+  EXPECT_EQ(auditor.samples()[1].location, "body");
+}
+
+TEST(BoundaryAuditorTest, RegisterVaultCoversUserIdAndFields) {
+  PiiVault vault(777);
+  vault.Put("email", "ada@example.org");
+  BoundaryAuditor auditor;
+  auditor.RegisterVault(vault);
+  EXPECT_FALSE(
+      auditor.Inspect(Request("https://shop.example.com/f?user=777")));
+  EXPECT_FALSE(auditor.Inspect(
+      Request("https://shop.example.com/f?mail=ada@example.org")));
+}
+
+TEST(BoundaryAuditorTest, ShortTokensIgnored) {
+  BoundaryAuditor auditor;
+  auditor.RegisterSensitive("ab");  // too short: would match everywhere
+  EXPECT_TRUE(auditor.Inspect(Request("https://shop.example.com/abc")));
+}
+
+TEST(BoundaryAuditorTest, DuplicateRegistrationIsIdempotent) {
+  BoundaryAuditor auditor;
+  auditor.RegisterSensitive("token-x");
+  auditor.RegisterSensitive("token-x");
+  EXPECT_FALSE(auditor.Inspect(Request("https://a.com/?t=token-x")));
+  EXPECT_EQ(auditor.violations(), 1u);  // one hit, not two
+}
+
+}  // namespace
+}  // namespace speedkit::personalization

@@ -1,0 +1,89 @@
+#include "sim/event_queue.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace speedkit::sim {
+namespace {
+
+TEST(SimClockTest, StartsAtOriginAndAdvances) {
+  SimClock clock;
+  EXPECT_EQ(clock.Now(), SimTime::Origin());
+  clock.Advance(Duration::Seconds(5));
+  EXPECT_EQ(clock.Now().seconds(), 5.0);
+  clock.AdvanceTo(SimTime::FromMicros(3000000));  // backwards: ignored
+  EXPECT_EQ(clock.Now().seconds(), 5.0);
+}
+
+TEST(EventQueueTest, RunsEventsInTimeOrder) {
+  SimClock clock;
+  EventQueue q(&clock);
+  std::vector<int> order;
+  q.At(SimTime::FromMicros(300), [&] { order.push_back(3); });
+  q.At(SimTime::FromMicros(100), [&] { order.push_back(1); });
+  q.At(SimTime::FromMicros(200), [&] { order.push_back(2); });
+  EXPECT_EQ(q.RunAll(), 3u);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(clock.Now().micros(), 300);
+}
+
+TEST(EventQueueTest, TiesBreakInInsertionOrder) {
+  SimClock clock;
+  EventQueue q(&clock);
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    q.At(SimTime::FromMicros(10), [&order, i] { order.push_back(i); });
+  }
+  q.RunAll();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueueTest, PastEventsClampToNow) {
+  SimClock clock;
+  clock.Advance(Duration::Seconds(10));
+  EventQueue q(&clock);
+  bool ran = false;
+  q.At(SimTime::FromMicros(5), [&] { ran = true; });  // in the past
+  q.RunUntil(clock.Now());
+  EXPECT_TRUE(ran);
+  EXPECT_EQ(clock.Now().seconds(), 10.0);
+}
+
+TEST(EventQueueTest, RunUntilStopsAtBoundaryAndAdvancesClock) {
+  SimClock clock;
+  EventQueue q(&clock);
+  int ran = 0;
+  q.At(SimTime::FromMicros(100), [&] { ran++; });
+  q.At(SimTime::FromMicros(900), [&] { ran++; });
+  EXPECT_EQ(q.RunUntil(SimTime::FromMicros(500)), 1u);
+  EXPECT_EQ(ran, 1);
+  EXPECT_EQ(clock.Now().micros(), 500);  // advanced to the boundary
+  EXPECT_EQ(q.pending(), 1u);
+}
+
+TEST(EventQueueTest, EventsCanScheduleMoreEvents) {
+  SimClock clock;
+  EventQueue q(&clock);
+  int depth = 0;
+  std::function<void()> chain = [&]() {
+    if (++depth < 5) q.After(Duration::Millis(10), chain);
+  };
+  q.After(Duration::Millis(10), chain);
+  q.RunAll();
+  EXPECT_EQ(depth, 5);
+  EXPECT_EQ(clock.Now().micros(), 50000);
+}
+
+TEST(EventQueueTest, AfterUsesCurrentClock) {
+  SimClock clock;
+  clock.Advance(Duration::Seconds(100));
+  EventQueue q(&clock);
+  SimTime fired;
+  q.After(Duration::Seconds(2), [&] { fired = clock.Now(); });
+  q.RunAll();
+  EXPECT_EQ(fired.seconds(), 102.0);
+}
+
+}  // namespace
+}  // namespace speedkit::sim

@@ -1,0 +1,77 @@
+#include "sim/network.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+namespace speedkit::sim {
+namespace {
+
+TEST(NetworkTest, InstantConfigIsZeroCost) {
+  Network net(NetworkConfig::Instant(), Pcg32(1));
+  EXPECT_EQ(net.SampleRtt(Link::kClientEdge), Duration::Zero());
+  EXPECT_EQ(net.RequestTime(Link::kClientOrigin, 1 << 20).micros(), 0);
+}
+
+TEST(NetworkTest, MedianRttRoughlyMatchesSpec) {
+  NetworkConfig config;
+  config.client_edge = LinkSpec{Duration::Millis(20), 0.25, 8.0e6};
+  Network net(config, Pcg32(7));
+  std::vector<int64_t> samples;
+  for (int i = 0; i < 10001; ++i) {
+    samples.push_back(net.SampleRtt(Link::kClientEdge).micros());
+  }
+  std::nth_element(samples.begin(), samples.begin() + samples.size() / 2,
+                   samples.end());
+  EXPECT_NEAR(static_cast<double>(samples[samples.size() / 2]), 20000.0,
+              1000.0);
+}
+
+TEST(NetworkTest, ZeroSigmaIsDeterministic) {
+  NetworkConfig config;
+  config.client_origin = LinkSpec{Duration::Millis(100), 0.0, 4.0e6};
+  Network net(config, Pcg32(7));
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(net.SampleRtt(Link::kClientOrigin), Duration::Millis(100));
+  }
+}
+
+TEST(NetworkTest, RttHasHeavyRightTail) {
+  NetworkConfig config;
+  config.edge_origin = LinkSpec{Duration::Millis(80), 0.4, 12.0e6};
+  Network net(config, Pcg32(11));
+  int above_2x = 0;
+  for (int i = 0; i < 10000; ++i) {
+    if (net.SampleRtt(Link::kEdgeOrigin) > Duration::Millis(160)) ++above_2x;
+  }
+  // Lognormal(0.4): P(X > 2*median) ~ 4%; a symmetric dist would give ~0.
+  EXPECT_GT(above_2x, 100);
+  EXPECT_LT(above_2x, 1500);
+}
+
+TEST(NetworkTest, TransferTimeScalesWithBytes) {
+  NetworkConfig config;
+  config.client_edge.bandwidth_bytes_per_sec = 1.0e6;  // 1 MB/s
+  Network net(config, Pcg32(3));
+  EXPECT_EQ(net.TransferTime(Link::kClientEdge, 1000000).seconds(), 1.0);
+  EXPECT_EQ(net.TransferTime(Link::kClientEdge, 0).micros(), 0);
+}
+
+TEST(NetworkTest, RequestTimeIsRttPlusTransfer) {
+  NetworkConfig config;
+  config.client_origin = LinkSpec{Duration::Millis(100), 0.0, 1.0e6};
+  Network net(config, Pcg32(3));
+  Duration t = net.RequestTime(Link::kClientOrigin, 500000);
+  EXPECT_EQ(t, Duration::Millis(100) + Duration::Millis(500));
+}
+
+TEST(NetworkTest, LinksHaveIndependentSpecs) {
+  NetworkConfig config;  // defaults: edge nearer than origin
+  Network net(config, Pcg32(3));
+  EXPECT_LT(net.spec(Link::kClientEdge).median_rtt,
+            net.spec(Link::kClientOrigin).median_rtt);
+}
+
+}  // namespace
+}  // namespace speedkit::sim

@@ -1,0 +1,134 @@
+#include "sketch/bloom_filter.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <tuple>
+
+namespace speedkit::sketch {
+namespace {
+
+std::string Key(int i) { return "https://shop.example.com/api/records/p" + std::to_string(i); }
+
+TEST(BloomFilterTest, NoFalseNegatives) {
+  BloomFilter filter(1 << 14, 7);
+  for (int i = 0; i < 1000; ++i) filter.Add(Key(i));
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_TRUE(filter.MightContain(Key(i))) << "false negative at " << i;
+  }
+}
+
+TEST(BloomFilterTest, EmptyFilterContainsNothing) {
+  BloomFilter filter(1024, 4);
+  EXPECT_FALSE(filter.MightContain("anything"));
+  EXPECT_EQ(filter.PopCount(), 0u);
+  EXPECT_EQ(filter.EstimatedFpr(), 0.0);
+}
+
+TEST(BloomFilterTest, ClearResets) {
+  BloomFilter filter(1024, 4);
+  filter.Add("a");
+  EXPECT_TRUE(filter.MightContain("a"));
+  filter.Clear();
+  EXPECT_FALSE(filter.MightContain("a"));
+  EXPECT_EQ(filter.PopCount(), 0u);
+}
+
+TEST(BloomFilterTest, BitsRoundedUpToWord) {
+  BloomFilter filter(65, 3);
+  EXPECT_EQ(filter.bits(), 128u);
+  BloomFilter tiny(1, 3);
+  EXPECT_EQ(tiny.bits(), 64u);
+}
+
+TEST(BloomFilterTest, HashCountClamped) {
+  EXPECT_EQ(BloomFilter(64, 0).num_hashes(), 1);
+  EXPECT_EQ(BloomFilter(64, 99).num_hashes(), 16);
+}
+
+TEST(BloomFilterTest, OptimalSizingMatchesTheory) {
+  // m = -n ln p / ln2^2: for n=1000, p=0.01 -> ~9585 bits, k ~ 7.
+  size_t bits = BloomFilter::OptimalBits(1000, 0.01);
+  EXPECT_NEAR(static_cast<double>(bits), 9585.0, 2.0);
+  EXPECT_EQ(BloomFilter::OptimalHashes(bits, 1000), 7);
+}
+
+TEST(BloomFilterTest, SerializeDeserializeRoundTrip) {
+  BloomFilter filter(2048, 5);
+  for (int i = 0; i < 100; ++i) filter.Add(Key(i));
+  std::string bytes = filter.Serialize();
+  auto restored = BloomFilter::Deserialize(bytes);
+  ASSERT_TRUE(restored.ok());
+  EXPECT_TRUE(*restored == filter);
+  for (int i = 0; i < 100; ++i) EXPECT_TRUE(restored->MightContain(Key(i)));
+}
+
+TEST(BloomFilterTest, SerializedSizeIsHeaderPlusWords) {
+  BloomFilter filter(1024, 4);
+  EXPECT_EQ(filter.Serialize().size(), 8u + 1024 / 8);
+}
+
+TEST(BloomFilterTest, DeserializeRejectsGarbage) {
+  EXPECT_FALSE(BloomFilter::Deserialize("").ok());
+  EXPECT_FALSE(BloomFilter::Deserialize("short").ok());
+  // Valid header but truncated body.
+  std::string bytes = BloomFilter(1024, 4).Serialize();
+  bytes.resize(bytes.size() - 1);
+  EXPECT_FALSE(BloomFilter::Deserialize(bytes).ok());
+  // Corrupt hash count.
+  bytes = BloomFilter(1024, 4).Serialize();
+  bytes[4] = 99;
+  EXPECT_FALSE(BloomFilter::Deserialize(bytes).ok());
+}
+
+// ---------------------------------------------------------------------------
+// Property: measured FPR stays within ~2x of the analytic optimum across
+// filter sizings (the sketch's protocol-level guarantee is "false positives
+// are rare and bounded"; a broken hash or indexing bug shows up here).
+// ---------------------------------------------------------------------------
+
+class BloomFprProperty
+    : public ::testing::TestWithParam<std::tuple<int, double>> {};
+
+TEST_P(BloomFprProperty, MeasuredFprNearAnalytic) {
+  auto [n, target_fpr] = GetParam();
+  BloomFilter filter = BloomFilter::ForCapacity(n, target_fpr);
+  for (int i = 0; i < n; ++i) filter.Add(Key(i));
+
+  int false_positives = 0;
+  constexpr int kProbes = 20000;
+  for (int i = 0; i < kProbes; ++i) {
+    if (filter.MightContain("absent/" + std::to_string(i))) {
+      ++false_positives;
+    }
+  }
+  double measured = static_cast<double>(false_positives) / kProbes;
+  EXPECT_LT(measured, target_fpr * 2.0 + 0.002)
+      << "n=" << n << " target=" << target_fpr;
+  // The estimator from fill factor should agree with measurement.
+  EXPECT_NEAR(filter.EstimatedFpr(), measured, target_fpr + 0.002);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sizings, BloomFprProperty,
+    ::testing::Combine(::testing::Values(100, 1000, 10000),
+                       ::testing::Values(0.1, 0.05, 0.01)));
+
+// Property: no false negatives for any sizing, even undersized filters.
+class BloomNoFalseNegativeProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(BloomNoFalseNegativeProperty, AllInsertedFound) {
+  int n = GetParam();
+  BloomFilter filter(256, 4);  // deliberately small: heavy saturation
+  for (int i = 0; i < n; ++i) filter.Add(Key(i));
+  for (int i = 0; i < n; ++i) {
+    ASSERT_TRUE(filter.MightContain(Key(i)));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Loads, BloomNoFalseNegativeProperty,
+                         ::testing::Values(1, 10, 100, 1000, 5000));
+
+}  // namespace
+}  // namespace speedkit::sketch

@@ -1,0 +1,143 @@
+#include "sketch/cache_sketch.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace speedkit::sketch {
+namespace {
+
+SimTime At(double seconds) {
+  return SimTime::Origin() + Duration::Seconds(seconds);
+}
+
+TEST(CacheSketchTest, ReportedKeyAppearsInSnapshot) {
+  CacheSketch sketch(1000, 0.01);
+  sketch.ReportInvalidation("k1", At(60), At(0));
+  BloomFilter snap = sketch.Snapshot(At(1));
+  EXPECT_TRUE(snap.MightContain("k1"));
+  EXPECT_TRUE(sketch.Contains("k1"));
+  EXPECT_EQ(sketch.entries(), 1u);
+}
+
+TEST(CacheSketchTest, KeyExpiresAtStaleHorizon) {
+  CacheSketch sketch(1000, 0.01);
+  sketch.ReportInvalidation("k1", At(60), At(0));
+  EXPECT_TRUE(sketch.Snapshot(At(59)).MightContain("k1"));
+  EXPECT_FALSE(sketch.Snapshot(At(60)).MightContain("k1"));
+  EXPECT_EQ(sketch.entries(), 0u);
+  EXPECT_EQ(sketch.stats().expirations, 1u);
+}
+
+TEST(CacheSketchTest, PastHorizonReportsDropped) {
+  CacheSketch sketch(1000, 0.01);
+  sketch.ReportInvalidation("k1", At(5), At(10));  // already expired
+  EXPECT_FALSE(sketch.Contains("k1"));
+  EXPECT_EQ(sketch.stats().inserts, 0u);
+  EXPECT_EQ(sketch.stats().reports, 1u);
+}
+
+TEST(CacheSketchTest, ReReportExtendsHorizon) {
+  CacheSketch sketch(1000, 0.01);
+  sketch.ReportInvalidation("k1", At(30), At(0));
+  sketch.ReportInvalidation("k1", At(90), At(10));  // extend
+  EXPECT_EQ(sketch.stats().inserts, 1u);
+  EXPECT_EQ(sketch.stats().extensions, 1u);
+  EXPECT_TRUE(sketch.Snapshot(At(60)).MightContain("k1"));
+  EXPECT_FALSE(sketch.Snapshot(At(90)).MightContain("k1"));
+}
+
+TEST(CacheSketchTest, ShorterReReportDoesNotShrinkHorizon) {
+  CacheSketch sketch(1000, 0.01);
+  sketch.ReportInvalidation("k1", At(90), At(0));
+  sketch.ReportInvalidation("k1", At(30), At(1));  // must not shrink
+  EXPECT_TRUE(sketch.Snapshot(At(60)).MightContain("k1"));
+}
+
+TEST(CacheSketchTest, ManyKeysExpireIndependently) {
+  CacheSketch sketch(10000, 0.01);
+  for (int i = 0; i < 100; ++i) {
+    sketch.ReportInvalidation("k" + std::to_string(i), At(10 + i), At(0));
+  }
+  sketch.ExpireUntil(At(60));
+  // Keys with horizon <= 60s (i <= 50) are gone; later ones remain.
+  EXPECT_FALSE(sketch.Contains("k0"));
+  EXPECT_FALSE(sketch.Contains("k50"));
+  EXPECT_TRUE(sketch.Contains("k51"));
+  EXPECT_TRUE(sketch.Contains("k99"));
+  EXPECT_EQ(sketch.entries(), 49u);
+}
+
+TEST(CacheSketchTest, SnapshotNeverMissesTrackedKey) {
+  // Protocol invariant: the snapshot must contain every tracked key — a
+  // miss would let a client serve a stale copy. Heavy load included.
+  CacheSketch sketch(500, 0.05);  // deliberately undersized vs. load below
+  for (int i = 0; i < 2000; ++i) {
+    sketch.ReportInvalidation("key" + std::to_string(i), At(100), At(0));
+  }
+  BloomFilter snap = sketch.Snapshot(At(1));
+  for (int i = 0; i < 2000; ++i) {
+    ASSERT_TRUE(snap.MightContain("key" + std::to_string(i))) << i;
+  }
+}
+
+TEST(CacheSketchTest, SerializedSnapshotDeserializes) {
+  CacheSketch sketch(1000, 0.01);
+  sketch.ReportInvalidation("k1", At(60), At(0));
+  auto filter = BloomFilter::Deserialize(sketch.SerializedSnapshot(At(1)));
+  ASSERT_TRUE(filter.ok());
+  EXPECT_TRUE(filter->MightContain("k1"));
+}
+
+TEST(CacheSketchTest, ExpirationRemovesFromFilterToo) {
+  CacheSketch sketch(1000, 0.001);
+  sketch.ReportInvalidation("solo", At(10), At(0));
+  sketch.ExpireUntil(At(10));
+  // With one key and a tight FPR the filter should be clean again.
+  EXPECT_FALSE(sketch.Snapshot(At(11)).MightContain("solo"));
+  EXPECT_EQ(sketch.Snapshot(At(11)).PopCount(), 0u);
+}
+
+TEST(CacheSketchTest, CompactSnapshotContainsAllTrackedKeys) {
+  CacheSketch sketch(100000, 0.05);  // provisioned far above actual load
+  for (int i = 0; i < 500; ++i) {
+    sketch.ReportInvalidation("k" + std::to_string(i), At(100), At(0));
+  }
+  BloomFilter compact = sketch.CompactSnapshot(At(1), 0.02);
+  for (int i = 0; i < 500; ++i) {
+    ASSERT_TRUE(compact.MightContain("k" + std::to_string(i))) << i;
+  }
+}
+
+TEST(CacheSketchTest, CompactSnapshotSizeScalesWithEntriesNotCapacity) {
+  CacheSketch sketch(100000, 0.05);
+  for (int i = 0; i < 100; ++i) {
+    sketch.ReportInvalidation("k" + std::to_string(i), At(100), At(0));
+  }
+  BloomFilter compact = sketch.CompactSnapshot(At(1), 0.02);
+  BloomFilter provisioned = sketch.Snapshot(At(1));
+  EXPECT_LT(compact.SizeBytes() * 100, provisioned.SizeBytes());
+  // And it keeps the target FPR.
+  int false_positives = 0;
+  for (int i = 0; i < 20000; ++i) {
+    if (compact.MightContain("absent" + std::to_string(i))) ++false_positives;
+  }
+  EXPECT_LT(false_positives / 20000.0, 0.05);
+}
+
+TEST(CacheSketchTest, EmptyCompactSnapshotIsTiny) {
+  CacheSketch sketch(100000, 0.05);
+  BloomFilter compact = sketch.CompactSnapshot(At(0));
+  EXPECT_EQ(compact.PopCount(), 0u);
+  EXPECT_LE(compact.SizeBytes(), 64u);
+}
+
+TEST(CacheSketchTest, StatsTrackSnapshots) {
+  CacheSketch sketch(100, 0.01);
+  sketch.Snapshot(At(0));
+  sketch.Snapshot(At(1));
+  EXPECT_EQ(sketch.stats().snapshots, 2u);
+}
+
+}  // namespace
+}  // namespace speedkit::sketch

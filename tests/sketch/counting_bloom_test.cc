@@ -1,0 +1,99 @@
+#include "sketch/counting_bloom.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace speedkit::sketch {
+namespace {
+
+std::string Key(int i) { return "key/" + std::to_string(i); }
+
+TEST(CountingBloomTest, AddThenContains) {
+  CountingBloomFilter cbf(4096, 5);
+  cbf.Add("a");
+  EXPECT_TRUE(cbf.MightContain("a"));
+  EXPECT_FALSE(cbf.MightContain("b"));
+}
+
+TEST(CountingBloomTest, RemoveDeletesKey) {
+  CountingBloomFilter cbf(4096, 5);
+  cbf.Add("a");
+  cbf.Remove("a");
+  EXPECT_FALSE(cbf.MightContain("a"));
+}
+
+TEST(CountingBloomTest, RemoveDoesNotDisturbOtherKeys) {
+  CountingBloomFilter cbf(1 << 14, 5);
+  for (int i = 0; i < 500; ++i) cbf.Add(Key(i));
+  for (int i = 0; i < 250; ++i) cbf.Remove(Key(i));
+  // Every remaining key must still be found (no false negatives).
+  for (int i = 250; i < 500; ++i) {
+    EXPECT_TRUE(cbf.MightContain(Key(i))) << i;
+  }
+}
+
+TEST(CountingBloomTest, DoubleAddNeedsDoubleRemove) {
+  CountingBloomFilter cbf(4096, 5);
+  cbf.Add("a");
+  cbf.Add("a");
+  cbf.Remove("a");
+  EXPECT_TRUE(cbf.MightContain("a"));
+  cbf.Remove("a");
+  EXPECT_FALSE(cbf.MightContain("a"));
+}
+
+TEST(CountingBloomTest, SaturatedCountersAreSticky) {
+  CountingBloomFilter cbf(64, 1);
+  // 16+ adds of the same key saturate its counter at 15.
+  for (int i = 0; i < 20; ++i) cbf.Add("hot");
+  EXPECT_GE(cbf.saturated_cells(), 1u);
+  // Removing 20 times must NOT produce a false negative for another key
+  // hashing to the same cell: the counter sticks at 15.
+  for (int i = 0; i < 20; ++i) cbf.Remove("hot");
+  EXPECT_TRUE(cbf.MightContain("hot"));  // sticky, conservative
+}
+
+TEST(CountingBloomTest, CellsRounding) {
+  CountingBloomFilter cbf(100, 4);
+  EXPECT_EQ(cbf.cells(), 128u);
+}
+
+TEST(CountingBloomTest, ClearResets) {
+  CountingBloomFilter cbf(1024, 4);
+  cbf.Add("a");
+  cbf.Clear();
+  EXPECT_FALSE(cbf.MightContain("a"));
+  EXPECT_EQ(cbf.saturated_cells(), 0u);
+}
+
+TEST(CountingBloomTest, MaterializeMatchesMembership) {
+  CountingBloomFilter cbf(1 << 13, 6);
+  for (int i = 0; i < 300; ++i) cbf.Add(Key(i));
+  for (int i = 100; i < 200; ++i) cbf.Remove(Key(i));
+  BloomFilter snapshot = cbf.Materialize();
+  EXPECT_EQ(snapshot.bits(), cbf.cells());
+  EXPECT_EQ(snapshot.num_hashes(), cbf.num_hashes());
+  // Snapshot and CBF must answer identically on inserted & removed keys.
+  for (int i = 0; i < 300; ++i) {
+    EXPECT_EQ(snapshot.MightContain(Key(i)), cbf.MightContain(Key(i))) << i;
+  }
+}
+
+TEST(CountingBloomTest, MaterializeOfEmptyIsEmpty) {
+  CountingBloomFilter cbf(1024, 4);
+  BloomFilter snapshot = cbf.Materialize();
+  EXPECT_EQ(snapshot.PopCount(), 0u);
+}
+
+TEST(CountingBloomTest, MaterializedSnapshotSerializes) {
+  CountingBloomFilter cbf(2048, 5);
+  cbf.Add("x");
+  std::string bytes = cbf.Materialize().Serialize();
+  auto restored = BloomFilter::Deserialize(bytes);
+  ASSERT_TRUE(restored.ok());
+  EXPECT_TRUE(restored->MightContain("x"));
+}
+
+}  // namespace
+}  // namespace speedkit::sketch

@@ -1,0 +1,90 @@
+// Robustness fuzz: random corruption of serialized Bloom snapshots must
+// never crash, and either fails Deserialize or yields a filter that is
+// structurally sane. The snapshot crosses a (simulated) network boundary —
+// treat it as untrusted input.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/random.h"
+#include "sketch/bloom_filter.h"
+#include "sketch/client_sketch.h"
+
+namespace speedkit::sketch {
+namespace {
+
+std::string ValidSnapshot() {
+  BloomFilter filter(2048, 5);
+  for (int i = 0; i < 100; ++i) filter.Add("key" + std::to_string(i));
+  return filter.Serialize();
+}
+
+TEST(SerializationFuzzTest, RandomByteFlipsNeverCrash) {
+  std::string valid = ValidSnapshot();
+  Pcg32 rng(5);
+  for (int round = 0; round < 2000; ++round) {
+    std::string corrupted = valid;
+    uint32_t flips = 1 + rng.NextBounded(8);
+    for (uint32_t i = 0; i < flips; ++i) {
+      size_t pos = rng.NextBounded(static_cast<uint32_t>(corrupted.size()));
+      corrupted[pos] = static_cast<char>(corrupted[pos] ^
+                                         (1 << rng.NextBounded(8)));
+    }
+    auto result = BloomFilter::Deserialize(corrupted);
+    if (result.ok()) {
+      // Body flips are undetectable (no checksum by design: the sketch is
+      // advisory); the filter must still be structurally sound.
+      EXPECT_GE(result->bits(), 64u);
+      EXPECT_GE(result->num_hashes(), 1);
+      EXPECT_LE(result->num_hashes(), 16);
+      result->MightContain("probe");  // must not crash
+    }
+  }
+}
+
+TEST(SerializationFuzzTest, RandomTruncationsNeverCrash) {
+  std::string valid = ValidSnapshot();
+  for (size_t len = 0; len < valid.size(); len += 7) {
+    auto result = BloomFilter::Deserialize(valid.substr(0, len));
+    EXPECT_FALSE(result.ok()) << "truncated to " << len;
+  }
+}
+
+TEST(SerializationFuzzTest, RandomGarbageNeverCrashes) {
+  Pcg32 rng(9);
+  for (int round = 0; round < 500; ++round) {
+    std::string garbage(rng.NextBounded(4096), '\0');
+    for (char& c : garbage) c = static_cast<char>(rng.Next());
+    auto result = BloomFilter::Deserialize(garbage);
+    if (result.ok()) {
+      result->MightContain("probe");
+    }
+  }
+}
+
+TEST(SerializationFuzzTest, ClientSketchSurvivesCorruptStream) {
+  // A client fed a mix of valid and corrupt snapshots must keep working
+  // and keep its last good snapshot on corrupt input.
+  ClientSketch client(Duration::Seconds(30));
+  std::string valid = ValidSnapshot();
+  Pcg32 rng(13);
+  SimTime t;
+  int accepted = 0;
+  for (int round = 0; round < 200; ++round) {
+    t = t + Duration::Seconds(31);
+    if (rng.WithProbability(0.5)) {
+      if (client.Update(valid, t).ok()) ++accepted;
+    } else {
+      std::string bad = valid.substr(0, rng.NextBounded(
+                                            static_cast<uint32_t>(valid.size())));
+      EXPECT_FALSE(client.Update(bad, t).ok());
+    }
+    client.MightBeStale("key1");
+  }
+  EXPECT_GT(accepted, 0);
+  EXPECT_TRUE(client.MightBeStale("key1"));     // from last good snapshot
+  EXPECT_FALSE(client.MightBeStale("not-in"));  // and it still discriminates
+}
+
+}  // namespace
+}  // namespace speedkit::sketch

@@ -1,0 +1,97 @@
+#include "workload/trace.h"
+
+#include <gtest/gtest.h>
+
+namespace speedkit::workload {
+namespace {
+
+SimTime At(double seconds) {
+  return SimTime::Origin() + Duration::Seconds(seconds);
+}
+
+Trace SampleTrace() {
+  Trace trace;
+  trace.AddFetch(At(1), 7, "https://shop.example.com/api/records/p1");
+  trace.AddWrite(At(2), "p1",
+                 {{"price", 19.5},
+                  {"stock", static_cast<int64_t>(3)},
+                  {"title", std::string("Shoe\twith tab")},
+                  {"on_sale", true}});
+  trace.AddFetch(At(3), 8, "https://shop.example.com/pages/home");
+  return trace;
+}
+
+TEST(TraceTest, SerializeDeserializeRoundTrip) {
+  Trace original = SampleTrace();
+  auto restored = Trace::Deserialize(original.Serialize());
+  ASSERT_TRUE(restored.ok());
+  ASSERT_EQ(restored->size(), 3u);
+  const auto& events = restored->events();
+
+  EXPECT_EQ(events[0].kind, TraceEvent::Kind::kFetch);
+  EXPECT_EQ(events[0].at, At(1));
+  EXPECT_EQ(events[0].client_id, 7u);
+  EXPECT_EQ(events[0].url, "https://shop.example.com/api/records/p1");
+
+  EXPECT_EQ(events[1].kind, TraceEvent::Kind::kWrite);
+  EXPECT_EQ(events[1].record_id, "p1");
+  ASSERT_EQ(events[1].fields.size(), 4u);
+  EXPECT_DOUBLE_EQ(std::get<double>(events[1].fields.at("price")), 19.5);
+  EXPECT_EQ(std::get<int64_t>(events[1].fields.at("stock")), 3);
+  EXPECT_EQ(std::get<std::string>(events[1].fields.at("title")),
+            "Shoe\twith tab");
+  EXPECT_EQ(std::get<bool>(events[1].fields.at("on_sale")), true);
+}
+
+TEST(TraceTest, DoubleRoundTripIsStable) {
+  std::string once = SampleTrace().Serialize();
+  auto restored = Trace::Deserialize(once);
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ(restored->Serialize(), once);
+}
+
+TEST(TraceTest, EmptyTrace) {
+  Trace trace;
+  EXPECT_TRUE(trace.empty());
+  auto restored = Trace::Deserialize(trace.Serialize());
+  ASSERT_TRUE(restored.ok());
+  EXPECT_TRUE(restored->empty());
+}
+
+TEST(TraceTest, SortByTimeIsStableForTies) {
+  Trace trace;
+  trace.AddFetch(At(5), 1, "b");
+  trace.AddFetch(At(1), 2, "a");
+  trace.AddFetch(At(5), 3, "c");  // tie with first
+  trace.SortByTime();
+  EXPECT_EQ(trace.events()[0].url, "a");
+  EXPECT_EQ(trace.events()[1].url, "b");
+  EXPECT_EQ(trace.events()[2].url, "c");
+}
+
+TEST(TraceTest, DeserializeRejectsGarbage) {
+  EXPECT_FALSE(Trace::Deserialize("X\t1\t2\n").ok());
+  EXPECT_FALSE(Trace::Deserialize("F\tabc\t1\turl\n").ok());
+  EXPECT_FALSE(Trace::Deserialize("F\t1\tnotnum\turl\n").ok());
+  EXPECT_FALSE(Trace::Deserialize("F\t1\t2\n").ok());           // no url
+  EXPECT_FALSE(Trace::Deserialize("W\t1\tp1\tnovalue\n").ok()); // no '='
+  EXPECT_FALSE(Trace::Deserialize("W\t1\tp1\tf=z:9\n").ok());   // bad tag
+  EXPECT_FALSE(Trace::Deserialize("W\t1\tp1\tf=i:xy\n").ok());  // bad int
+}
+
+TEST(TraceTest, NegativeIntsSupported) {
+  Trace trace;
+  trace.AddWrite(At(1), "p", {{"delta", static_cast<int64_t>(-42)}});
+  auto restored = Trace::Deserialize(trace.Serialize());
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ(std::get<int64_t>(restored->events()[0].fields.at("delta")), -42);
+}
+
+TEST(TraceTest, BlankLinesIgnored) {
+  auto restored = Trace::Deserialize("\n\nF\t1000000\t1\turl-x\n\n");
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ(restored->size(), 1u);
+}
+
+}  // namespace
+}  // namespace speedkit::workload

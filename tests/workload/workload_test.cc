@@ -1,0 +1,211 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "workload/catalog.h"
+#include "workload/session.h"
+#include "workload/write_process.h"
+#include "workload/zipf.h"
+
+namespace speedkit::workload {
+namespace {
+
+SimTime At(double seconds) {
+  return SimTime::Origin() + Duration::Seconds(seconds);
+}
+
+TEST(ZipfTest, UniformWhenSZero) {
+  ZipfGenerator zipf(10, 0.0);
+  for (size_t k = 0; k < 10; ++k) {
+    EXPECT_NEAR(zipf.Pmf(k), 0.1, 1e-9);
+  }
+}
+
+TEST(ZipfTest, PmfSumsToOne) {
+  ZipfGenerator zipf(1000, 0.99);
+  double sum = 0;
+  for (size_t k = 0; k < 1000; ++k) sum += zipf.Pmf(k);
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(ZipfTest, SkewConcentratesMassOnHead) {
+  ZipfGenerator zipf(10000, 0.99);
+  // Rank-0 mass under Zipf(0.99, 10k) is ~10%.
+  EXPECT_GT(zipf.Pmf(0), 0.05);
+  EXPECT_LT(zipf.Pmf(9999), zipf.Pmf(0) / 1000);
+}
+
+TEST(ZipfTest, SamplesFollowPmf) {
+  ZipfGenerator zipf(100, 0.8);
+  Pcg32 rng(5);
+  std::map<size_t, int> counts;
+  constexpr int kDraws = 200000;
+  for (int i = 0; i < kDraws; ++i) counts[zipf.Sample(rng)]++;
+  EXPECT_NEAR(counts[0] / static_cast<double>(kDraws), zipf.Pmf(0), 0.01);
+  EXPECT_NEAR(counts[1] / static_cast<double>(kDraws), zipf.Pmf(1), 0.01);
+  EXPECT_NEAR(counts[50] / static_cast<double>(kDraws), zipf.Pmf(50), 0.005);
+}
+
+TEST(ZipfTest, SamplesAlwaysInRange) {
+  ZipfGenerator zipf(7, 1.2);
+  Pcg32 rng(3);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(zipf.Sample(rng), 7u);
+}
+
+TEST(ZipfTest, DegenerateSingleItem) {
+  ZipfGenerator zipf(1, 0.9);
+  Pcg32 rng(3);
+  EXPECT_EQ(zipf.Sample(rng), 0u);
+  EXPECT_DOUBLE_EQ(zipf.Pmf(0), 1.0);
+}
+
+TEST(WriteProcessTest, InterArrivalMatchesRate) {
+  WriteProcess writes(100, /*writes_per_sec=*/5.0, 0.8, Pcg32(7));
+  SimTime t = SimTime::Origin();
+  constexpr int kEvents = 20000;
+  for (int i = 0; i < kEvents; ++i) {
+    WriteEvent ev = writes.Next(t);
+    EXPECT_GT(ev.at, t);
+    EXPECT_LT(ev.object_rank, 100u);
+    t = ev.at;
+  }
+  // 20000 events at 5/s should take ~4000 s.
+  EXPECT_NEAR(t.seconds(), kEvents / 5.0, kEvents / 5.0 * 0.05);
+}
+
+TEST(WriteProcessTest, ZeroRateNeverFires) {
+  WriteProcess writes(100, 0.0, 0.8, Pcg32(7));
+  EXPECT_EQ(writes.Next(At(0)).at, SimTime::Max());
+}
+
+TEST(WriteProcessTest, SkewTargetsHotObjects) {
+  WriteProcess writes(1000, 10.0, 1.2, Pcg32(7));
+  std::map<size_t, int> counts;
+  SimTime t = SimTime::Origin();
+  for (int i = 0; i < 10000; ++i) {
+    WriteEvent ev = writes.Next(t);
+    counts[ev.object_rank]++;
+    t = ev.at;
+  }
+  EXPECT_GT(counts[0], counts.count(900) ? counts[900] * 10 : 100);
+}
+
+TEST(CatalogTest, DeterministicForSameSeed) {
+  CatalogConfig config;
+  config.num_products = 100;
+  Catalog a(config, Pcg32(42));
+  Catalog b(config, Pcg32(42));
+  for (size_t i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.CategoryOf(i), b.CategoryOf(i));
+  }
+}
+
+TEST(CatalogTest, UrlsFollowKeyConvention) {
+  CatalogConfig config;
+  config.num_products = 10;
+  Catalog catalog(config, Pcg32(1));
+  EXPECT_EQ(catalog.ProductUrl(3),
+            "https://shop.example.com/api/records/p3");
+  EXPECT_EQ(catalog.CategoryUrl(2),
+            "https://shop.example.com/api/queries/cat-2");
+}
+
+TEST(CatalogTest, PopulateInsertsAllProducts) {
+  CatalogConfig config;
+  config.num_products = 50;
+  Catalog catalog(config, Pcg32(1));
+  storage::ObjectStore store;
+  catalog.Populate(&store, At(0));
+  EXPECT_EQ(store.size(), 50u);
+  auto r = store.Get("p7");
+  ASSERT_TRUE(r.ok());
+  EXPECT_NE(r->GetField("category"), nullptr);
+  EXPECT_NE(r->GetField("price"), nullptr);
+}
+
+TEST(CatalogTest, CategoryQueryMatchesItsProducts) {
+  CatalogConfig config;
+  config.num_products = 100;
+  Catalog catalog(config, Pcg32(1));
+  storage::ObjectStore store;
+  catalog.Populate(&store, At(0));
+  int category = catalog.CategoryOf(0);
+  invalidation::Query q = catalog.CategoryQuery(category);
+  auto r = store.Get("p0");
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(q.Matches(*r));
+}
+
+TEST(CatalogTest, PriceUpdateChangesPriceWithinBand) {
+  CatalogConfig config;
+  config.num_products = 10;
+  Catalog catalog(config, Pcg32(1));
+  Pcg32 rng(9);
+  auto fields = catalog.PriceUpdate(3, rng);
+  ASSERT_TRUE(fields.count("price"));
+  ASSERT_TRUE(fields.count("on_sale"));
+  double price = std::get<double>(fields["price"]);
+  EXPECT_GT(price, 0.0);
+}
+
+TEST(SessionTest, SessionsAreNonEmptyAndBounded) {
+  CatalogConfig cconfig;
+  cconfig.num_products = 100;
+  Catalog catalog(cconfig, Pcg32(1));
+  SessionConfig sconfig;
+  sconfig.max_pages = 20;
+  SessionGenerator gen(&catalog, sconfig, Pcg32(5));
+  for (int i = 0; i < 200; ++i) {
+    auto session = gen.NextSession();
+    ASSERT_GE(session.size(), 1u);
+    ASSERT_LE(session.size(), 20u);
+    EXPECT_EQ(session[0].think_time_before, Duration::Zero());
+  }
+}
+
+TEST(SessionTest, ProductViewsCarryValidRanksAndCategories) {
+  CatalogConfig cconfig;
+  cconfig.num_products = 100;
+  Catalog catalog(cconfig, Pcg32(1));
+  SessionGenerator gen(&catalog, SessionConfig{}, Pcg32(5));
+  for (int i = 0; i < 100; ++i) {
+    for (const PageView& view : gen.NextSession()) {
+      if (view.type == PageType::kProduct) {
+        EXPECT_LT(view.product_rank, 100u);
+        EXPECT_EQ(view.category, catalog.CategoryOf(view.product_rank));
+      }
+    }
+  }
+}
+
+TEST(SessionTest, CartEndsSession) {
+  CatalogConfig cconfig;
+  cconfig.num_products = 100;
+  Catalog catalog(cconfig, Pcg32(1));
+  SessionGenerator gen(&catalog, SessionConfig{}, Pcg32(5));
+  for (int i = 0; i < 200; ++i) {
+    auto session = gen.NextSession();
+    for (size_t j = 0; j < session.size(); ++j) {
+      if (session[j].type == PageType::kCart) {
+        EXPECT_EQ(j, session.size() - 1);
+      }
+    }
+  }
+}
+
+TEST(SessionTest, ThinkTimesArePositiveAfterFirstPage) {
+  CatalogConfig cconfig;
+  cconfig.num_products = 100;
+  Catalog catalog(cconfig, Pcg32(1));
+  SessionGenerator gen(&catalog, SessionConfig{}, Pcg32(5));
+  for (int i = 0; i < 50; ++i) {
+    auto session = gen.NextSession();
+    for (size_t j = 1; j < session.size(); ++j) {
+      EXPECT_GT(session[j].think_time_before, Duration::Zero());
+    }
+  }
+}
+
+}  // namespace
+}  // namespace speedkit::workload

@@ -1,0 +1,71 @@
+// Minimal --key=value flag parsing for the CLI tools. No dependencies, no
+// registration: parse once, query typed getters with defaults.
+#ifndef SPEEDKIT_TOOLS_FLAGS_H_
+#define SPEEDKIT_TOOLS_FLAGS_H_
+
+#include <cstdint>
+#include <cstdlib>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace speedkit::tools {
+
+class Flags {
+ public:
+  // Consumes "--key=value" and "--key value" forms; everything else is a
+  // positional argument.
+  Flags(int argc, char** argv) {
+    for (int i = 1; i < argc; ++i) {
+      std::string arg = argv[i];
+      if (arg.rfind("--", 0) != 0) {
+        positional_.push_back(arg);
+        continue;
+      }
+      std::string body = arg.substr(2);
+      size_t eq = body.find('=');
+      if (eq != std::string::npos) {
+        values_[body.substr(0, eq)] = body.substr(eq + 1);
+      } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+        values_[body] = argv[++i];
+      } else {
+        values_[body] = "true";
+      }
+    }
+  }
+
+  std::string GetString(const std::string& key,
+                        const std::string& fallback) const {
+    auto it = values_.find(key);
+    return it == values_.end() ? fallback : it->second;
+  }
+
+  int64_t GetInt(const std::string& key, int64_t fallback) const {
+    auto it = values_.find(key);
+    return it == values_.end() ? fallback : std::strtoll(it->second.c_str(),
+                                                         nullptr, 10);
+  }
+
+  double GetDouble(const std::string& key, double fallback) const {
+    auto it = values_.find(key);
+    return it == values_.end() ? fallback
+                               : std::strtod(it->second.c_str(), nullptr);
+  }
+
+  bool GetBool(const std::string& key, bool fallback) const {
+    auto it = values_.find(key);
+    if (it == values_.end()) return fallback;
+    return it->second == "true" || it->second == "1" || it->second == "yes";
+  }
+
+  bool Has(const std::string& key) const { return values_.count(key) != 0; }
+  const std::vector<std::string>& positional() const { return positional_; }
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace speedkit::tools
+
+#endif  // SPEEDKIT_TOOLS_FLAGS_H_

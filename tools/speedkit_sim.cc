@@ -1,0 +1,123 @@
+// speedkit_sim: run a configurable end-to-end simulation from the command
+// line and print the operations dashboard.
+//
+//   speedkit_sim --variant=speed_kit --clients=40 --minutes=30 \
+//                --writes-per-sec=3 --skew=0.9 --delta=30 --seed=42
+//
+// Variants: speed_kit | fixed_ttl_cdn | no_caching | pure_invalidation.
+#include <cstdio>
+#include <string>
+
+#include "core/stack.h"
+#include "core/traffic.h"
+#include "tools/flags.h"
+
+using namespace speedkit;
+
+namespace {
+
+core::SystemVariant ParseVariant(const std::string& name) {
+  if (name == "fixed_ttl_cdn") return core::SystemVariant::kFixedTtlCdn;
+  if (name == "no_caching") return core::SystemVariant::kNoCaching;
+  if (name == "pure_invalidation") {
+    return core::SystemVariant::kPureInvalidation;
+  }
+  return core::SystemVariant::kSpeedKit;
+}
+
+int Usage() {
+  std::printf(
+      "usage: speedkit_sim [--variant=speed_kit|fixed_ttl_cdn|no_caching|"
+      "pure_invalidation]\n"
+      "                    [--clients=N] [--minutes=M] [--writes-per-sec=W]\n"
+      "                    [--skew=S] [--delta=SECONDS] [--products=P]\n"
+      "                    [--categories=C] [--edges=E] [--fixed-ttl=SECONDS]\n"
+      "                    [--seed=N]\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  tools::Flags flags(argc, argv);
+  if (flags.Has("help")) return Usage();
+
+  core::StackConfig config;
+  config.variant = ParseVariant(flags.GetString("variant", "speed_kit"));
+  config.seed = static_cast<uint64_t>(flags.GetInt("seed", 42));
+  config.cdn_edges = static_cast<int>(flags.GetInt("edges", 4));
+  config.delta = Duration::Seconds(flags.GetDouble("delta", 30));
+  config.fixed_ttl = Duration::Seconds(flags.GetDouble("fixed-ttl", 120));
+  if (flags.GetString("ttl-mode", "estimator") == "fixed") {
+    config.ttl_mode = core::TtlMode::kFixed;
+  }
+  core::SpeedKitStack stack(config);
+
+  workload::CatalogConfig catalog_config;
+  catalog_config.num_products =
+      static_cast<size_t>(flags.GetInt("products", 5000));
+  catalog_config.num_categories =
+      static_cast<int>(flags.GetInt("categories", 40));
+  workload::Catalog catalog(catalog_config, Pcg32(config.seed + 1));
+  catalog.Populate(&stack.store(), stack.clock().Now());
+  for (int c = 0; c < catalog.num_categories(); ++c) {
+    (void)stack.origin().RegisterQuery(catalog.CategoryQuery(c));
+    if (stack.pipeline() != nullptr) {
+      (void)stack.pipeline()->WatchQuery(catalog.CategoryQuery(c),
+                                         catalog.CategoryUrl(c));
+    }
+  }
+  stack.Advance(Duration::Seconds(5));
+
+  core::TrafficConfig traffic;
+  traffic.num_clients = static_cast<size_t>(flags.GetInt("clients", 40));
+  traffic.duration = Duration::Minutes(flags.GetDouble("minutes", 30));
+  traffic.writes_per_sec = flags.GetDouble("writes-per-sec", 3.0);
+  traffic.session.product_skew = flags.GetDouble("skew", 0.9);
+
+  std::printf("speedkit_sim: variant=%s clients=%zu minutes=%.0f "
+              "writes/s=%.1f skew=%.2f delta=%.0fs seed=%llu\n\n",
+              std::string(core::SystemVariantName(config.variant)).c_str(),
+              traffic.num_clients, traffic.duration.seconds() / 60,
+              traffic.writes_per_sec, traffic.session.product_skew,
+              config.delta.seconds(),
+              static_cast<unsigned long long>(config.seed));
+
+  core::TrafficSimulation sim(&stack, &catalog, traffic);
+  core::TrafficResult result = sim.Run();
+
+  const proxy::ProxyStats& p = result.proxies;
+  double n = static_cast<double>(std::max<uint64_t>(1, p.requests));
+  std::printf("requests %llu  (browser %.1f%%, swr %.1f%%, edge %.1f%%, "
+              "304 %.1f%%, origin %.1f%%, offline %.1f%%)\n",
+              static_cast<unsigned long long>(p.requests),
+              100 * p.browser_hits / n, 100 * p.swr_serves / n,
+              100 * p.edge_hits / n, 100 * p.revalidations_304 / n,
+              100 * p.origin_fetches / n, 100 * p.offline_serves / n);
+  std::printf("api latency  p50=%.1fms p90=%.1fms p99=%.1fms\n",
+              result.api_latency_us.P50() / 1e3,
+              result.api_latency_us.P90() / 1e3,
+              result.api_latency_us.P99() / 1e3);
+
+  const core::StalenessReport& s = stack.staleness().report();
+  std::printf("coherence    writes=%llu stale_reads=%llu (%.3f%%) "
+              "max_staleness=%.2fs\n",
+              static_cast<unsigned long long>(result.writes_applied),
+              static_cast<unsigned long long>(s.stale_reads),
+              100 * s.StaleFraction(), s.max_staleness.seconds());
+  if (stack.sketch() != nullptr) {
+    std::printf("sketch       entries=%zu snapshot=%zuB refreshes=%llu "
+                "bypasses=%llu\n",
+                stack.sketch()->entries(),
+                stack.sketch()->SerializedSnapshot(stack.clock().Now()).size(),
+                static_cast<unsigned long long>(p.sketch_refreshes),
+                static_cast<unsigned long long>(p.sketch_bypasses));
+  }
+  const origin::OriginStats& os = stack.origin().stats();
+  std::printf("origin       requests=%llu render_cache_hits=%llu "
+              "render_saved=%.1fs\n",
+              static_cast<unsigned long long>(os.requests),
+              static_cast<unsigned long long>(os.render_cache_hits),
+              os.render_time_saved_us / 1e6);
+  return 0;
+}
