@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig_baselines.dir/fig_baselines.cc.o"
+  "CMakeFiles/fig_baselines.dir/fig_baselines.cc.o.d"
+  "fig_baselines"
+  "fig_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig_hit_layers.dir/fig_hit_layers.cc.o"
+  "CMakeFiles/fig_hit_layers.dir/fig_hit_layers.cc.o.d"
+  "fig_hit_layers"
+  "fig_hit_layers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig_hit_layers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

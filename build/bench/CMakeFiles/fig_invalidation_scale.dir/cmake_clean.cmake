@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig_invalidation_scale.dir/fig_invalidation_scale.cc.o"
+  "CMakeFiles/fig_invalidation_scale.dir/fig_invalidation_scale.cc.o.d"
+  "fig_invalidation_scale"
+  "fig_invalidation_scale.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig_invalidation_scale.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

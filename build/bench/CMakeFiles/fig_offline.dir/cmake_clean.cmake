@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig_offline.dir/fig_offline.cc.o"
+  "CMakeFiles/fig_offline.dir/fig_offline.cc.o.d"
+  "fig_offline"
+  "fig_offline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig_offline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig_pageload_ab.dir/fig_pageload_ab.cc.o"
+  "CMakeFiles/fig_pageload_ab.dir/fig_pageload_ab.cc.o.d"
+  "fig_pageload_ab"
+  "fig_pageload_ab.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig_pageload_ab.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

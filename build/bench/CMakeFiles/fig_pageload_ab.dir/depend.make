@@ -1,0 +1,2 @@
+# Empty dependencies file for fig_pageload_ab.
+# This may be replaced when dependencies are built.

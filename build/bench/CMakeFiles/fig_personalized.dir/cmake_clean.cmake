@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig_personalized.dir/fig_personalized.cc.o"
+  "CMakeFiles/fig_personalized.dir/fig_personalized.cc.o.d"
+  "fig_personalized"
+  "fig_personalized.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig_personalized.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

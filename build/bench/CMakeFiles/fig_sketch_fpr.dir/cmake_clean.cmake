@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig_sketch_fpr.dir/fig_sketch_fpr.cc.o"
+  "CMakeFiles/fig_sketch_fpr.dir/fig_sketch_fpr.cc.o.d"
+  "fig_sketch_fpr"
+  "fig_sketch_fpr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig_sketch_fpr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

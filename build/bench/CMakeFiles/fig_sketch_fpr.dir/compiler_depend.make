@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig_sketch_fpr.
+# This may be replaced when dependencies are built.

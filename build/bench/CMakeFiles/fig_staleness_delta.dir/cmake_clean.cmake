@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig_staleness_delta.dir/fig_staleness_delta.cc.o"
+  "CMakeFiles/fig_staleness_delta.dir/fig_staleness_delta.cc.o.d"
+  "fig_staleness_delta"
+  "fig_staleness_delta.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig_staleness_delta.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

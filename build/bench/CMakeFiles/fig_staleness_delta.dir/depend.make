@@ -1,0 +1,2 @@
+# Empty dependencies file for fig_staleness_delta.
+# This may be replaced when dependencies are built.

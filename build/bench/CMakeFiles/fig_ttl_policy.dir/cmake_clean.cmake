@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig_ttl_policy.dir/fig_ttl_policy.cc.o"
+  "CMakeFiles/fig_ttl_policy.dir/fig_ttl_policy.cc.o.d"
+  "fig_ttl_policy"
+  "fig_ttl_policy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig_ttl_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

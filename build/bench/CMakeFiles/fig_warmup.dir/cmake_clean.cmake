@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig_warmup.dir/fig_warmup.cc.o"
+  "CMakeFiles/fig_warmup.dir/fig_warmup.cc.o.d"
+  "fig_warmup"
+  "fig_warmup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig_warmup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tbl_sketch_traffic.dir/tbl_sketch_traffic.cc.o"
+  "CMakeFiles/tbl_sketch_traffic.dir/tbl_sketch_traffic.cc.o.d"
+  "tbl_sketch_traffic"
+  "tbl_sketch_traffic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tbl_sketch_traffic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ecommerce_storefront.dir/ecommerce_storefront.cpp.o"
+  "CMakeFiles/ecommerce_storefront.dir/ecommerce_storefront.cpp.o.d"
+  "ecommerce_storefront"
+  "ecommerce_storefront.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ecommerce_storefront.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/gdpr_personalization.cpp" "examples/CMakeFiles/gdpr_personalization.dir/gdpr_personalization.cpp.o" "gcc" "examples/CMakeFiles/gdpr_personalization.dir/gdpr_personalization.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/speedkit_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/proxy/CMakeFiles/speedkit_proxy.dir/DependInfo.cmake"
+  "/root/repo/build/src/origin/CMakeFiles/speedkit_origin.dir/DependInfo.cmake"
+  "/root/repo/build/src/personalization/CMakeFiles/speedkit_personalization.dir/DependInfo.cmake"
+  "/root/repo/build/src/ttl/CMakeFiles/speedkit_ttl.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/speedkit_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/invalidation/CMakeFiles/speedkit_invalidation.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/speedkit_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/http/CMakeFiles/speedkit_http.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/speedkit_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/sketch/CMakeFiles/speedkit_sketch.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/speedkit_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/speedkit_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

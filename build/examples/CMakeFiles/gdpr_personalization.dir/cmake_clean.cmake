@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gdpr_personalization.dir/gdpr_personalization.cpp.o"
+  "CMakeFiles/gdpr_personalization.dir/gdpr_personalization.cpp.o.d"
+  "gdpr_personalization"
+  "gdpr_personalization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gdpr_personalization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

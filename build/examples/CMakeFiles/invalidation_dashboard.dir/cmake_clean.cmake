@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/invalidation_dashboard.dir/invalidation_dashboard.cpp.o"
+  "CMakeFiles/invalidation_dashboard.dir/invalidation_dashboard.cpp.o.d"
+  "invalidation_dashboard"
+  "invalidation_dashboard.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/invalidation_dashboard.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

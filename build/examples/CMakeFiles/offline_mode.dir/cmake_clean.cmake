@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/offline_mode.dir/offline_mode.cpp.o"
+  "CMakeFiles/offline_mode.dir/offline_mode.cpp.o.d"
+  "offline_mode"
+  "offline_mode.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/offline_mode.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("http")
+subdirs("sim")
+subdirs("sketch")
+subdirs("ttl")
+subdirs("storage")
+subdirs("cache")
+subdirs("invalidation")
+subdirs("personalization")
+subdirs("workload")
+subdirs("origin")
+subdirs("proxy")
+subdirs("core")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/speedkit_cache.dir/cdn.cc.o"
+  "CMakeFiles/speedkit_cache.dir/cdn.cc.o.d"
+  "CMakeFiles/speedkit_cache.dir/http_cache.cc.o"
+  "CMakeFiles/speedkit_cache.dir/http_cache.cc.o.d"
+  "libspeedkit_cache.a"
+  "libspeedkit_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/speedkit_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

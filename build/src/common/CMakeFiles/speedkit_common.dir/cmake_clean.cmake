@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/speedkit_common.dir/hash.cc.o"
+  "CMakeFiles/speedkit_common.dir/hash.cc.o.d"
+  "CMakeFiles/speedkit_common.dir/histogram.cc.o"
+  "CMakeFiles/speedkit_common.dir/histogram.cc.o.d"
+  "CMakeFiles/speedkit_common.dir/random.cc.o"
+  "CMakeFiles/speedkit_common.dir/random.cc.o.d"
+  "CMakeFiles/speedkit_common.dir/sim_time.cc.o"
+  "CMakeFiles/speedkit_common.dir/sim_time.cc.o.d"
+  "CMakeFiles/speedkit_common.dir/status.cc.o"
+  "CMakeFiles/speedkit_common.dir/status.cc.o.d"
+  "CMakeFiles/speedkit_common.dir/strings.cc.o"
+  "CMakeFiles/speedkit_common.dir/strings.cc.o.d"
+  "CMakeFiles/speedkit_common.dir/time_series.cc.o"
+  "CMakeFiles/speedkit_common.dir/time_series.cc.o.d"
+  "libspeedkit_common.a"
+  "libspeedkit_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/speedkit_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

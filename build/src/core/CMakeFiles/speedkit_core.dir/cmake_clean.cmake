@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/speedkit_core.dir/bounce.cc.o"
+  "CMakeFiles/speedkit_core.dir/bounce.cc.o.d"
+  "CMakeFiles/speedkit_core.dir/page_load.cc.o"
+  "CMakeFiles/speedkit_core.dir/page_load.cc.o.d"
+  "CMakeFiles/speedkit_core.dir/replay.cc.o"
+  "CMakeFiles/speedkit_core.dir/replay.cc.o.d"
+  "CMakeFiles/speedkit_core.dir/stack.cc.o"
+  "CMakeFiles/speedkit_core.dir/stack.cc.o.d"
+  "CMakeFiles/speedkit_core.dir/staleness.cc.o"
+  "CMakeFiles/speedkit_core.dir/staleness.cc.o.d"
+  "CMakeFiles/speedkit_core.dir/traffic.cc.o"
+  "CMakeFiles/speedkit_core.dir/traffic.cc.o.d"
+  "libspeedkit_core.a"
+  "libspeedkit_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/speedkit_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/speedkit_http.dir/cache_control.cc.o"
+  "CMakeFiles/speedkit_http.dir/cache_control.cc.o.d"
+  "CMakeFiles/speedkit_http.dir/headers.cc.o"
+  "CMakeFiles/speedkit_http.dir/headers.cc.o.d"
+  "CMakeFiles/speedkit_http.dir/message.cc.o"
+  "CMakeFiles/speedkit_http.dir/message.cc.o.d"
+  "CMakeFiles/speedkit_http.dir/url.cc.o"
+  "CMakeFiles/speedkit_http.dir/url.cc.o.d"
+  "libspeedkit_http.a"
+  "libspeedkit_http.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/speedkit_http.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/invalidation/expiry_book.cc" "src/invalidation/CMakeFiles/speedkit_invalidation.dir/expiry_book.cc.o" "gcc" "src/invalidation/CMakeFiles/speedkit_invalidation.dir/expiry_book.cc.o.d"
+  "/root/repo/src/invalidation/pipeline.cc" "src/invalidation/CMakeFiles/speedkit_invalidation.dir/pipeline.cc.o" "gcc" "src/invalidation/CMakeFiles/speedkit_invalidation.dir/pipeline.cc.o.d"
+  "/root/repo/src/invalidation/predicate.cc" "src/invalidation/CMakeFiles/speedkit_invalidation.dir/predicate.cc.o" "gcc" "src/invalidation/CMakeFiles/speedkit_invalidation.dir/predicate.cc.o.d"
+  "/root/repo/src/invalidation/query_matcher.cc" "src/invalidation/CMakeFiles/speedkit_invalidation.dir/query_matcher.cc.o" "gcc" "src/invalidation/CMakeFiles/speedkit_invalidation.dir/query_matcher.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/speedkit_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/speedkit_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/speedkit_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/sketch/CMakeFiles/speedkit_sketch.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/speedkit_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/http/CMakeFiles/speedkit_http.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

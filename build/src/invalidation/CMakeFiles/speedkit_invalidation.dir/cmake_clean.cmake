@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/speedkit_invalidation.dir/expiry_book.cc.o"
+  "CMakeFiles/speedkit_invalidation.dir/expiry_book.cc.o.d"
+  "CMakeFiles/speedkit_invalidation.dir/pipeline.cc.o"
+  "CMakeFiles/speedkit_invalidation.dir/pipeline.cc.o.d"
+  "CMakeFiles/speedkit_invalidation.dir/predicate.cc.o"
+  "CMakeFiles/speedkit_invalidation.dir/predicate.cc.o.d"
+  "CMakeFiles/speedkit_invalidation.dir/query_matcher.cc.o"
+  "CMakeFiles/speedkit_invalidation.dir/query_matcher.cc.o.d"
+  "libspeedkit_invalidation.a"
+  "libspeedkit_invalidation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/speedkit_invalidation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/speedkit_origin.dir/origin_server.cc.o"
+  "CMakeFiles/speedkit_origin.dir/origin_server.cc.o.d"
+  "libspeedkit_origin.a"
+  "libspeedkit_origin.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/speedkit_origin.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/personalization/dynamic_block.cc" "src/personalization/CMakeFiles/speedkit_personalization.dir/dynamic_block.cc.o" "gcc" "src/personalization/CMakeFiles/speedkit_personalization.dir/dynamic_block.cc.o.d"
+  "/root/repo/src/personalization/pii.cc" "src/personalization/CMakeFiles/speedkit_personalization.dir/pii.cc.o" "gcc" "src/personalization/CMakeFiles/speedkit_personalization.dir/pii.cc.o.d"
+  "/root/repo/src/personalization/segmentation.cc" "src/personalization/CMakeFiles/speedkit_personalization.dir/segmentation.cc.o" "gcc" "src/personalization/CMakeFiles/speedkit_personalization.dir/segmentation.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/speedkit_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/http/CMakeFiles/speedkit_http.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/speedkit_personalization.dir/dynamic_block.cc.o"
+  "CMakeFiles/speedkit_personalization.dir/dynamic_block.cc.o.d"
+  "CMakeFiles/speedkit_personalization.dir/pii.cc.o"
+  "CMakeFiles/speedkit_personalization.dir/pii.cc.o.d"
+  "CMakeFiles/speedkit_personalization.dir/segmentation.cc.o"
+  "CMakeFiles/speedkit_personalization.dir/segmentation.cc.o.d"
+  "libspeedkit_personalization.a"
+  "libspeedkit_personalization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/speedkit_personalization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/speedkit_proxy.dir/client_proxy.cc.o"
+  "CMakeFiles/speedkit_proxy.dir/client_proxy.cc.o.d"
+  "libspeedkit_proxy.a"
+  "libspeedkit_proxy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/speedkit_proxy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

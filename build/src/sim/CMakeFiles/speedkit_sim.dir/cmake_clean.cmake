@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/speedkit_sim.dir/event_queue.cc.o"
+  "CMakeFiles/speedkit_sim.dir/event_queue.cc.o.d"
+  "CMakeFiles/speedkit_sim.dir/network.cc.o"
+  "CMakeFiles/speedkit_sim.dir/network.cc.o.d"
+  "libspeedkit_sim.a"
+  "libspeedkit_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/speedkit_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sketch/bloom_filter.cc" "src/sketch/CMakeFiles/speedkit_sketch.dir/bloom_filter.cc.o" "gcc" "src/sketch/CMakeFiles/speedkit_sketch.dir/bloom_filter.cc.o.d"
+  "/root/repo/src/sketch/cache_sketch.cc" "src/sketch/CMakeFiles/speedkit_sketch.dir/cache_sketch.cc.o" "gcc" "src/sketch/CMakeFiles/speedkit_sketch.dir/cache_sketch.cc.o.d"
+  "/root/repo/src/sketch/client_sketch.cc" "src/sketch/CMakeFiles/speedkit_sketch.dir/client_sketch.cc.o" "gcc" "src/sketch/CMakeFiles/speedkit_sketch.dir/client_sketch.cc.o.d"
+  "/root/repo/src/sketch/counting_bloom.cc" "src/sketch/CMakeFiles/speedkit_sketch.dir/counting_bloom.cc.o" "gcc" "src/sketch/CMakeFiles/speedkit_sketch.dir/counting_bloom.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/speedkit_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

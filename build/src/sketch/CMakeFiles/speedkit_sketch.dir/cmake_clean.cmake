@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/speedkit_sketch.dir/bloom_filter.cc.o"
+  "CMakeFiles/speedkit_sketch.dir/bloom_filter.cc.o.d"
+  "CMakeFiles/speedkit_sketch.dir/cache_sketch.cc.o"
+  "CMakeFiles/speedkit_sketch.dir/cache_sketch.cc.o.d"
+  "CMakeFiles/speedkit_sketch.dir/client_sketch.cc.o"
+  "CMakeFiles/speedkit_sketch.dir/client_sketch.cc.o.d"
+  "CMakeFiles/speedkit_sketch.dir/counting_bloom.cc.o"
+  "CMakeFiles/speedkit_sketch.dir/counting_bloom.cc.o.d"
+  "libspeedkit_sketch.a"
+  "libspeedkit_sketch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/speedkit_sketch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/speedkit_storage.dir/object_store.cc.o"
+  "CMakeFiles/speedkit_storage.dir/object_store.cc.o.d"
+  "CMakeFiles/speedkit_storage.dir/record.cc.o"
+  "CMakeFiles/speedkit_storage.dir/record.cc.o.d"
+  "libspeedkit_storage.a"
+  "libspeedkit_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/speedkit_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libspeedkit_storage.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/speedkit_ttl.dir/ttl_policy.cc.o"
+  "CMakeFiles/speedkit_ttl.dir/ttl_policy.cc.o.d"
+  "libspeedkit_ttl.a"
+  "libspeedkit_ttl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/speedkit_ttl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/catalog.cc" "src/workload/CMakeFiles/speedkit_workload.dir/catalog.cc.o" "gcc" "src/workload/CMakeFiles/speedkit_workload.dir/catalog.cc.o.d"
+  "/root/repo/src/workload/session.cc" "src/workload/CMakeFiles/speedkit_workload.dir/session.cc.o" "gcc" "src/workload/CMakeFiles/speedkit_workload.dir/session.cc.o.d"
+  "/root/repo/src/workload/trace.cc" "src/workload/CMakeFiles/speedkit_workload.dir/trace.cc.o" "gcc" "src/workload/CMakeFiles/speedkit_workload.dir/trace.cc.o.d"
+  "/root/repo/src/workload/write_process.cc" "src/workload/CMakeFiles/speedkit_workload.dir/write_process.cc.o" "gcc" "src/workload/CMakeFiles/speedkit_workload.dir/write_process.cc.o.d"
+  "/root/repo/src/workload/zipf.cc" "src/workload/CMakeFiles/speedkit_workload.dir/zipf.cc.o" "gcc" "src/workload/CMakeFiles/speedkit_workload.dir/zipf.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/speedkit_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/invalidation/CMakeFiles/speedkit_invalidation.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/speedkit_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/speedkit_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/http/CMakeFiles/speedkit_http.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/speedkit_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/sketch/CMakeFiles/speedkit_sketch.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/speedkit_workload.dir/catalog.cc.o"
+  "CMakeFiles/speedkit_workload.dir/catalog.cc.o.d"
+  "CMakeFiles/speedkit_workload.dir/session.cc.o"
+  "CMakeFiles/speedkit_workload.dir/session.cc.o.d"
+  "CMakeFiles/speedkit_workload.dir/trace.cc.o"
+  "CMakeFiles/speedkit_workload.dir/trace.cc.o.d"
+  "CMakeFiles/speedkit_workload.dir/write_process.cc.o"
+  "CMakeFiles/speedkit_workload.dir/write_process.cc.o.d"
+  "CMakeFiles/speedkit_workload.dir/zipf.cc.o"
+  "CMakeFiles/speedkit_workload.dir/zipf.cc.o.d"
+  "libspeedkit_workload.a"
+  "libspeedkit_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/speedkit_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/speedkit_cache_tests.dir/cache/cdn_test.cc.o"
+  "CMakeFiles/speedkit_cache_tests.dir/cache/cdn_test.cc.o.d"
+  "CMakeFiles/speedkit_cache_tests.dir/cache/http_cache_test.cc.o"
+  "CMakeFiles/speedkit_cache_tests.dir/cache/http_cache_test.cc.o.d"
+  "CMakeFiles/speedkit_cache_tests.dir/cache/lru_cache_test.cc.o"
+  "CMakeFiles/speedkit_cache_tests.dir/cache/lru_cache_test.cc.o.d"
+  "CMakeFiles/speedkit_cache_tests.dir/cache/lru_fuzz_test.cc.o"
+  "CMakeFiles/speedkit_cache_tests.dir/cache/lru_fuzz_test.cc.o.d"
+  "speedkit_cache_tests"
+  "speedkit_cache_tests.pdb"
+  "speedkit_cache_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/speedkit_cache_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/speedkit_common_tests.dir/common/hash_test.cc.o"
+  "CMakeFiles/speedkit_common_tests.dir/common/hash_test.cc.o.d"
+  "CMakeFiles/speedkit_common_tests.dir/common/histogram_test.cc.o"
+  "CMakeFiles/speedkit_common_tests.dir/common/histogram_test.cc.o.d"
+  "CMakeFiles/speedkit_common_tests.dir/common/random_test.cc.o"
+  "CMakeFiles/speedkit_common_tests.dir/common/random_test.cc.o.d"
+  "CMakeFiles/speedkit_common_tests.dir/common/sim_time_test.cc.o"
+  "CMakeFiles/speedkit_common_tests.dir/common/sim_time_test.cc.o.d"
+  "CMakeFiles/speedkit_common_tests.dir/common/status_test.cc.o"
+  "CMakeFiles/speedkit_common_tests.dir/common/status_test.cc.o.d"
+  "CMakeFiles/speedkit_common_tests.dir/common/strings_test.cc.o"
+  "CMakeFiles/speedkit_common_tests.dir/common/strings_test.cc.o.d"
+  "CMakeFiles/speedkit_common_tests.dir/common/time_series_test.cc.o"
+  "CMakeFiles/speedkit_common_tests.dir/common/time_series_test.cc.o.d"
+  "speedkit_common_tests"
+  "speedkit_common_tests.pdb"
+  "speedkit_common_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/speedkit_common_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

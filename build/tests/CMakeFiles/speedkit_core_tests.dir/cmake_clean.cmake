@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/speedkit_core_tests.dir/core/page_load_test.cc.o"
+  "CMakeFiles/speedkit_core_tests.dir/core/page_load_test.cc.o.d"
+  "CMakeFiles/speedkit_core_tests.dir/core/replay_test.cc.o"
+  "CMakeFiles/speedkit_core_tests.dir/core/replay_test.cc.o.d"
+  "CMakeFiles/speedkit_core_tests.dir/core/stack_test.cc.o"
+  "CMakeFiles/speedkit_core_tests.dir/core/stack_test.cc.o.d"
+  "CMakeFiles/speedkit_core_tests.dir/core/staleness_test.cc.o"
+  "CMakeFiles/speedkit_core_tests.dir/core/staleness_test.cc.o.d"
+  "CMakeFiles/speedkit_core_tests.dir/core/traffic_test.cc.o"
+  "CMakeFiles/speedkit_core_tests.dir/core/traffic_test.cc.o.d"
+  "speedkit_core_tests"
+  "speedkit_core_tests.pdb"
+  "speedkit_core_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/speedkit_core_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/speedkit_http_tests.dir/http/cache_control_test.cc.o"
+  "CMakeFiles/speedkit_http_tests.dir/http/cache_control_test.cc.o.d"
+  "CMakeFiles/speedkit_http_tests.dir/http/headers_test.cc.o"
+  "CMakeFiles/speedkit_http_tests.dir/http/headers_test.cc.o.d"
+  "CMakeFiles/speedkit_http_tests.dir/http/message_test.cc.o"
+  "CMakeFiles/speedkit_http_tests.dir/http/message_test.cc.o.d"
+  "CMakeFiles/speedkit_http_tests.dir/http/url_test.cc.o"
+  "CMakeFiles/speedkit_http_tests.dir/http/url_test.cc.o.d"
+  "speedkit_http_tests"
+  "speedkit_http_tests.pdb"
+  "speedkit_http_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/speedkit_http_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

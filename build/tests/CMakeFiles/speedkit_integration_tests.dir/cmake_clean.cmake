@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/speedkit_integration_tests.dir/integration/delta_atomicity_test.cc.o"
+  "CMakeFiles/speedkit_integration_tests.dir/integration/delta_atomicity_test.cc.o.d"
+  "CMakeFiles/speedkit_integration_tests.dir/integration/gdpr_invariant_test.cc.o"
+  "CMakeFiles/speedkit_integration_tests.dir/integration/gdpr_invariant_test.cc.o.d"
+  "CMakeFiles/speedkit_integration_tests.dir/integration/offline_resilience_test.cc.o"
+  "CMakeFiles/speedkit_integration_tests.dir/integration/offline_resilience_test.cc.o.d"
+  "CMakeFiles/speedkit_integration_tests.dir/integration/sorted_query_coherence_test.cc.o"
+  "CMakeFiles/speedkit_integration_tests.dir/integration/sorted_query_coherence_test.cc.o.d"
+  "speedkit_integration_tests"
+  "speedkit_integration_tests.pdb"
+  "speedkit_integration_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/speedkit_integration_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

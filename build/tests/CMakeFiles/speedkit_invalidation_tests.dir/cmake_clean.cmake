@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/speedkit_invalidation_tests.dir/invalidation/expiry_book_test.cc.o"
+  "CMakeFiles/speedkit_invalidation_tests.dir/invalidation/expiry_book_test.cc.o.d"
+  "CMakeFiles/speedkit_invalidation_tests.dir/invalidation/matcher_fuzz_test.cc.o"
+  "CMakeFiles/speedkit_invalidation_tests.dir/invalidation/matcher_fuzz_test.cc.o.d"
+  "CMakeFiles/speedkit_invalidation_tests.dir/invalidation/pipeline_test.cc.o"
+  "CMakeFiles/speedkit_invalidation_tests.dir/invalidation/pipeline_test.cc.o.d"
+  "CMakeFiles/speedkit_invalidation_tests.dir/invalidation/predicate_test.cc.o"
+  "CMakeFiles/speedkit_invalidation_tests.dir/invalidation/predicate_test.cc.o.d"
+  "CMakeFiles/speedkit_invalidation_tests.dir/invalidation/query_matcher_test.cc.o"
+  "CMakeFiles/speedkit_invalidation_tests.dir/invalidation/query_matcher_test.cc.o.d"
+  "speedkit_invalidation_tests"
+  "speedkit_invalidation_tests.pdb"
+  "speedkit_invalidation_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/speedkit_invalidation_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/speedkit_origin_tests.dir/origin/origin_server_test.cc.o"
+  "CMakeFiles/speedkit_origin_tests.dir/origin/origin_server_test.cc.o.d"
+  "CMakeFiles/speedkit_origin_tests.dir/origin/render_cache_test.cc.o"
+  "CMakeFiles/speedkit_origin_tests.dir/origin/render_cache_test.cc.o.d"
+  "CMakeFiles/speedkit_origin_tests.dir/origin/sorted_query_test.cc.o"
+  "CMakeFiles/speedkit_origin_tests.dir/origin/sorted_query_test.cc.o.d"
+  "speedkit_origin_tests"
+  "speedkit_origin_tests.pdb"
+  "speedkit_origin_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/speedkit_origin_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/speedkit_personalization_tests.dir/personalization/dynamic_block_test.cc.o"
+  "CMakeFiles/speedkit_personalization_tests.dir/personalization/dynamic_block_test.cc.o.d"
+  "CMakeFiles/speedkit_personalization_tests.dir/personalization/pii_test.cc.o"
+  "CMakeFiles/speedkit_personalization_tests.dir/personalization/pii_test.cc.o.d"
+  "speedkit_personalization_tests"
+  "speedkit_personalization_tests.pdb"
+  "speedkit_personalization_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/speedkit_personalization_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

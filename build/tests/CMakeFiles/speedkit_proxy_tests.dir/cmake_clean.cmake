@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/speedkit_proxy_tests.dir/proxy/client_proxy_test.cc.o"
+  "CMakeFiles/speedkit_proxy_tests.dir/proxy/client_proxy_test.cc.o.d"
+  "CMakeFiles/speedkit_proxy_tests.dir/proxy/swr_and_optimize_test.cc.o"
+  "CMakeFiles/speedkit_proxy_tests.dir/proxy/swr_and_optimize_test.cc.o.d"
+  "speedkit_proxy_tests"
+  "speedkit_proxy_tests.pdb"
+  "speedkit_proxy_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/speedkit_proxy_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/speedkit_sim_tests.dir/sim/event_queue_test.cc.o"
+  "CMakeFiles/speedkit_sim_tests.dir/sim/event_queue_test.cc.o.d"
+  "CMakeFiles/speedkit_sim_tests.dir/sim/network_test.cc.o"
+  "CMakeFiles/speedkit_sim_tests.dir/sim/network_test.cc.o.d"
+  "speedkit_sim_tests"
+  "speedkit_sim_tests.pdb"
+  "speedkit_sim_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/speedkit_sim_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

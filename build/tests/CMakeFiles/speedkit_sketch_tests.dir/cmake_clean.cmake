@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/speedkit_sketch_tests.dir/sketch/bloom_filter_test.cc.o"
+  "CMakeFiles/speedkit_sketch_tests.dir/sketch/bloom_filter_test.cc.o.d"
+  "CMakeFiles/speedkit_sketch_tests.dir/sketch/cache_sketch_test.cc.o"
+  "CMakeFiles/speedkit_sketch_tests.dir/sketch/cache_sketch_test.cc.o.d"
+  "CMakeFiles/speedkit_sketch_tests.dir/sketch/client_sketch_test.cc.o"
+  "CMakeFiles/speedkit_sketch_tests.dir/sketch/client_sketch_test.cc.o.d"
+  "CMakeFiles/speedkit_sketch_tests.dir/sketch/counting_bloom_test.cc.o"
+  "CMakeFiles/speedkit_sketch_tests.dir/sketch/counting_bloom_test.cc.o.d"
+  "CMakeFiles/speedkit_sketch_tests.dir/sketch/serialization_fuzz_test.cc.o"
+  "CMakeFiles/speedkit_sketch_tests.dir/sketch/serialization_fuzz_test.cc.o.d"
+  "speedkit_sketch_tests"
+  "speedkit_sketch_tests.pdb"
+  "speedkit_sketch_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/speedkit_sketch_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/speedkit_storage_tests.dir/storage/object_store_test.cc.o"
+  "CMakeFiles/speedkit_storage_tests.dir/storage/object_store_test.cc.o.d"
+  "speedkit_storage_tests"
+  "speedkit_storage_tests.pdb"
+  "speedkit_storage_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/speedkit_storage_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

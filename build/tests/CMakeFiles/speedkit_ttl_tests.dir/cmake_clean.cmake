@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/speedkit_ttl_tests.dir/ttl/ttl_policy_test.cc.o"
+  "CMakeFiles/speedkit_ttl_tests.dir/ttl/ttl_policy_test.cc.o.d"
+  "speedkit_ttl_tests"
+  "speedkit_ttl_tests.pdb"
+  "speedkit_ttl_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/speedkit_ttl_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/speedkit_workload_tests.dir/workload/trace_test.cc.o"
+  "CMakeFiles/speedkit_workload_tests.dir/workload/trace_test.cc.o.d"
+  "CMakeFiles/speedkit_workload_tests.dir/workload/workload_test.cc.o"
+  "CMakeFiles/speedkit_workload_tests.dir/workload/workload_test.cc.o.d"
+  "speedkit_workload_tests"
+  "speedkit_workload_tests.pdb"
+  "speedkit_workload_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/speedkit_workload_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

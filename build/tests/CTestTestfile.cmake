@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/speedkit_common_tests[1]_include.cmake")
+include("/root/repo/build/tests/speedkit_http_tests[1]_include.cmake")
+include("/root/repo/build/tests/speedkit_sim_tests[1]_include.cmake")
+include("/root/repo/build/tests/speedkit_sketch_tests[1]_include.cmake")
+include("/root/repo/build/tests/speedkit_ttl_tests[1]_include.cmake")
+include("/root/repo/build/tests/speedkit_storage_tests[1]_include.cmake")
+include("/root/repo/build/tests/speedkit_cache_tests[1]_include.cmake")
+include("/root/repo/build/tests/speedkit_invalidation_tests[1]_include.cmake")
+include("/root/repo/build/tests/speedkit_personalization_tests[1]_include.cmake")
+include("/root/repo/build/tests/speedkit_workload_tests[1]_include.cmake")
+include("/root/repo/build/tests/speedkit_origin_tests[1]_include.cmake")
+include("/root/repo/build/tests/speedkit_proxy_tests[1]_include.cmake")
+include("/root/repo/build/tests/speedkit_core_tests[1]_include.cmake")
+include("/root/repo/build/tests/speedkit_integration_tests[1]_include.cmake")

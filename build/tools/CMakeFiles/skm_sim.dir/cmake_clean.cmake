@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/skm_sim.dir/speedkit_sim.cc.o"
+  "CMakeFiles/skm_sim.dir/speedkit_sim.cc.o.d"
+  "speedkit-sim"
+  "speedkit-sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/skm_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
