@@ -13,16 +13,18 @@
 #include <vector>
 
 #include "bench/bench_util.h"
+#include "bench/json_writer.h"
 #include "bench/workload_runner.h"
 #include "core/stack.h"
 #include "sketch/counting_bloom.h"
+#include "tools/flags.h"
 
 namespace speedkit {
 namespace {
 
 using Clock = std::chrono::steady_clock;
 
-void AblationTtlEstimator() {
+void AblationTtlEstimator(bench::JsonValue* rows) {
   bench::PrintSection(
       "A1: estimator vs global fixed TTL (heterogeneous write rates)");
   bench::Row("%14s %10s %12s %14s %12s %12s", "ttl_policy", "hit_rate",
@@ -49,13 +51,21 @@ void AblationTtlEstimator() {
                static_cast<unsigned long long>(
                    out.traffic.proxies.revalidations_304),
                out.traffic.api_latency_us.P50() / 1e3);
+    rows->Push(bench::JsonRow(
+        {{"section", "a1_ttl_estimator"},
+         {"policy", policy},
+         {"hit_rate", hit_rate},
+         {"stale_rate", out.staleness.StaleFraction()},
+         {"sketch_entries", static_cast<uint64_t>(out.sketch_entries)},
+         {"revalidations_304", out.traffic.proxies.revalidations_304},
+         {"p50_ms", out.traffic.api_latency_us.P50() / 1e3}}));
   }
   bench::Note("the estimator gives slow-changing tail objects long TTLs "
               "(more hits) while keeping hot objects short (fewer sketch "
               "entries per write)");
 }
 
-void AblationCountingFilter() {
+void AblationCountingFilter(bench::JsonValue* rows) {
   bench::PrintSection(
       "A2: snapshot cost — counting filter materialize vs rebuild from key "
       "set (20k tracked keys, 1% fpr sizing)");
@@ -97,11 +107,15 @@ void AblationCountingFilter() {
   bench::Row("%24s %14.0f", "rebuild from keys", rebuild_us);
   bench::Row("%24s %13.1fx", "speedup", rebuild_us / materialize_us);
   (void)bits_set;
+  rows->Push(bench::JsonRow({{"section", "a2_counting_filter"},
+                             {"materialize_us", materialize_us},
+                             {"rebuild_us", rebuild_us},
+                             {"speedup", rebuild_us / materialize_us}}));
   bench::Note("the CBF also supports incremental expiry; rebuilding would "
               "additionally require keeping all keys hot in memory");
 }
 
-void AblationSegmentCaching() {
+void AblationSegmentCaching(bench::JsonValue* rows) {
   bench::PrintSection(
       "A3: segment-scoped caching on vs off (6 personalized blocks/page, "
       "32 cohorts, 300 users)");
@@ -137,11 +151,17 @@ void AblationSegmentCaching() {
         }
       }
     }
+    double hit_share =
+        static_cast<double>(hits) / static_cast<double>(fetches);
+    double mean_latency_ms =
+        static_cast<double>(latency_us) / static_cast<double>(fetches) / 1e3;
     bench::Row("segment_caching=%-5s  hit_share=%5.1f%%  mean_latency=%.2fms",
-               segment_caching ? "on" : "off",
-               100.0 * static_cast<double>(hits) / static_cast<double>(fetches),
-               static_cast<double>(latency_us) /
-                   static_cast<double>(fetches) / 1e3);
+               segment_caching ? "on" : "off", hit_share * 100,
+               mean_latency_ms);
+    rows->Push(bench::JsonRow({{"section", "a3_segment_caching"},
+                               {"segment_caching", segment_caching},
+                               {"hit_share", hit_share},
+                               {"mean_latency_ms", mean_latency_ms}}));
   }
   bench::Note("'off' (template join for everything) can even beat segment "
               "caching on pure delivery cost, because one template is "
@@ -151,7 +171,7 @@ void AblationSegmentCaching() {
               "rankings) that has no client-side join");
 }
 
-void AblationSwr() {
+void AblationSwr(bench::JsonValue* rows) {
   bench::PrintSection(
       "A4: stale-while-revalidate on vs off (fixed 60s TTLs, mostly-read)");
   bench::Row("%8s %10s %10s %12s %12s %12s", "swr", "mean_ms", "p99_ms",
@@ -172,6 +192,14 @@ void AblationSwr() {
                static_cast<unsigned long long>(out.traffic.proxies.swr_serves),
                out.staleness.StaleFraction() * 100,
                out.staleness.max_staleness.seconds());
+    rows->Push(bench::JsonRow(
+        {{"section", "a4_swr"},
+         {"swr", swr_on},
+         {"mean_ms", out.traffic.api_latency_us.Mean() / 1e3},
+         {"p99_ms", out.traffic.api_latency_us.P99() / 1e3},
+         {"swr_serves", out.traffic.proxies.swr_serves},
+         {"stale_rate", out.staleness.StaleFraction()},
+         {"max_stale_s", out.staleness.max_staleness.seconds()}}));
   }
   bench::Note("every swr_serve is an expired-entry revalidation moved off "
               "the critical path (mean drops, tail unchanged) — and the "
@@ -179,7 +207,7 @@ void AblationSwr() {
               "the SWR path, and the ExpiryBook horizon covers the window");
 }
 
-void AblationAssetOptimization() {
+void AblationAssetOptimization(bench::JsonValue* rows) {
   bench::PrintSection(
       "A5: asset optimization on vs off — cold image-heavy page, mobile "
       "downlink (~1.5 Mbit/s)");
@@ -209,6 +237,12 @@ void AblationAssetOptimization() {
     bench::Row("%10s %14llu %16.0f %14lld", optimize ? "on" : "off",
                static_cast<unsigned long long>(bytes), total_us / 1e3,
                static_cast<long long>(baseline_bytes - bytes));
+    rows->Push(bench::JsonRow(
+        {{"section", "a5_asset_optimization"},
+         {"optimize", optimize},
+         {"page_bytes", bytes},
+         {"transfer_ms", total_us / 1e3},
+         {"bytes_saved", static_cast<int64_t>(baseline_bytes - bytes)}}));
   }
   bench::Note("the optimization service's transcoded variants (~45% fewer "
               "bytes) cut both page weight and transfer time on the "
@@ -219,16 +253,27 @@ void AblationAssetOptimization() {
 }  // namespace
 }  // namespace speedkit
 
-int main() {
+int main(int argc, char** argv) {
+  speedkit::tools::Flags flags(argc, argv);
+  std::string json_path = speedkit::bench::JsonPathFromFlag(
+      flags.GetString("json", ""), "ablations");
+
   speedkit::bench::PrintHeader(
       "E12",
       "Ablations: TTL estimator, counting filter, segment caching, SWR, "
       "asset optimization",
       "the design choices DESIGN.md calls out");
-  speedkit::AblationTtlEstimator();
-  speedkit::AblationCountingFilter();
-  speedkit::AblationSegmentCaching();
-  speedkit::AblationSwr();
-  speedkit::AblationAssetOptimization();
+  speedkit::bench::JsonValue rows = speedkit::bench::JsonValue::Array();
+  speedkit::AblationTtlEstimator(&rows);
+  speedkit::AblationCountingFilter(&rows);
+  speedkit::AblationSegmentCaching(&rows);
+  speedkit::AblationSwr(&rows);
+  speedkit::AblationAssetOptimization(&rows);
+  if (!json_path.empty()) {
+    speedkit::bench::JsonValue root = speedkit::bench::JsonValue::Object();
+    root.Set("bench", "ablations");
+    root.Set("rows", std::move(rows));
+    speedkit::bench::WriteJsonFile(json_path, root);
+  }
   return 0;
 }

@@ -8,51 +8,123 @@
 //   pure_invalidation  purge-only coherence without browser caching
 // The shape: only speed_kit gets low latency AND bounded staleness AND
 // low origin load simultaneously.
+//
+// Monte-Carlo mode: every (write rate, system) cell runs --seeds
+// independent trials fanned out over --threads workers; the table shows
+// the seed-pooled percentiles with across-seed mean±stddev for the hit
+// rate, and --json dumps the full distribution per cell.
+#include <cstdio>
+#include <string>
+#include <vector>
+
 #include "bench/bench_util.h"
-#include "bench/workload_runner.h"
+#include "bench/json_writer.h"
+#include "bench/parallel_runner.h"
+#include "tools/flags.h"
 
 namespace speedkit {
 namespace {
 
-void Compare(double writes_per_sec) {
-  bench::Row("%18s %10s %10s %12s %12s %14s %12s", "system", "p50_ms",
-             "p99_ms", "hit_rate", "stale_rate", "max_stale_s",
-             "origin_reqs");
-  for (core::SystemVariant variant :
-       {core::SystemVariant::kSpeedKit, core::SystemVariant::kFixedTtlCdn,
-        core::SystemVariant::kNoCaching,
-        core::SystemVariant::kPureInvalidation}) {
-    bench::RunSpec spec = bench::DefaultRunSpec();
-    spec.stack.variant = variant;
-    spec.stack.fixed_ttl = Duration::Seconds(120);
-    spec.traffic.writes_per_sec = writes_per_sec;
-    bench::RunOutput out = bench::RunWorkload(spec);
-    double hit_rate =
-        out.traffic.BrowserHitRatio() + out.traffic.EdgeHitRatio();
-    bench::Row("%18s %10.1f %10.1f %11.1f%% %11.4f%% %14.2f %12llu",
-               std::string(core::SystemVariantName(variant)).c_str(),
-               out.traffic.api_latency_us.P50() / 1e3,
-               out.traffic.api_latency_us.P99() / 1e3, hit_rate * 100,
-               out.staleness.StaleFraction() * 100,
-               out.staleness.max_staleness.seconds(),
-               static_cast<unsigned long long>(out.origin_requests));
+constexpr core::SystemVariant kVariants[] = {
+    core::SystemVariant::kSpeedKit, core::SystemVariant::kFixedTtlCdn,
+    core::SystemVariant::kNoCaching, core::SystemVariant::kPureInvalidation};
+constexpr double kWriteRates[] = {0.5, 2.0, 8.0};
+
+double HitRate(const bench::RunOutput& out) {
+  return out.traffic.BrowserHitRatio() + out.traffic.EdgeHitRatio();
+}
+
+void Run(int num_seeds, int threads, const std::string& json_path) {
+  std::vector<bench::RunSpec> configs;
+  for (double writes_per_sec : kWriteRates) {
+    for (core::SystemVariant variant : kVariants) {
+      bench::RunSpec spec = bench::DefaultRunSpec();
+      spec.stack.variant = variant;
+      spec.stack.fixed_ttl = Duration::Seconds(120);
+      spec.traffic.writes_per_sec = writes_per_sec;
+      configs.push_back(spec);
+    }
   }
+
+  bench::SweepResult sweep = bench::RunSweep(configs, num_seeds, threads);
+
+  bench::JsonValue root = bench::JsonValue::Object();
+  root.Set("bench", "baselines");
+  root.Set("seeds", num_seeds);
+  root.Set("threads", threads);
+  bench::JsonValue rows = bench::JsonValue::Array();
+
+  size_t config_index = 0;
+  for (double writes_per_sec : kWriteRates) {
+    char section[64];
+    std::snprintf(section, sizeof(section), "%.1f writes/s, %d seeds",
+                  writes_per_sec, num_seeds);
+    bench::PrintSection(section);
+    bench::Row("%18s %10s %10s %17s %12s %14s %12s", "system", "p50_ms",
+               "p99_ms", "hit_rate", "stale_rate", "max_stale_s",
+               "origin_reqs");
+    for (core::SystemVariant variant : kVariants) {
+      const std::vector<bench::RunOutput>& runs = sweep.outputs[config_index];
+      bench::RunOutput merged = bench::MergeRuns(runs);
+      bench::SeedStats hit = bench::SeedStatsOf(runs, HitRate);
+      bench::SeedStats p50 = bench::SeedStatsOf(runs, [](const auto& o) {
+        return o.traffic.api_latency_us.P50() / 1e3;
+      });
+      bench::SeedStats p99 = bench::SeedStatsOf(runs, [](const auto& o) {
+        return o.traffic.api_latency_us.P99() / 1e3;
+      });
+      bench::SeedStats stale = bench::SeedStatsOf(runs, [](const auto& o) {
+        return o.staleness.StaleFraction();
+      });
+      std::string name(core::SystemVariantName(variant));
+      bench::Row("%18s %10.1f %10.1f %10.1f%%±%4.1f %11.4f%% %14.2f %12llu",
+                 name.c_str(), merged.traffic.api_latency_us.P50() / 1e3,
+                 merged.traffic.api_latency_us.P99() / 1e3, hit.mean * 100,
+                 hit.stddev * 100, merged.staleness.StaleFraction() * 100,
+                 merged.staleness.max_staleness.seconds(),
+                 static_cast<unsigned long long>(merged.origin_requests));
+
+      bench::JsonValue row = bench::JsonRow(
+          {{"writes_per_sec", writes_per_sec},
+           {"system", name},
+           {"p50_ms", merged.traffic.api_latency_us.P50() / 1e3},
+           {"p99_ms", merged.traffic.api_latency_us.P99() / 1e3},
+           {"stale_rate", merged.staleness.StaleFraction()},
+           {"max_stale_s", merged.staleness.max_staleness.seconds()},
+           {"origin_requests", merged.origin_requests},
+           {"requests", merged.traffic.proxies.requests}});
+      row.Set("hit_rate", bench::JsonSeedStats(hit));
+      row.Set("p50_ms_per_seed", bench::JsonSeedStats(p50));
+      row.Set("p99_ms_per_seed", bench::JsonSeedStats(p99));
+      row.Set("stale_rate_per_seed", bench::JsonSeedStats(stale));
+      rows.Push(std::move(row));
+      config_index++;
+    }
+  }
+
+  bench::Note(bench::WallClockNote(sweep, num_seeds, threads));
+  root.Set("rows", std::move(rows));
+  root.Set("wall_seconds", sweep.wall_seconds);
+  root.Set("cpu_seconds", sweep.cpu_seconds);
+  root.Set("speedup", sweep.Speedup());
+  if (!json_path.empty()) bench::WriteJsonFile(json_path, root);
 }
 
 }  // namespace
 }  // namespace speedkit
 
-int main() {
+int main(int argc, char** argv) {
+  speedkit::tools::Flags flags(argc, argv);
+  int seeds = static_cast<int>(flags.GetInt("seeds", 8));
+  int threads = static_cast<int>(flags.GetInt("threads", 1));
+  std::string json_path = speedkit::bench::JsonPathFromFlag(
+      flags.GetString("json", ""), "baselines");
+
   speedkit::bench::PrintHeader(
       "E9", "Baseline comparison: latency, staleness, origin load",
       "the paper's positioning against traditional CDNs, no caching, and "
       "pure invalidation");
-  speedkit::bench::PrintSection("read-mostly (0.5 writes/s)");
-  speedkit::Compare(0.5);
-  speedkit::bench::PrintSection("moderate writes (2 writes/s)");
-  speedkit::Compare(2.0);
-  speedkit::bench::PrintSection("write-heavy (8 writes/s)");
-  speedkit::Compare(8.0);
+  speedkit::Run(seeds, threads, json_path);
   speedkit::bench::Note(
       "expected shape: speed_kit ~matches fixed_ttl_cdn latency with "
       "near-zero staleness; no_caching has zero staleness at ~10x latency; "

@@ -4,13 +4,17 @@
 // Reproduces the layered-hit-ratio view of the architecture: as skew
 // grows, traffic collapses onto the hot head and the cache layers absorb
 // it; more edges dilute per-edge hit rates (same traffic split more ways).
+#include <string>
+
 #include "bench/bench_util.h"
+#include "bench/json_writer.h"
 #include "bench/workload_runner.h"
+#include "tools/flags.h"
 
 namespace speedkit {
 namespace {
 
-void SkewSweep() {
+void SkewSweep(bench::JsonValue* rows) {
   bench::PrintSection("share of requests per layer vs Zipf skew (4 edges)");
   bench::Row("%6s %10s %10s %10s %10s %12s", "skew", "browser", "edge",
              "origin", "reval304", "p50_ms");
@@ -25,10 +29,18 @@ void SkewSweep() {
                100.0 * p.origin_fetches / n,
                100.0 * p.revalidations_304 / n,
                out.traffic.all_latency_us.P50() / 1e3);
+    rows->Push(bench::JsonRow(
+        {{"section", "skew_sweep"},
+         {"skew", skew},
+         {"browser_share", p.browser_hits / n},
+         {"edge_share", p.edge_hits / n},
+         {"origin_share", p.origin_fetches / n},
+         {"reval_304_share", p.revalidations_304 / n},
+         {"p50_ms", out.traffic.all_latency_us.P50() / 1e3}}));
   }
 }
 
-void EdgeCountSweep() {
+void EdgeCountSweep(bench::JsonValue* rows) {
   bench::PrintSection("edge fan-out: per-layer shares vs number of edges");
   bench::Row("%6s %10s %10s %10s %12s", "edges", "browser", "edge", "origin",
              "p50_ms");
@@ -43,12 +55,19 @@ void EdgeCountSweep() {
                100.0 * p.browser_hits / n, 100.0 * p.edge_hits / n,
                100.0 * p.origin_fetches / n,
                out.traffic.all_latency_us.P50() / 1e3);
+    rows->Push(bench::JsonRow(
+        {{"section", "edge_count_sweep"},
+         {"edges", edges},
+         {"browser_share", p.browser_hits / n},
+         {"edge_share", p.edge_hits / n},
+         {"origin_share", p.origin_fetches / n},
+         {"p50_ms", out.traffic.all_latency_us.P50() / 1e3}}));
   }
   bench::Note("more edges split the shared working set: edge share drops, "
               "origin share grows (classic CDN cache dilution)");
 }
 
-void CatalogSizeSweep() {
+void CatalogSizeSweep(bench::JsonValue* rows) {
   bench::PrintSection("working-set pressure: shares vs catalog size");
   bench::Row("%10s %10s %10s %10s", "products", "browser", "edge", "origin");
   for (size_t products : {500u, 2000u, 10000u, 50000u}) {
@@ -61,19 +80,36 @@ void CatalogSizeSweep() {
     bench::Row("%10zu %9.1f%% %9.1f%% %9.1f%%", products,
                100.0 * p.browser_hits / n, 100.0 * p.edge_hits / n,
                100.0 * p.origin_fetches / n);
+    rows->Push(bench::JsonRow(
+        {{"section", "catalog_size_sweep"},
+         {"products", static_cast<uint64_t>(products)},
+         {"browser_share", p.browser_hits / n},
+         {"edge_share", p.edge_hits / n},
+         {"origin_share", p.origin_fetches / n}}));
   }
 }
 
 }  // namespace
 }  // namespace speedkit
 
-int main() {
+int main(int argc, char** argv) {
+  speedkit::tools::Flags flags(argc, argv);
+  std::string json_path = speedkit::bench::JsonPathFromFlag(
+      flags.GetString("json", ""), "hit_layers");
+
   speedkit::bench::PrintHeader(
       "E4", "Requests served per cache layer",
       "the polyglot architecture's layered hit ratios (browser -> CDN -> "
       "origin)");
-  speedkit::SkewSweep();
-  speedkit::EdgeCountSweep();
-  speedkit::CatalogSizeSweep();
+  speedkit::bench::JsonValue rows = speedkit::bench::JsonValue::Array();
+  speedkit::SkewSweep(&rows);
+  speedkit::EdgeCountSweep(&rows);
+  speedkit::CatalogSizeSweep(&rows);
+  if (!json_path.empty()) {
+    speedkit::bench::JsonValue root = speedkit::bench::JsonValue::Object();
+    root.Set("bench", "hit_layers");
+    root.Set("rows", std::move(rows));
+    speedkit::bench::WriteJsonFile(json_path, root);
+  }
   return 0;
 }

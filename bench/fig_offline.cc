@@ -5,10 +5,13 @@
 // from the device (success rate stays high for returning visitors), while
 // the vanilla site hard-fails every request whose cache copy expired.
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "bench/bench_util.h"
+#include "bench/json_writer.h"
 #include "core/stack.h"
+#include "tools/flags.h"
 #include "workload/session.h"
 
 namespace speedkit {
@@ -87,7 +90,7 @@ OutageResult RunOutage(bool speed_kit_on, Duration warm, Duration outage,
   return result;
 }
 
-void OutageSweep() {
+void OutageSweep(bench::JsonValue* rows) {
   bench::PrintSection(
       "request success rate during a 10-minute origin outage");
   bench::Row("%14s %14s %14s %14s %16s", "revisit_share", "vanilla_ok",
@@ -101,6 +104,12 @@ void OutageSweep() {
                vanilla.SuccessRate() * 100, sk.SuccessRate() * 100,
                static_cast<unsigned long long>(sk.offline_serves),
                static_cast<unsigned long long>(sk.requests));
+    rows->Push(bench::JsonRow({{"section", "outage"},
+                               {"revisit_share", revisit},
+                               {"vanilla_success_rate", vanilla.SuccessRate()},
+                               {"speedkit_success_rate", sk.SuccessRate()},
+                               {"offline_serves", sk.offline_serves},
+                               {"outage_requests", sk.requests}}));
   }
   bench::Note("the vanilla arm only succeeds while its browser copies are "
               "still within TTL; speed kit serves anything ever seen");
@@ -109,11 +118,22 @@ void OutageSweep() {
 }  // namespace
 }  // namespace speedkit
 
-int main() {
+int main(int argc, char** argv) {
+  speedkit::tools::Flags flags(argc, argv);
+  std::string json_path = speedkit::bench::JsonPathFromFlag(
+      flags.GetString("json", ""), "offline");
+
   speedkit::bench::PrintHeader(
       "E11", "Offline mode: availability during origin outages",
       "field-experience resilience claim (service worker keeps the site "
       "usable)");
-  speedkit::OutageSweep();
+  speedkit::bench::JsonValue rows = speedkit::bench::JsonValue::Array();
+  speedkit::OutageSweep(&rows);
+  if (!json_path.empty()) {
+    speedkit::bench::JsonValue root = speedkit::bench::JsonValue::Object();
+    root.Set("bench", "offline");
+    root.Set("rows", std::move(rows));
+    speedkit::bench::WriteJsonFile(json_path, root);
+  }
   return 0;
 }

@@ -13,9 +13,11 @@
 #include <vector>
 
 #include "bench/bench_util.h"
+#include "bench/json_writer.h"
 #include "core/bounce.h"
 #include "core/page_load.h"
 #include "core/stack.h"
+#include "tools/flags.h"
 #include "workload/session.h"
 #include "workload/write_process.h"
 
@@ -214,7 +216,20 @@ ArmResult RunArm(const Profile& profile, bool speed_kit_on, bool mobile) {
   return result;
 }
 
-void RunProfile(const Profile& profile, bool mobile) {
+bench::JsonValue JsonArm(const ArmResult& r) {
+  return bench::JsonRow(
+      {{"p50_ms", r.load_ms.P50()},
+       {"p90_ms", r.load_ms.P90()},
+       {"p99_ms", r.load_ms.P99()},
+       {"ttfb_p50_ms", r.ttfb_ms.P50()},
+       {"cache_share", r.cache_share},
+       {"origin_requests", r.origin_requests},
+       {"pii_violations", r.pii_violations},
+       {"bounce_rate", r.BounceRate()},
+       {"page_views", r.page_views}});
+}
+
+void RunProfile(const Profile& profile, bool mobile, bench::JsonValue* rows) {
   bench::PrintSection("customer profile: " + profile.name +
                       (mobile ? " (mobile network)" : " (broadband)"));
   ArmResult off = RunArm(profile, /*speed_kit_on=*/false, mobile);
@@ -244,21 +259,42 @@ void RunProfile(const Profile& profile, bool mobile) {
                  std::max<int64_t>(1, on.load_ms.P99()),
              static_cast<double>(off.ttfb_ms.P50()) /
                  std::max<int64_t>(1, on.ttfb_ms.P50()));
+  bench::JsonValue row = bench::JsonRow(
+      {{"profile", profile.name},
+       {"network", mobile ? "mobile" : "broadband"},
+       {"p50_speedup", static_cast<double>(off.load_ms.P50()) /
+                           std::max<int64_t>(1, on.load_ms.P50())},
+       {"p99_speedup", static_cast<double>(off.load_ms.P99()) /
+                           std::max<int64_t>(1, on.load_ms.P99())}});
+  row.Set("vanilla", JsonArm(off));
+  row.Set("speed_kit", JsonArm(on));
+  rows->Push(std::move(row));
 }
 
 }  // namespace
 }  // namespace speedkit
 
-int main() {
+int main(int argc, char** argv) {
+  speedkit::tools::Flags flags(argc, argv);
+  std::string json_path = speedkit::bench::JsonPathFromFlag(
+      flags.GetString("json", ""), "pageload_ab");
+
   speedkit::bench::PrintHeader(
       "E5", "Page load time A/B: Speed Kit on vs off",
       "the paper's headline field experience (faster loads on real "
       "e-commerce traffic, GDPR-compliant personalization intact)");
+  speedkit::bench::JsonValue rows = speedkit::bench::JsonValue::Array();
   for (const auto& profile : speedkit::kProfiles) {
-    speedkit::RunProfile(profile, /*mobile=*/false);
+    speedkit::RunProfile(profile, /*mobile=*/false, &rows);
   }
   for (const auto& profile : speedkit::kProfiles) {
-    speedkit::RunProfile(profile, /*mobile=*/true);
+    speedkit::RunProfile(profile, /*mobile=*/true, &rows);
+  }
+  if (!json_path.empty()) {
+    speedkit::bench::JsonValue root = speedkit::bench::JsonValue::Object();
+    root.Set("bench", "pageload_ab");
+    root.Set("rows", std::move(rows));
+    speedkit::bench::WriteJsonFile(json_path, root);
   }
   speedkit::bench::Note(
       "expected shape: speed-kit wins at every percentile; pii_leaks must "

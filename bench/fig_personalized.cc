@@ -7,10 +7,13 @@
 // are shared within cohorts; user blocks join on-device). The legacy
 // baseline fetches user content with identity and caches none of it.
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "bench/bench_util.h"
+#include "bench/json_writer.h"
 #include "core/stack.h"
+#include "tools/flags.h"
 
 namespace speedkit {
 namespace {
@@ -79,7 +82,7 @@ BlockRunResult RunBlocks(double user_share, int segments, bool gdpr_mode,
   return result;
 }
 
-void UserShareSweep() {
+void UserShareSweep(bench::JsonValue* rows) {
   bench::PrintSection(
       "cache hits on block fetches vs user-scoped share (64 segments, "
       "200 users, GDPR mode vs legacy)");
@@ -92,13 +95,20 @@ void UserShareSweep() {
                gdpr.cache_hit_share * 100, gdpr.mean_latency.millis(),
                legacy.cache_hit_share * 100,
                static_cast<unsigned long long>(legacy.pii_violations));
+    rows->Push(bench::JsonRow({{"section", "user_share"},
+                               {"user_share", share},
+                               {"gdpr_hit_share", gdpr.cache_hit_share},
+                               {"gdpr_latency_ms", gdpr.mean_latency.millis()},
+                               {"legacy_hit_share", legacy.cache_hit_share},
+                               {"legacy_pii_violations",
+                                legacy.pii_violations}}));
   }
   bench::Note("GDPR mode keeps hit share high even at 100% user-scoped "
               "blocks (templates are shared); legacy hit share collapses "
               "and leaks identity on every user-block fetch");
 }
 
-void SegmentCountSweep() {
+void SegmentCountSweep(bench::JsonValue* rows) {
   bench::PrintSection(
       "segment blocks: cache hits vs cohort count (0% user share, "
       "200 users)");
@@ -108,6 +118,10 @@ void SegmentCountSweep() {
     personalization::Segmenter seg(segments);
     bench::Row("%10d %13.1f%% %16.1f", segments, r.cache_hit_share * 100,
                seg.IdentityBits());
+    rows->Push(bench::JsonRow({{"section", "segment_count"},
+                               {"segments", segments},
+                               {"hit_share", r.cache_hit_share},
+                               {"identity_bits", seg.IdentityBits()}}));
   }
   bench::Note("more segments = more personalization but fewer shared "
               "fragments (hit share drops) and more identity bits: the "
@@ -117,12 +131,23 @@ void SegmentCountSweep() {
 }  // namespace
 }  // namespace speedkit
 
-int main() {
+int main(int argc, char** argv) {
+  speedkit::tools::Flags flags(argc, argv);
+  std::string json_path = speedkit::bench::JsonPathFromFlag(
+      flags.GetString("json", ""), "personalized");
+
   speedkit::bench::PrintHeader(
       "E7", "Caching personalized content: dynamic blocks & GDPR mode",
       "the paper's personalization pillar (segment/user block split, "
       "on-device join, zero PII egress)");
-  speedkit::UserShareSweep();
-  speedkit::SegmentCountSweep();
+  speedkit::bench::JsonValue rows = speedkit::bench::JsonValue::Array();
+  speedkit::UserShareSweep(&rows);
+  speedkit::SegmentCountSweep(&rows);
+  if (!json_path.empty()) {
+    speedkit::bench::JsonValue root = speedkit::bench::JsonValue::Object();
+    root.Set("bench", "personalized");
+    root.Set("rows", std::move(rows));
+    speedkit::bench::WriteJsonFile(json_path, root);
+  }
   return 0;
 }

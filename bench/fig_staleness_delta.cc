@@ -5,25 +5,81 @@
 // the maximum observed staleness must stay below Δ (+ purge propagation)
 // for every Δ, while the stale-read *rate* stays near zero; with the
 // sketch off the same stack degrades to TTL-bounded staleness.
+//
+// Monte-Carlo mode: the Δ-atomicity bound must hold for EVERY seed, not on
+// average — so the table reports the max staleness over all --seeds trials
+// (MergeRuns takes the across-seed max), fanned out over --threads workers.
+#include <string>
+#include <vector>
+
 #include "bench/bench_util.h"
-#include "bench/workload_runner.h"
+#include "bench/json_writer.h"
+#include "bench/parallel_runner.h"
+#include "tools/flags.h"
 
 namespace speedkit {
 namespace {
 
-void DeltaSweep() {
+constexpr int kDeltas[] = {5, 10, 30, 60, 120};
+constexpr int kBaselineTtls[] = {30, 120, 600};
+constexpr double kWriteRates[] = {0.5, 2.0, 8.0};
+
+bench::RunSpec DeltaSpec(int delta_s) {
+  bench::RunSpec spec = bench::DefaultRunSpec();
+  spec.stack.ttl_mode = core::TtlMode::kFixed;
+  spec.stack.fixed_ttl = Duration::Seconds(120);
+  spec.stack.delta = Duration::Seconds(delta_s);
+  spec.traffic.writes_per_sec = 3.0;
+  return spec;
+}
+
+bench::RunSpec BaselineSpec(int ttl_s) {
+  bench::RunSpec spec = bench::DefaultRunSpec();
+  spec.stack.variant = core::SystemVariant::kFixedTtlCdn;
+  spec.stack.fixed_ttl = Duration::Seconds(ttl_s);
+  spec.traffic.writes_per_sec = 3.0;
+  return spec;
+}
+
+bench::RunSpec WriteRateSpec(double rate) {
+  bench::RunSpec spec = bench::DefaultRunSpec();
+  spec.stack.ttl_mode = core::TtlMode::kFixed;
+  spec.stack.fixed_ttl = Duration::Seconds(120);
+  spec.stack.delta = Duration::Seconds(30);
+  spec.traffic.writes_per_sec = rate;
+  return spec;
+}
+
+void Run(int num_seeds, int threads, const std::string& json_path) {
+  // One flat sweep over all three sections so --threads workers stay busy
+  // across section boundaries; sections index into the grid by offset.
+  std::vector<bench::RunSpec> configs;
+  for (int delta_s : kDeltas) configs.push_back(DeltaSpec(delta_s));
+  const size_t baseline_off = configs.size();
+  for (int ttl_s : kBaselineTtls) configs.push_back(BaselineSpec(ttl_s));
+  const size_t rate_off = configs.size();
+  for (double rate : kWriteRates) configs.push_back(WriteRateSpec(rate));
+
+  bench::SweepResult sweep = bench::RunSweep(configs, num_seeds, threads);
+
+  bench::JsonValue root = bench::JsonValue::Object();
+  root.Set("bench", "staleness_delta");
+  root.Set("seeds", num_seeds);
+  root.Set("threads", threads);
+  bench::JsonValue rows = bench::JsonValue::Array();
+
   bench::PrintSection(
       "staleness vs delta (fixed 120s TTLs, 3 writes/s, 25 clients, 20min)");
   bench::Row("%8s %10s %12s %14s %14s %14s %12s", "delta_s", "reads",
              "stale_rate", "max_stale_s", "p99_stale_s", "bound_delta_s",
              "bypasses");
-  for (int delta_s : {5, 10, 30, 60, 120}) {
-    bench::RunSpec spec = bench::DefaultRunSpec();
-    spec.stack.ttl_mode = core::TtlMode::kFixed;
-    spec.stack.fixed_ttl = Duration::Seconds(120);
-    spec.stack.delta = Duration::Seconds(delta_s);
-    spec.traffic.writes_per_sec = 3.0;
-    bench::RunOutput out = bench::RunWorkload(spec);
+  for (size_t i = 0; i < std::size(kDeltas); ++i) {
+    int delta_s = kDeltas[i];
+    const std::vector<bench::RunOutput>& runs = sweep.outputs[i];
+    bench::RunOutput out = bench::MergeRuns(runs);
+    bench::SeedStats max_stale = bench::SeedStatsOf(runs, [](const auto& o) {
+      return o.staleness.max_staleness.seconds();
+    });
     bench::Row("%8d %10llu %11.4f%% %14.2f %14.2f %14d %12llu", delta_s,
                static_cast<unsigned long long>(out.staleness.reads),
                out.staleness.StaleFraction() * 100,
@@ -31,56 +87,81 @@ void DeltaSweep() {
                out.staleness_us.P99() / 1e6, delta_s,
                static_cast<unsigned long long>(
                    out.traffic.proxies.sketch_bypasses));
+    bench::JsonValue row = bench::JsonRow(
+        {{"section", "delta_sweep"},
+         {"delta_s", delta_s},
+         {"reads", out.staleness.reads},
+         {"stale_rate", out.staleness.StaleFraction()},
+         {"max_stale_s", out.staleness.max_staleness.seconds()},
+         {"p99_stale_s", out.staleness_us.P99() / 1e6},
+         {"sketch_bypasses", out.traffic.proxies.sketch_bypasses}});
+    row.Set("max_stale_s_per_seed", bench::JsonSeedStats(max_stale));
+    rows.Push(std::move(row));
   }
-  bench::Note("max_stale_s must stay <= bound (delta + purge propagation)");
-}
+  bench::Note(
+      "max_stale_s is the worst case over all seeds and must stay <= bound "
+      "(delta + purge propagation)");
 
-void NoSketchBaseline() {
   bench::PrintSection("baseline: same stack, sketch disabled (fixed TTL only)");
   bench::Row("%10s %10s %12s %14s", "ttl_s", "reads", "stale_rate",
              "max_stale_s");
-  for (int ttl_s : {30, 120, 600}) {
-    bench::RunSpec spec = bench::DefaultRunSpec();
-    spec.stack.variant = core::SystemVariant::kFixedTtlCdn;
-    spec.stack.fixed_ttl = Duration::Seconds(ttl_s);
-    spec.traffic.writes_per_sec = 3.0;
-    bench::RunOutput out = bench::RunWorkload(spec);
+  for (size_t i = 0; i < std::size(kBaselineTtls); ++i) {
+    int ttl_s = kBaselineTtls[i];
+    bench::RunOutput out = bench::MergeRuns(sweep.outputs[baseline_off + i]);
     bench::Row("%10d %10llu %11.4f%% %14.2f", ttl_s,
                static_cast<unsigned long long>(out.staleness.reads),
                out.staleness.StaleFraction() * 100,
                out.staleness.max_staleness.seconds());
+    rows.Push(bench::JsonRow(
+        {{"section", "no_sketch_baseline"},
+         {"ttl_s", ttl_s},
+         {"reads", out.staleness.reads},
+         {"stale_rate", out.staleness.StaleFraction()},
+         {"max_stale_s", out.staleness.max_staleness.seconds()}}));
   }
   bench::Note("staleness grows with TTL when nothing invalidates caches");
-}
 
-void WriteRateSensitivity() {
   bench::PrintSection("delta=30s: robustness across write rates");
-  bench::Row("%12s %10s %12s %14s %14s", "writes_per_s", "reads",
-             "stale_rate", "max_stale_s", "sketch_entries");
-  for (double rate : {0.5, 2.0, 8.0}) {
-    bench::RunSpec spec = bench::DefaultRunSpec();
-    spec.stack.ttl_mode = core::TtlMode::kFixed;
-    spec.stack.fixed_ttl = Duration::Seconds(120);
-    spec.stack.delta = Duration::Seconds(30);
-    spec.traffic.writes_per_sec = rate;
-    bench::RunOutput out = bench::RunWorkload(spec);
+  bench::Row("%12s %10s %12s %14s %14s", "writes_per_s", "reads", "stale_rate",
+             "max_stale_s", "sketch_entries");
+  for (size_t i = 0; i < std::size(kWriteRates); ++i) {
+    double rate = kWriteRates[i];
+    bench::RunOutput out = bench::MergeRuns(sweep.outputs[rate_off + i]);
     bench::Row("%12.1f %10llu %11.4f%% %14.2f %14zu", rate,
                static_cast<unsigned long long>(out.staleness.reads),
                out.staleness.StaleFraction() * 100,
                out.staleness.max_staleness.seconds(), out.sketch_entries);
+    rows.Push(bench::JsonRow(
+        {{"section", "write_rate_sensitivity"},
+         {"writes_per_sec", rate},
+         {"reads", out.staleness.reads},
+         {"stale_rate", out.staleness.StaleFraction()},
+         {"max_stale_s", out.staleness.max_staleness.seconds()},
+         {"sketch_entries", static_cast<uint64_t>(out.sketch_entries)}}));
   }
+
+  bench::Note(bench::WallClockNote(sweep, num_seeds, threads));
+  root.Set("rows", std::move(rows));
+  root.Set("wall_seconds", sweep.wall_seconds);
+  root.Set("cpu_seconds", sweep.cpu_seconds);
+  root.Set("speedup", sweep.Speedup());
+  if (!json_path.empty()) bench::WriteJsonFile(json_path, root);
 }
 
 }  // namespace
 }  // namespace speedkit
 
-int main() {
+int main(int argc, char** argv) {
+  speedkit::tools::Flags flags(argc, argv);
+  int seeds = static_cast<int>(flags.GetInt("seeds", 4));
+  int threads = static_cast<int>(flags.GetInt("threads", 1));
+  std::string json_path = speedkit::bench::JsonPathFromFlag(
+      flags.GetString("json", ""), "staleness_delta");
+
   speedkit::bench::PrintHeader(
       "E2", "Delta-atomicity: staleness bound vs sketch refresh interval",
       "the paper's central coherence claim (bounded staleness under "
       "expiration-based caching)");
-  speedkit::DeltaSweep();
-  speedkit::NoSketchBaseline();
-  speedkit::WriteRateSensitivity();
+  speedkit::Run(seeds, threads, json_path);
   return 0;
 }

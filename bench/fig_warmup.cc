@@ -4,8 +4,12 @@
 // Reproduces the deployment-experience view: Speed Kit's aggressive
 // (sketch-protected) TTLs let the hierarchy warm up and then *stay* warm
 // under writes, while the conservative baseline keeps re-fetching.
+#include <string>
+
 #include "bench/bench_util.h"
+#include "bench/json_writer.h"
 #include "bench/workload_runner.h"
+#include "tools/flags.h"
 
 namespace speedkit {
 namespace {
@@ -23,7 +27,11 @@ core::TrafficResult RunTimeline(core::SystemVariant variant) {
 }  // namespace
 }  // namespace speedkit
 
-int main() {
+int main(int argc, char** argv) {
+  speedkit::tools::Flags flags(argc, argv);
+  std::string json_path = speedkit::bench::JsonPathFromFlag(
+      flags.GetString("json", ""), "warmup");
+
   speedkit::bench::PrintHeader(
       "E13", "Cache warm-up timeline (per-minute hit ratio & latency)",
       "deployment dynamics: how fast the hierarchy warms and whether it "
@@ -39,6 +47,7 @@ int main() {
   speedkit::bench::Row("%8s %10s %10s %10s %10s %12s %12s", "minute",
                        "sk_hit", "cdn_hit", "sk_stale", "cdn_stale",
                        "sk_lat_ms", "cdn_lat_ms");
+  speedkit::bench::JsonValue rows = speedkit::bench::JsonValue::Array();
   size_t minutes =
       std::max(sk.hit_ratio_timeline.num_buckets(),
                cdn.hit_ratio_timeline.num_buckets());
@@ -54,6 +63,20 @@ int main() {
                          cdn.stale_timeline.MeanAt(m) * 100,
                          sk.latency_ms_timeline.MeanAt(m),
                          cdn.latency_ms_timeline.MeanAt(m));
+    rows.Push(speedkit::bench::JsonRow(
+        {{"minute", static_cast<uint64_t>(m)},
+         {"sk_hit_ratio", sk.hit_ratio_timeline.MeanAt(m)},
+         {"cdn_hit_ratio", cdn.hit_ratio_timeline.MeanAt(m)},
+         {"sk_stale_rate", sk.stale_timeline.MeanAt(m)},
+         {"cdn_stale_rate", cdn.stale_timeline.MeanAt(m)},
+         {"sk_latency_ms", sk.latency_ms_timeline.MeanAt(m)},
+         {"cdn_latency_ms", cdn.latency_ms_timeline.MeanAt(m)}}));
+  }
+  if (!json_path.empty()) {
+    speedkit::bench::JsonValue root = speedkit::bench::JsonValue::Object();
+    root.Set("bench", "warmup");
+    root.Set("rows", std::move(rows));
+    speedkit::bench::WriteJsonFile(json_path, root);
   }
   speedkit::bench::Note(
       "the baseline's nominally-higher hit ratio is bought with stale "

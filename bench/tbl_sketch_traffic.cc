@@ -6,13 +6,17 @@
 // false-positive rate moves with write pressure, and how many extra
 // revalidations false positives cause. The trade: small Δ = tight bound =
 // more refresh traffic.
+#include <string>
+
 #include "bench/bench_util.h"
+#include "bench/json_writer.h"
 #include "bench/workload_runner.h"
+#include "tools/flags.h"
 
 namespace speedkit {
 namespace {
 
-void DeltaTrafficSweep() {
+void DeltaTrafficSweep(bench::JsonValue* rows) {
   bench::PrintSection(
       "per-client sketch traffic vs delta (fixed 120s TTL, 2 writes/s)");
   bench::Row("%8s %12s %14s %16s %14s %12s", "delta_s", "refreshes",
@@ -25,19 +29,28 @@ void DeltaTrafficSweep() {
     bench::RunOutput out = bench::RunWorkload(spec);
     double client_minutes = static_cast<double>(spec.traffic.num_clients) *
                             spec.traffic.duration.seconds() / 60.0;
+    double bytes_per_client_min =
+        static_cast<double>(out.traffic.proxies.sketch_bytes) / client_minutes;
     bench::Row("%8d %12llu %14llu %16.0f %14llu %14.2f", delta_s,
                static_cast<unsigned long long>(
                    out.traffic.proxies.sketch_refreshes),
                static_cast<unsigned long long>(out.sketch_snapshot_bytes),
-               static_cast<double>(out.traffic.proxies.sketch_bytes) /
-                   client_minutes,
+               bytes_per_client_min,
                static_cast<unsigned long long>(
                    out.traffic.proxies.sketch_bypasses),
                out.staleness.max_staleness.seconds());
+    rows->Push(bench::JsonRow(
+        {{"section", "delta_traffic"},
+         {"delta_s", delta_s},
+         {"sketch_refreshes", out.traffic.proxies.sketch_refreshes},
+         {"snapshot_bytes", static_cast<uint64_t>(out.sketch_snapshot_bytes)},
+         {"bytes_per_client_min", bytes_per_client_min},
+         {"sketch_bypasses", out.traffic.proxies.sketch_bypasses},
+         {"max_stale_s", out.staleness.max_staleness.seconds()}}));
   }
 }
 
-void WriteRateSweep() {
+void WriteRateSweep(bench::JsonValue* rows) {
   bench::PrintSection(
       "sketch load vs write rate (delta 30s, fixed 120s TTL)");
   bench::Row("%12s %14s %14s %14s %14s", "writes_per_s", "sketch_entries",
@@ -55,6 +68,13 @@ void WriteRateSweep() {
                    out.traffic.proxies.sketch_bypasses),
                static_cast<unsigned long long>(
                    out.traffic.proxies.revalidations_304));
+    rows->Push(bench::JsonRow(
+        {{"section", "write_rate"},
+         {"writes_per_sec", rate},
+         {"sketch_entries", static_cast<uint64_t>(out.sketch_entries)},
+         {"snapshot_bytes", static_cast<uint64_t>(out.sketch_snapshot_bytes)},
+         {"sketch_bypasses", out.traffic.proxies.sketch_bypasses},
+         {"revalidations_304", out.traffic.proxies.revalidations_304}}));
   }
   bench::Note("sketch population ~ write rate x TTL; snapshot stays compact "
               "(bits, not keys) — the protocol's scalability argument");
@@ -63,12 +83,23 @@ void WriteRateSweep() {
 }  // namespace
 }  // namespace speedkit
 
-int main() {
+int main(int argc, char** argv) {
+  speedkit::tools::Flags flags(argc, argv);
+  std::string json_path = speedkit::bench::JsonPathFromFlag(
+      flags.GetString("json", ""), "sketch_traffic");
+
   speedkit::bench::PrintHeader(
       "E8", "Cache Sketch maintenance traffic",
       "protocol overhead table: coherence bytes per client vs delta and "
       "write pressure");
-  speedkit::DeltaTrafficSweep();
-  speedkit::WriteRateSweep();
+  speedkit::bench::JsonValue rows = speedkit::bench::JsonValue::Array();
+  speedkit::DeltaTrafficSweep(&rows);
+  speedkit::WriteRateSweep(&rows);
+  if (!json_path.empty()) {
+    speedkit::bench::JsonValue root = speedkit::bench::JsonValue::Object();
+    root.Set("bench", "sketch_traffic");
+    root.Set("rows", std::move(rows));
+    speedkit::bench::WriteJsonFile(json_path, root);
+  }
   return 0;
 }

@@ -1,0 +1,68 @@
+// Fixed-size thread pool with a single shared FIFO queue (no work
+// stealing: experiment trials are coarse-grained and embarrassingly
+// parallel, so a mutex-protected deque is contention-free in practice).
+//
+// Used by the bench harnesses to fan Monte-Carlo trials (seeds × configs)
+// out across cores; each trial owns its whole single-threaded stack, so
+// the only synchronization is the queue itself.
+#ifndef SPEEDKIT_COMMON_THREAD_POOL_H_
+#define SPEEDKIT_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace speedkit {
+
+class ThreadPool {
+ public:
+  // `num_threads` is clamped to at least 1. A pool of 1 still runs tasks
+  // on its worker thread (callers wanting strictly-serial execution on the
+  // calling thread should not go through a pool).
+  explicit ThreadPool(size_t num_threads);
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  // Drains outstanding tasks, then joins the workers.
+  ~ThreadPool();
+
+  // Enqueues one task. Safe from any thread, including from inside a task.
+  void Submit(std::function<void()> task);
+
+  // Blocks until every task submitted so far has finished executing.
+  void Wait();
+
+  size_t num_threads() const { return workers_.size(); }
+
+  // A sensible default for CPU-bound fan-out on this machine.
+  static size_t DefaultThreads() {
+    unsigned n = std::thread::hardware_concurrency();
+    return n == 0 ? 1 : n;
+  }
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable work_available_;
+  std::condition_variable all_done_;
+  std::deque<std::function<void()>> queue_;
+  size_t in_flight_ = 0;  // popped but not yet finished
+  bool shutting_down_ = false;
+  std::vector<std::thread> workers_;
+};
+
+// Runs fn(0) .. fn(n-1) across the pool and waits for all of them.
+// When `pool` is null, runs serially on the calling thread — the serial
+// and pooled paths execute the identical per-index work.
+void ParallelFor(ThreadPool* pool, size_t n,
+                 const std::function<void(size_t)>& fn);
+
+}  // namespace speedkit
+
+#endif  // SPEEDKIT_COMMON_THREAD_POOL_H_

@@ -11,6 +11,17 @@ void TimeSeries::Add(SimTime at, double value) {
   buckets_[index].sum += value;
 }
 
+void TimeSeries::Merge(const TimeSeries& other) {
+  if (other.bucket_width_ != bucket_width_) return;
+  if (other.buckets_.size() > buckets_.size()) {
+    buckets_.resize(other.buckets_.size());
+  }
+  for (size_t i = 0; i < other.buckets_.size(); ++i) {
+    buckets_[i].count += other.buckets_[i].count;
+    buckets_[i].sum += other.buckets_[i].sum;
+  }
+}
+
 double TimeSeries::MeanAt(size_t i) const {
   if (i >= buckets_.size() || buckets_[i].count == 0) return 0.0;
   return buckets_[i].sum / static_cast<double>(buckets_[i].count);

@@ -19,6 +19,11 @@ class TimeSeries {
   // Records one observation at simulated time `at`.
   void Add(SimTime at, double value);
 
+  // Adds `other`'s buckets into this series, extending as needed. Both
+  // series must use the same bucket width (other is ignored otherwise —
+  // merging differently-binned timelines has no meaning).
+  void Merge(const TimeSeries& other);
+
   size_t num_buckets() const { return buckets_.size(); }
   Duration bucket_width() const { return bucket_width_; }
 

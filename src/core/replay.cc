@@ -49,9 +49,16 @@ ReplayResult TraceReplayer::Replay(const workload::Trace& trace) {
         if (!r.response.ok()) {
           result.errors++;
         } else if (r.response.object_version > 0) {
-          stack_->staleness().RecordRead(
-              http::Url::Parse(event->url)->CacheKey(),
-              r.response.object_version, stack_->clock().Now());
+          // Re-parse for the canonical cache key; a trace loaded from disk
+          // can carry malformed URLs, so never dereference unchecked.
+          auto url = http::Url::Parse(event->url);
+          if (url.ok()) {
+            stack_->staleness().RecordRead(url->CacheKey(),
+                                           r.response.object_version,
+                                           stack_->clock().Now());
+          } else {
+            result.errors++;
+          }
         }
       } else {
         stack_->store().Update(event->record_id, event->fields,
@@ -64,22 +71,7 @@ ReplayResult TraceReplayer::Replay(const workload::Trace& trace) {
   stack_->AdvanceTo(last + Duration::Seconds(1));  // drain trailing purges
 
   for (const auto& [id, client] : clients_) {
-    const proxy::ProxyStats& s = client->stats();
-    result.proxies.requests += s.requests;
-    result.proxies.browser_hits += s.browser_hits;
-    result.proxies.edge_hits += s.edge_hits;
-    result.proxies.origin_fetches += s.origin_fetches;
-    result.proxies.revalidations_304 += s.revalidations_304;
-    result.proxies.revalidations_200 += s.revalidations_200;
-    result.proxies.sketch_bypasses += s.sketch_bypasses;
-    result.proxies.offline_serves += s.offline_serves;
-    result.proxies.errors += s.errors;
-    result.proxies.sketch_refreshes += s.sketch_refreshes;
-    result.proxies.sketch_bytes += s.sketch_bytes;
-    result.proxies.swr_serves += s.swr_serves;
-    result.proxies.background_revalidations += s.background_revalidations;
-    result.proxies.bytes_from_browser_cache += s.bytes_from_browser_cache;
-    result.proxies.bytes_over_network += s.bytes_over_network;
+    result.proxies += client->stats();
   }
   return result;
 }

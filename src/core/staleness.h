@@ -36,6 +36,17 @@ struct StalenessReport {
                       : static_cast<double>(stale_reads) /
                             static_cast<double>(reads);
   }
+
+  // Accumulates another run's report (counters summed, bound max'd) for
+  // the multi-seed harness.
+  void Merge(const StalenessReport& other) {
+    reads += other.reads;
+    stale_reads += other.stale_reads;
+    clamped += other.clamped;
+    if (other.max_staleness > max_staleness) {
+      max_staleness = other.max_staleness;
+    }
+  }
 };
 
 class StalenessTracker {

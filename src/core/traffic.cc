@@ -4,27 +4,16 @@
 
 namespace speedkit::core {
 
-namespace {
-
-void Accumulate(proxy::ProxyStats* total, const proxy::ProxyStats& s) {
-  total->requests += s.requests;
-  total->browser_hits += s.browser_hits;
-  total->edge_hits += s.edge_hits;
-  total->origin_fetches += s.origin_fetches;
-  total->revalidations_304 += s.revalidations_304;
-  total->revalidations_200 += s.revalidations_200;
-  total->sketch_bypasses += s.sketch_bypasses;
-  total->offline_serves += s.offline_serves;
-  total->errors += s.errors;
-  total->sketch_refreshes += s.sketch_refreshes;
-  total->sketch_bytes += s.sketch_bytes;
-  total->swr_serves += s.swr_serves;
-  total->background_revalidations += s.background_revalidations;
-  total->bytes_from_browser_cache += s.bytes_from_browser_cache;
-  total->bytes_over_network += s.bytes_over_network;
+void TrafficResult::Merge(const TrafficResult& other) {
+  api_latency_us.Merge(other.api_latency_us);
+  all_latency_us.Merge(other.all_latency_us);
+  page_views += other.page_views;
+  writes_applied += other.writes_applied;
+  proxies += other.proxies;
+  hit_ratio_timeline.Merge(other.hit_ratio_timeline);
+  latency_ms_timeline.Merge(other.latency_ms_timeline);
+  stale_timeline.Merge(other.stale_timeline);
 }
-
-}  // namespace
 
 double TrafficResult::BrowserHitRatio() const {
   return proxies.requests == 0
@@ -82,7 +71,7 @@ TrafficResult TrafficSimulation::Run() {
   stack_->AdvanceTo(end_);
 
   for (const auto& client : clients_) {
-    Accumulate(&result_.proxies, client->stats());
+    result_.proxies += client->stats();
   }
   return result_;
 }

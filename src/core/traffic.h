@@ -53,6 +53,11 @@ struct TrafficResult {
   double BrowserHitRatio() const;
   double EdgeHitRatio() const;
   double OriginRatio() const;
+
+  // Accumulates another run's results into this one (histograms merged,
+  // counters summed, timelines added bucket-wise). Used by the multi-seed
+  // experiment harness; merge order must be fixed for determinism.
+  void Merge(const TrafficResult& other);
 };
 
 class TrafficSimulation {

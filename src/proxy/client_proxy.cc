@@ -46,6 +46,9 @@ ClientProxy::ClientProxy(const ProxyConfig& config, uint64_t client_id,
 FetchResult ClientProxy::Fetch(std::string_view url_text) {
   auto url = http::Url::Parse(url_text);
   if (!url.ok()) {
+    // A malformed URL is still a request the page made — count it, or the
+    // serve-source buckets stop reconciling with `requests`.
+    stats_.requests++;
     stats_.errors++;
     FetchResult result;
     result.response.status_code = 400;
@@ -110,7 +113,9 @@ FetchResult ClientProxy::FetchResolved(const http::Url& url) {
     std::string etag = lookup.entry->response.ETag();
     if (!etag.empty()) reval.headers.Set("If-None-Match", etag);
     stats_.background_revalidations++;
+    background_fetch_ = true;
     (void)FetchOverNetwork(reval, key, /*bypass_shared=*/false);
+    background_fetch_ = false;
     return served;
   }
 
@@ -281,12 +286,42 @@ FetchResult ClientProxy::FinishClientResponse(const http::HttpRequest& request,
                                               ServedFrom source,
                                               Duration latency) {
   SimTime now = clock_->Now();
+  if (background_fetch_) {
+    // Background revalidation: update caches exactly as a foreground
+    // response would, but keep the traffic out of the per-request serve
+    // buckets — there is no `requests` increment to reconcile against.
+    FetchResult result;
+    result.latency = latency;
+    result.response = resp;
+    if (resp.IsNotModified()) {
+      stats_.background_304s++;
+      stats_.background_bytes += kNotModifiedWireBytes;
+      browser_cache_.Refresh(key, resp, now);
+      result.source = source;
+      result.revalidated = true;
+    } else if (resp.ok()) {
+      stats_.background_200s++;
+      stats_.background_bytes += resp.WireSize();
+      browser_cache_.Store(key, resp, now);
+      result.source = source;
+    } else {
+      stats_.background_errors++;
+    }
+    return result;
+  }
   if (resp.IsNotModified()) {
     stats_.revalidations_304++;
     stats_.bytes_over_network += kNotModifiedWireBytes;
     browser_cache_.Refresh(key, resp, now);
     cache::LookupResult refreshed = browser_cache_.Lookup(key, now);
     if (refreshed.entry != nullptr) {
+      // The 304 round trip is what served this request: attribute it to
+      // the tier that answered so serve counts reconcile with `requests`.
+      if (source == ServedFrom::kEdgeCache) {
+        stats_.edge_hits++;
+      } else {
+        stats_.origin_fetches++;
+      }
       FetchResult result = ServeFromEntry(*refreshed.entry, source, latency);
       result.revalidated = true;
       return result;
@@ -325,6 +360,15 @@ FetchResult ClientProxy::FinishClientResponse(const http::HttpRequest& request,
 FetchResult ClientProxy::OfflineFallback(const std::string& key,
                                          Duration attempt_latency) {
   SimTime now = clock_->Now();
+  if (background_fetch_) {
+    // A failed background revalidation: the foreground request was already
+    // served from the stale copy, so there is nothing to fall back to.
+    stats_.background_errors++;
+    FetchResult result;
+    result.response = http::MakeServiceUnavailable();
+    result.latency = attempt_latency;
+    return result;
+  }
   if (config_.enabled && config_.offline_mode) {
     cache::LookupResult lookup = browser_cache_.Lookup(key, now);
     if (lookup.entry != nullptr) {

@@ -88,10 +88,19 @@ struct ProxyConfig {
   Duration render_overhead = Duration::Millis(1);
 };
 
+// Per-client request accounting. Every request the page makes lands in
+// exactly one serve-source bucket, so the reconciliation invariant
+//
+//   browser_hits + swr_serves + edge_hits + origin_fetches
+//     + offline_serves + errors == requests
+//
+// holds at all times (see ServedTotal()). Traffic caused by background
+// SWR revalidations is tracked in the background_* fields only — it has
+// no matching `requests` increment by design.
 struct ProxyStats {
   uint64_t requests = 0;
   uint64_t browser_hits = 0;
-  uint64_t edge_hits = 0;
+  uint64_t edge_hits = 0;      // served via the edge (fresh hit or 304)
   uint64_t origin_fetches = 0;
   uint64_t revalidations_304 = 0;
   uint64_t revalidations_200 = 0;
@@ -101,9 +110,47 @@ struct ProxyStats {
   uint64_t sketch_refreshes = 0;
   uint64_t sketch_bytes = 0;
   uint64_t swr_serves = 0;  // stale served while revalidating in background
-  uint64_t background_revalidations = 0;
   uint64_t bytes_from_browser_cache = 0;
   uint64_t bytes_over_network = 0;
+
+  // Background (stale-while-revalidate) traffic, off the request path.
+  uint64_t background_revalidations = 0;  // revalidations launched
+  uint64_t background_304s = 0;           // ... answered with a 304
+  uint64_t background_200s = 0;           // ... answered with a full body
+  uint64_t background_errors = 0;         // ... failed (origin down etc.)
+  uint64_t background_bytes = 0;          // wire bytes of background traffic
+
+  // Sum of the per-source serve counts; equals `requests` when the
+  // accounting reconciles.
+  uint64_t ServedTotal() const {
+    return browser_hits + swr_serves + edge_hits + origin_fetches +
+           offline_serves + errors;
+  }
+
+  // Field-wise accumulation — the single place that knows every counter,
+  // used by traffic aggregation, trace replay and the multi-seed merge.
+  ProxyStats& operator+=(const ProxyStats& other) {
+    requests += other.requests;
+    browser_hits += other.browser_hits;
+    edge_hits += other.edge_hits;
+    origin_fetches += other.origin_fetches;
+    revalidations_304 += other.revalidations_304;
+    revalidations_200 += other.revalidations_200;
+    sketch_bypasses += other.sketch_bypasses;
+    offline_serves += other.offline_serves;
+    errors += other.errors;
+    sketch_refreshes += other.sketch_refreshes;
+    sketch_bytes += other.sketch_bytes;
+    swr_serves += other.swr_serves;
+    bytes_from_browser_cache += other.bytes_from_browser_cache;
+    bytes_over_network += other.bytes_over_network;
+    background_revalidations += other.background_revalidations;
+    background_304s += other.background_304s;
+    background_200s += other.background_200s;
+    background_errors += other.background_errors;
+    background_bytes += other.background_bytes;
+    return *this;
+  }
 };
 
 class ClientProxy {
@@ -174,6 +221,10 @@ class ClientProxy {
   cache::HttpCache browser_cache_;
   sketch::ClientSketch client_sketch_;
   ProxyStats stats_;
+  // True while an SWR background revalidation is in flight: its network
+  // outcome must land in the background_* counters, not the per-request
+  // serve buckets.
+  bool background_fetch_ = false;
 };
 
 }  // namespace speedkit::proxy

@@ -67,6 +67,10 @@ double BloomFilter::EstimatedFpr() const {
 }
 
 std::string BloomFilter::Serialize() const {
+  // A bit count >= 2^48 cannot be represented in the header; no realistic
+  // filter gets there (2^48 bits = 32 TiB of words), but truncating would
+  // silently corrupt the snapshot, so refuse loudly instead.
+  if (num_bits_ >= (1ull << 48)) return std::string();
   std::string out;
   out.reserve(8 + words_.size() * 8);
   auto put_le = [&out](uint64_t v, int bytes) {
@@ -74,7 +78,9 @@ std::string BloomFilter::Serialize() const {
   };
   put_le(num_bits_, 4);
   put_le(static_cast<uint64_t>(num_hashes_), 2);
-  put_le(0, 2);  // reserved
+  // High 16 bits of the 48-bit bit count. Filters under 2^32 bits write 0
+  // here, byte-identical to the old format's reserved field.
+  put_le(static_cast<uint64_t>(num_bits_) >> 32, 2);
   for (uint64_t w : words_) put_le(w, 8);
   return out;
 }
@@ -88,7 +94,7 @@ Result<BloomFilter> BloomFilter::Deserialize(std::string_view data) {
     }
     return v;
   };
-  size_t bits = get_le(0, 4);
+  size_t bits = get_le(0, 4) | (get_le(6, 2) << 32);
   int k = static_cast<int>(get_le(4, 2));
   if (bits == 0 || bits % 64 != 0 || k < 1 || k > 16) {
     return Status::Corruption("bloom snapshot header invalid");

@@ -49,7 +49,11 @@ class BloomFilter {
   // actual bit pattern is known.
   double EstimatedFpr() const;
 
-  // Wire format: [u32 bits][u16 k][u16 reserved][words little-endian].
+  // Wire format: [u32 bits_lo][u16 k][u16 bits_hi][words little-endian];
+  // the bit count is 48 bits (bits_hi was a zero "reserved" field before,
+  // so snapshots from filters under 2^32 bits are byte-identical to the
+  // old format). Returns an empty string for a filter whose bit count
+  // cannot be represented (>= 2^48).
   std::string Serialize() const;
   static Result<BloomFilter> Deserialize(std::string_view data);
 

@@ -1,0 +1,134 @@
+#include "bench/parallel_runner.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace speedkit::bench {
+namespace {
+
+// Small enough to run multiple sweeps in a unit test, large enough that a
+// nondeterministic merge would almost surely show up in the counters.
+RunSpec TinySpec() {
+  RunSpec spec = DefaultRunSpec();
+  spec.catalog.num_products = 200;
+  spec.traffic.num_clients = 3;
+  spec.traffic.duration = Duration::Minutes(2);
+  spec.traffic.writes_per_sec = 2.0;
+  return spec;
+}
+
+// The scalar footprint of a merged run used for equality checks.
+std::vector<double> Footprint(const RunOutput& out) {
+  return {
+      static_cast<double>(out.traffic.proxies.requests),
+      static_cast<double>(out.traffic.proxies.browser_hits),
+      static_cast<double>(out.traffic.proxies.edge_hits),
+      static_cast<double>(out.traffic.proxies.origin_fetches),
+      static_cast<double>(out.traffic.proxies.errors),
+      static_cast<double>(out.origin_requests),
+      static_cast<double>(out.staleness.reads),
+      static_cast<double>(out.staleness.stale_reads),
+      out.traffic.api_latency_us.Sum(),
+      static_cast<double>(out.traffic.api_latency_us.P99()),
+      out.staleness_us.Sum(),
+  };
+}
+
+TEST(SpecForSeedTest, SeedZeroIsTheBaseSpec) {
+  RunSpec base = TinySpec();
+  RunSpec derived = SpecForSeed(base, 0);
+  EXPECT_EQ(derived.stack.seed, base.stack.seed);
+  EXPECT_EQ(derived.catalog_seed, base.catalog_seed);
+  EXPECT_EQ(derived.traffic.seed_salt, base.traffic.seed_salt);
+}
+
+TEST(SpecForSeedTest, SeedsDecorrelateAllRngStreams) {
+  RunSpec base = TinySpec();
+  RunSpec a = SpecForSeed(base, 1);
+  RunSpec b = SpecForSeed(base, 2);
+  EXPECT_NE(a.stack.seed, base.stack.seed);
+  EXPECT_NE(a.stack.seed, b.stack.seed);
+  EXPECT_NE(a.catalog_seed, b.catalog_seed);
+  EXPECT_NE(a.traffic.seed_salt, b.traffic.seed_salt);
+}
+
+TEST(RunSweepTest, MergedResultsAreIdenticalAcrossThreadCounts) {
+  std::vector<RunSpec> configs = {TinySpec()};
+  configs.push_back(TinySpec());
+  configs[1].traffic.writes_per_sec = 6.0;
+
+  SweepResult serial = RunSweep(configs, /*num_seeds=*/3, /*threads=*/1);
+  SweepResult parallel = RunSweep(configs, /*num_seeds=*/3, /*threads=*/4);
+
+  ASSERT_EQ(serial.outputs.size(), 2u);
+  ASSERT_EQ(parallel.outputs.size(), 2u);
+  for (size_t c = 0; c < configs.size(); ++c) {
+    ASSERT_EQ(serial.outputs[c].size(), 3u);
+    EXPECT_EQ(Footprint(MergeRuns(serial.outputs[c])),
+              Footprint(MergeRuns(parallel.outputs[c])))
+        << "config " << c;
+    // Per-seed results line up slot for slot, not just in aggregate.
+    for (size_t s = 0; s < 3; ++s) {
+      EXPECT_EQ(Footprint(serial.outputs[c][s]),
+                Footprint(parallel.outputs[c][s]))
+          << "config " << c << " seed " << s;
+    }
+  }
+}
+
+TEST(RunSweepTest, SeedsProduceDifferentTrials) {
+  SweepResult sweep = RunSweep({TinySpec()}, /*num_seeds=*/2, /*threads=*/1);
+  EXPECT_NE(Footprint(sweep.outputs[0][0]), Footprint(sweep.outputs[0][1]));
+}
+
+TEST(RunSweepTest, RecordsWallAndCpuTime) {
+  SweepResult sweep = RunSweep({TinySpec()}, /*num_seeds=*/2, /*threads=*/2);
+  EXPECT_GT(sweep.wall_seconds, 0.0);
+  EXPECT_GT(sweep.cpu_seconds, 0.0);
+  EXPECT_GT(sweep.Speedup(), 0.0);
+}
+
+TEST(MergeRunsTest, CountersSumAndGaugesMax) {
+  SweepResult sweep = RunSweep({TinySpec()}, /*num_seeds=*/2, /*threads=*/1);
+  const std::vector<RunOutput>& runs = sweep.outputs[0];
+  RunOutput merged = MergeRuns(runs);
+  EXPECT_EQ(merged.traffic.proxies.requests,
+            runs[0].traffic.proxies.requests +
+                runs[1].traffic.proxies.requests);
+  EXPECT_EQ(merged.origin_requests,
+            runs[0].origin_requests + runs[1].origin_requests);
+  EXPECT_EQ(merged.staleness.reads,
+            runs[0].staleness.reads + runs[1].staleness.reads);
+  EXPECT_EQ(merged.sketch_entries,
+            std::max(runs[0].sketch_entries, runs[1].sketch_entries));
+  EXPECT_EQ(merged.traffic.api_latency_us.count(),
+            runs[0].traffic.api_latency_us.count() +
+                runs[1].traffic.api_latency_us.count());
+  // Every per-seed serve bucket still reconciles after the merge.
+  EXPECT_EQ(merged.traffic.proxies.ServedTotal(),
+            merged.traffic.proxies.requests);
+}
+
+TEST(SeedStatsTest, MomentsAndPercentiles) {
+  SeedStats stats = SeedStatsOfValues({4.0, 2.0, 6.0, 8.0});
+  EXPECT_DOUBLE_EQ(stats.mean, 5.0);
+  EXPECT_NEAR(stats.stddev, 2.2360679, 1e-6);  // population
+  EXPECT_DOUBLE_EQ(stats.min, 2.0);
+  EXPECT_DOUBLE_EQ(stats.max, 8.0);
+  EXPECT_DOUBLE_EQ(stats.p50, 4.0);  // nearest-rank
+  EXPECT_DOUBLE_EQ(stats.p99, 8.0);
+}
+
+TEST(SeedStatsTest, EmptyAndSingleton) {
+  SeedStats empty = SeedStatsOfValues({});
+  EXPECT_DOUBLE_EQ(empty.mean, 0.0);
+  SeedStats one = SeedStatsOfValues({3.5});
+  EXPECT_DOUBLE_EQ(one.mean, 3.5);
+  EXPECT_DOUBLE_EQ(one.stddev, 0.0);
+  EXPECT_DOUBLE_EQ(one.p50, 3.5);
+  EXPECT_DOUBLE_EQ(one.p99, 3.5);
+}
+
+}  // namespace
+}  // namespace speedkit::bench

@@ -51,5 +51,39 @@ TEST(TimeSeriesTest, BoundaryLandsInUpperBucket) {
   EXPECT_EQ(ts.CountAt(1), 1u);
 }
 
+TEST(TimeSeriesTest, MergeSumsBucketsAndExtends) {
+  TimeSeries a(Duration::Seconds(60));
+  a.Add(At(30), 2.0);   // bucket 0
+  a.Add(At(90), 4.0);   // bucket 1
+  TimeSeries b(Duration::Seconds(60));
+  b.Add(At(30), 6.0);   // bucket 0
+  b.Add(At(150), 8.0);  // bucket 2: a must grow to fit
+  a.Merge(b);
+  EXPECT_EQ(a.num_buckets(), 3u);
+  EXPECT_EQ(a.CountAt(0), 2u);
+  EXPECT_DOUBLE_EQ(a.SumAt(0), 8.0);
+  EXPECT_DOUBLE_EQ(a.MeanAt(0), 4.0);
+  EXPECT_DOUBLE_EQ(a.SumAt(1), 4.0);
+  EXPECT_DOUBLE_EQ(a.SumAt(2), 8.0);
+}
+
+TEST(TimeSeriesTest, MergeIgnoresMismatchedBucketWidth) {
+  TimeSeries a(Duration::Seconds(60));
+  a.Add(At(30), 2.0);
+  TimeSeries b(Duration::Seconds(30));
+  b.Add(At(30), 5.0);
+  a.Merge(b);  // different binning: merging has no meaning, a unchanged
+  EXPECT_EQ(a.num_buckets(), 1u);
+  EXPECT_DOUBLE_EQ(a.SumAt(0), 2.0);
+}
+
+TEST(TimeSeriesTest, MergeEmptyIsNoOp) {
+  TimeSeries a(Duration::Seconds(60));
+  a.Add(At(30), 2.0);
+  a.Merge(TimeSeries(Duration::Seconds(60)));
+  EXPECT_EQ(a.num_buckets(), 1u);
+  EXPECT_DOUBLE_EQ(a.SumAt(0), 2.0);
+}
+
 }  // namespace
 }  // namespace speedkit

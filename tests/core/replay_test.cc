@@ -125,6 +125,25 @@ TEST(ReplayTest, ErrorsCountedForUnknownUrls) {
   EXPECT_EQ(result.errors, 1u);
 }
 
+TEST(ReplayTest, MalformedUrlInTraceCountsAsErrorWithoutCrashing) {
+  workload::Catalog catalog(SmallCatalog(), Pcg32(1));
+  auto stack = MakeStack(SystemVariant::kSpeedKit);
+  Prepare(*stack, catalog);
+  workload::Trace trace;
+  trace.AddFetch(stack->clock().Now() + Duration::Seconds(1), 1, "not a url");
+  trace.AddFetch(stack->clock().Now() + Duration::Seconds(2), 1,
+                 catalog.ProductUrl(0));
+  TraceReplayer replayer(stack.get());
+  ReplayResult result = replayer.Replay(trace);
+  EXPECT_EQ(result.fetches, 2u);
+  // The bad URL lands in the error count (both the proxy's and the
+  // replayer's own staleness-tracking guard) and the good one still works.
+  EXPECT_GE(result.errors, 1u);
+  EXPECT_GE(result.proxies.browser_hits + result.proxies.edge_hits +
+                result.proxies.origin_fetches,
+            1u);
+}
+
 TEST(BounceModelTest, CurveShape) {
   BounceModel model(Duration::Seconds(3), 1.4);
   // Half the users bounce at the tolerance point.

@@ -333,6 +333,74 @@ TEST_F(ClientProxyTest, SegmentBlocksShareCacheAcrossSameSegmentUsers) {
   EXPECT_EQ(r.source, ServedFrom::kEdgeCache);
 }
 
+TEST_F(ClientProxyTest, MalformedUrlCountsAsRequest) {
+  ClientProxy proxy = MakeProxy(SpeedKitConfig());
+  proxy.Fetch("not a url");
+  EXPECT_EQ(proxy.stats().requests, 1u);
+  EXPECT_EQ(proxy.stats().errors, 1u);
+  EXPECT_EQ(proxy.stats().ServedTotal(), proxy.stats().requests);
+}
+
+TEST_F(ClientProxyTest, SwrBackgroundTrafficStaysOutOfServeBuckets) {
+  ClientProxy proxy = MakeProxy(SpeedKitConfig());
+  proxy.Fetch(kRecordUrl);  // v1, TTL 60s
+  // Past TTL but inside the SWR window (TTL + 50% = 90s), sketch-clean.
+  Advance(Duration::Seconds(61));
+  uint64_t network_bytes_before = proxy.stats().bytes_over_network;
+  FetchResult r = proxy.Fetch(kRecordUrl);
+  EXPECT_EQ(r.source, ServedFrom::kBrowserCache);
+
+  const ProxyStats& s = proxy.stats();
+  EXPECT_EQ(s.swr_serves, 1u);
+  EXPECT_EQ(s.requests, 2u);
+  // The background revalidation must not masquerade as page traffic.
+  EXPECT_EQ(s.origin_fetches, 1u);  // only the initial cold fetch
+  EXPECT_EQ(s.edge_hits, 0u);
+  EXPECT_EQ(s.bytes_over_network, network_bytes_before);
+  EXPECT_EQ(s.background_revalidations, 1u);
+  EXPECT_EQ(s.background_304s, 1u);  // nothing changed: cheap 304
+  EXPECT_GT(s.background_bytes, 0u);
+  EXPECT_EQ(s.ServedTotal(), s.requests);
+}
+
+TEST_F(ClientProxyTest, StatsReconcileOverMixedWorkload) {
+  ClientProxy proxy = MakeProxy(SpeedKitConfig());
+  proxy.Fetch(kRecordUrl);    // cold: origin fetch
+  proxy.Fetch(kRecordUrl);    // fresh: browser hit
+  proxy.Fetch("no-scheme");   // malformed: error
+  Advance(Duration::Seconds(61));
+  proxy.Fetch(kRecordUrl);    // expired but within SWR window: swr serve
+  Advance(Duration::Seconds(91));
+  origin_.set_available(false);
+  proxy.Fetch(kRecordUrl);    // outage, copy on device: offline serve
+  // Outage and never seen: hard error.
+  proxy.Fetch("https://shop.example.com/api/records/p999");
+  origin_.set_available(true);
+  proxy.Fetch(kRecordUrl);    // revalidates the offline-served copy
+
+  const ProxyStats& s = proxy.stats();
+  EXPECT_EQ(s.requests, 7u);
+  EXPECT_EQ(s.ServedTotal(), s.requests);
+  EXPECT_EQ(s.background_revalidations,
+            s.background_304s + s.background_200s + s.background_errors);
+}
+
+TEST_F(ClientProxyTest, BackgroundRevalidationFailureCountsAsBackgroundError) {
+  ClientProxy proxy = MakeProxy(SpeedKitConfig());
+  proxy.Fetch(kRecordUrl);
+  Advance(Duration::Seconds(61));  // SWR window
+  origin_.set_available(false);
+  // The foreground serve succeeds from the stale copy; the background
+  // revalidation hits the dead origin and must not bump `errors`.
+  FetchResult r = proxy.Fetch(kRecordUrl);
+  EXPECT_TRUE(r.response.ok());
+  const ProxyStats& s = proxy.stats();
+  EXPECT_EQ(s.swr_serves, 1u);
+  EXPECT_EQ(s.errors, 0u);
+  EXPECT_EQ(s.background_errors, 1u);
+  EXPECT_EQ(s.ServedTotal(), s.requests);
+}
+
 TEST_F(ClientProxyTest, StaticBlockFetchesLikeAsset) {
   personalization::Segmenter segmenter(4);
   personalization::PageTemplate page;

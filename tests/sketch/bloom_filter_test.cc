@@ -82,6 +82,34 @@ TEST(BloomFilterTest, DeserializeRejectsGarbage) {
   EXPECT_FALSE(BloomFilter::Deserialize(bytes).ok());
 }
 
+TEST(BloomFilterTest, SerializeRoundTripsAtThe32BitBitCountBoundary) {
+  // 2^32 bits no longer fits the old 4-byte bit-count field; the widened
+  // header must carry the high bits instead of silently truncating to 0.
+  constexpr size_t kBits = 1ull << 32;  // 512 MiB of words, transient
+  BloomFilter filter(kBits, 3);
+  for (int i = 0; i < 50; ++i) filter.Add(Key(i));
+  std::string bytes = filter.Serialize();
+  ASSERT_EQ(bytes.size(), 8u + kBits / 8);
+  auto restored = BloomFilter::Deserialize(bytes);
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ(restored->bits(), kBits);
+  EXPECT_TRUE(*restored == filter);
+  for (int i = 0; i < 50; ++i) EXPECT_TRUE(restored->MightContain(Key(i)));
+}
+
+TEST(BloomFilterTest, HeaderStaysByteCompatibleBelow32Bits) {
+  // Filters under 2^32 bits must serialize byte-identically to the old
+  // [u32 bits][u16 k][u16 reserved=0] layout.
+  BloomFilter filter(1024, 4);
+  std::string bytes = filter.Serialize();
+  ASSERT_GE(bytes.size(), 8u);
+  EXPECT_EQ(static_cast<uint8_t>(bytes[0]), 0x00);  // 1024 = 0x400 LE
+  EXPECT_EQ(static_cast<uint8_t>(bytes[1]), 0x04);
+  EXPECT_EQ(static_cast<uint8_t>(bytes[4]), 4);     // k
+  EXPECT_EQ(static_cast<uint8_t>(bytes[6]), 0);     // bits_hi
+  EXPECT_EQ(static_cast<uint8_t>(bytes[7]), 0);
+}
+
 // ---------------------------------------------------------------------------
 // Property: measured FPR stays within ~2x of the analytic optimum across
 // filter sizings (the sketch's protocol-level guarantee is "false positives
