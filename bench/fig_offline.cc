@@ -35,6 +35,13 @@ OutageResult RunOutage(bool speed_kit_on, Duration warm, Duration outage,
                        double revisit_share) {
   core::StackConfig config;
   config.seed = 5;
+  // The outage is a fault-schedule window rather than a manual
+  // set_available() toggle: browsing starts 5s in (after the population
+  // settle below), so the origin is down for [5s+warm, 5s+warm+outage).
+  sim::FaultWindow window;
+  window.start = SimTime::Origin() + Duration::Seconds(5) + warm;
+  window.end = window.start + outage;
+  config.faults.origin = {window};
   core::SpeedKitStack stack(config);
   workload::CatalogConfig cconfig;
   cconfig.num_products = 500;
@@ -69,8 +76,8 @@ OutageResult RunOutage(bool speed_kit_on, Duration warm, Duration outage,
     stack.Advance(Duration::Seconds(5));
   }
 
-  // Outage phase: a revisit_share of requests go to already-seen pages.
-  stack.origin().set_available(false);
+  // Outage phase: the schedule window armed above has just taken the
+  // origin down; a revisit_share of requests go to already-seen pages.
   OutageResult result;
   SimTime outage_end = stack.clock().Now() + outage;
   while (stack.clock().Now() < outage_end) {

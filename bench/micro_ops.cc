@@ -3,6 +3,10 @@
 // intercepted request (the client proxy's overhead budget).
 #include <benchmark/benchmark.h>
 
+#include <string_view>
+#include <vector>
+
+#include "cache/lru_cache.h"
 #include "common/hash.h"
 #include "http/cache_control.h"
 #include "http/url.h"
@@ -86,6 +90,43 @@ void BM_SketchSnapshot(benchmark::State& state) {
   state.SetLabel(std::to_string(sketch.FilterSizeBytes()) + "B filter");
 }
 BENCHMARK(BM_SketchSnapshot)->Arg(1000)->Arg(10000)->Arg(100000);
+
+// LRU index probe with a string_view key — the transparent-lookup path
+// every cache layer (browser, edge, fragment) takes per request.
+void BM_LruGet(benchmark::State& state) {
+  cache::LruCache<int> cache(0);
+  std::vector<std::string> keys;
+  keys.reserve(10000);
+  for (size_t i = 0; i < 10000; ++i) {
+    keys.push_back(Key(i));
+    cache.Put(keys.back(), static_cast<int>(i));
+  }
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        cache.Get(std::string_view(keys[i++ % keys.size()])));
+  }
+}
+BENCHMARK(BM_LruGet);
+
+// Same probe but materializing a std::string per lookup — what every Get
+// cost before the index accepted heterogeneous keys. The delta vs
+// BM_LruGet is the per-request allocation this PR removed.
+void BM_LruGetWithKeyCopy(benchmark::State& state) {
+  cache::LruCache<int> cache(0);
+  std::vector<std::string> keys;
+  keys.reserve(10000);
+  for (size_t i = 0; i < 10000; ++i) {
+    keys.push_back(Key(i));
+    cache.Put(keys.back(), static_cast<int>(i));
+  }
+  size_t i = 0;
+  for (auto _ : state) {
+    std::string copy(keys[i++ % keys.size()]);
+    benchmark::DoNotOptimize(cache.Get(copy));
+  }
+}
+BENCHMARK(BM_LruGetWithKeyCopy);
 
 void BM_UrlParse(benchmark::State& state) {
   for (auto _ : state) {

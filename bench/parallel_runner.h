@@ -122,6 +122,8 @@ inline RunOutput MergeRuns(const std::vector<RunOutput>& runs) {
     merged.staleness.Merge(run.staleness);
     merged.staleness_us.Merge(run.staleness_us);
     merged.origin_requests += run.origin_requests;
+    merged.pipeline += run.pipeline;
+    merged.edge_faults += run.edge_faults;
     merged.sketch_entries = std::max(merged.sketch_entries, run.sketch_entries);
     merged.sketch_snapshot_bytes =
         std::max(merged.sketch_snapshot_bytes, run.sketch_snapshot_bytes);

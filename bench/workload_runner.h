@@ -17,6 +17,10 @@ struct RunSpec {
   workload::CatalogConfig catalog;
   core::TrafficConfig traffic;
   uint64_t catalog_seed = 1;
+  // Arms the staleness tracker's Δ-bound at (stack.delta + margin): any
+  // non-excused read staler than that counts as a delta violation (E14).
+  // Duration::Max() leaves the bound disarmed, as before this knob existed.
+  Duration delta_bound_margin = Duration::Max();
 };
 
 struct RunOutput {
@@ -26,6 +30,8 @@ struct RunOutput {
   uint64_t origin_requests = 0;
   size_t sketch_entries = 0;
   uint64_t sketch_snapshot_bytes = 0;
+  invalidation::PipelineStats pipeline;  // zero for pipeline-less variants
+  cache::EdgeFaultStats edge_faults;     // degraded-mode accounting (E14)
 };
 
 inline RunSpec DefaultRunSpec() {
@@ -41,6 +47,9 @@ inline RunSpec DefaultRunSpec() {
 
 inline RunOutput RunWorkload(const RunSpec& spec) {
   core::SpeedKitStack stack(spec.stack);
+  if (spec.delta_bound_margin != Duration::Max()) {
+    stack.staleness().SetDeltaBound(spec.stack.delta + spec.delta_bound_margin);
+  }
   workload::Catalog catalog(spec.catalog, Pcg32(spec.catalog_seed));
   catalog.Populate(&stack.store(), stack.clock().Now());
   for (int c = 0; c < catalog.num_categories(); ++c) {
@@ -64,6 +73,10 @@ inline RunOutput RunWorkload(const RunSpec& spec) {
     out.sketch_snapshot_bytes =
         stack.sketch()->SerializedSnapshot(stack.clock().Now()).size();
   }
+  if (stack.pipeline() != nullptr) {
+    out.pipeline = stack.pipeline()->stats();
+  }
+  out.edge_faults = stack.cdn().TotalFaultStats();
   return out;
 }
 

@@ -13,6 +13,8 @@ Cdn::Cdn(int num_edges, size_t edge_capacity_bytes) {
     edges_.push_back(
         std::make_unique<HttpCache>(/*shared=*/true, edge_capacity_bytes));
   }
+  down_.assign(edges_.size(), false);
+  fault_stats_.assign(edges_.size(), EdgeFaultStats{});
 }
 
 int Cdn::RouteFor(uint64_t client_id) const {
@@ -25,6 +27,12 @@ int Cdn::PurgeAll(std::string_view key) {
     if (edge->Purge(key)) ++purged;
   }
   return purged;
+}
+
+EdgeFaultStats Cdn::TotalFaultStats() const {
+  EdgeFaultStats total;
+  for (const EdgeFaultStats& s : fault_stats_) total += s;
+  return total;
 }
 
 HttpCacheStats Cdn::TotalStats() const {

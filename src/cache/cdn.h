@@ -17,6 +17,20 @@
 
 namespace speedkit::cache {
 
+// Per-edge degraded-operation accounting (fault injection, E14).
+struct EdgeFaultStats {
+  uint64_t down_rejects = 0;    // requests that found the edge down
+  uint64_t purges_dropped = 0;  // purge deliveries lost (edge down / faulted)
+  uint64_t purges_delayed = 0;  // purge deliveries on the slow path
+
+  EdgeFaultStats& operator+=(const EdgeFaultStats& other) {
+    down_rejects += other.down_rejects;
+    purges_dropped += other.purges_dropped;
+    purges_delayed += other.purges_delayed;
+    return *this;
+  }
+};
+
 class Cdn {
  public:
   // `edge_capacity_bytes` 0 = unbounded per edge.
@@ -30,8 +44,30 @@ class Cdn {
   HttpCache& edge(int i) { return *edges_[i]; }
   const HttpCache& edge(int i) const { return *edges_[i]; }
 
-  // Purges `key` from one edge; returns true if the edge held it.
+  // Edge-node outage toggles, driven by the stack's fault schedule. A
+  // down edge serves nothing and loses purges delivered to it; its cache
+  // contents survive the outage (a POP reboot, not a wipe).
+  void SetEdgeDown(int i, bool down) { down_[static_cast<size_t>(i)] = down; }
+  bool EdgeAvailable(int i) const { return !down_[static_cast<size_t>(i)]; }
+
+  // Called by the proxy when a request found its edge down.
+  void NoteEdgeReject(int i) { fault_stats_[static_cast<size_t>(i)].down_rejects++; }
+  // Called by the invalidation pipeline when a purge is faulted.
+  void NotePurgeDropped(int i) {
+    fault_stats_[static_cast<size_t>(i)].purges_dropped++;
+  }
+  void NotePurgeDelayed(int i) {
+    fault_stats_[static_cast<size_t>(i)].purges_delayed++;
+  }
+
+  // Purges `key` from one edge; returns true if the edge held it. A purge
+  // arriving while the edge is down is lost — the real CDN API would
+  // retry; we count it instead so E14 can report delivery loss.
   bool PurgeEdge(int i, std::string_view key) {
+    if (down_[static_cast<size_t>(i)]) {
+      NotePurgeDropped(i);
+      return false;
+    }
     return edges_[i]->Purge(key);
   }
 
@@ -41,9 +77,15 @@ class Cdn {
 
   // Aggregated stats across edges.
   HttpCacheStats TotalStats() const;
+  const EdgeFaultStats& edge_fault_stats(int i) const {
+    return fault_stats_[static_cast<size_t>(i)];
+  }
+  EdgeFaultStats TotalFaultStats() const;
 
  private:
   std::vector<std::unique_ptr<HttpCache>> edges_;
+  std::vector<bool> down_;
+  std::vector<EdgeFaultStats> fault_stats_;
 };
 
 }  // namespace speedkit::cache

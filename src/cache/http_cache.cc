@@ -1,6 +1,18 @@
 #include "cache/http_cache.h"
 
+#include <utility>
+
+#include "common/strings.h"
+#include "http/headers.h"
+
 namespace speedkit::cache {
+
+namespace {
+// Separators for the variant discriminator; neither occurs in URLs or
+// header values, so variant keys cannot collide with primary keys.
+constexpr char kVariantSep = '\x1f';
+constexpr char kFieldSep = '\x1e';
+}  // namespace
 
 HttpCache::HttpCache(bool shared, size_t capacity_bytes)
     : shared_(shared),
@@ -8,8 +20,25 @@ HttpCache::HttpCache(bool shared, size_t capacity_bytes)
         return e.response.WireSize() + 64;  // entry bookkeeping overhead
       }) {}
 
-LookupResult HttpCache::Lookup(std::string_view key, SimTime now) {
-  CacheEntry* entry = entries_.Get(key);
+std::string HttpCache::StorageKey(
+    std::string_view key, const http::HeaderMap& request_headers) const {
+  auto it = vary_names_.find(key);
+  if (it == vary_names_.end()) return std::string(key);
+  std::string storage_key(key);
+  storage_key += kVariantSep;
+  for (const std::string& name : it->second) {
+    storage_key += name;
+    storage_key += '=';
+    auto value = request_headers.Get(name);
+    if (value.has_value()) storage_key += *value;
+    storage_key += kFieldSep;
+  }
+  return storage_key;
+}
+
+LookupResult HttpCache::LookupStored(std::string_view storage_key,
+                                     SimTime now) {
+  CacheEntry* entry = entries_.Get(storage_key);
   if (entry == nullptr) {
     stats_.misses++;
     return LookupResult{LookupOutcome::kMiss, nullptr};
@@ -22,14 +51,72 @@ LookupResult HttpCache::Lookup(std::string_view key, SimTime now) {
   return LookupResult{LookupOutcome::kStaleHit, entry};
 }
 
+LookupResult HttpCache::Lookup(std::string_view key, SimTime now) {
+  // Headerless fast path: skip the variant map only in spirit — a varying
+  // resource looked up without headers resolves to the all-absent variant.
+  static const http::HeaderMap kNoHeaders;
+  return Lookup(key, kNoHeaders, now);
+}
+
+LookupResult HttpCache::Lookup(std::string_view key,
+                               const http::HeaderMap& request_headers,
+                               SimTime now) {
+  return LookupStored(StorageKey(key, request_headers), now);
+}
+
 bool HttpCache::Store(std::string_view key, const http::HttpResponse& response,
                       SimTime now) {
+  static const http::HeaderMap kNoHeaders;
+  return Store(key, kNoHeaders, response, now);
+}
+
+bool HttpCache::Store(std::string_view key,
+                      const http::HeaderMap& request_headers,
+                      const http::HttpResponse& response, SimTime now) {
   if (!response.ok() || response.body.empty()) return false;
   http::CacheControl cc = response.GetCacheControl();
   if (!cc.Storable(shared_)) {
     stats_.store_rejects++;
     return false;
   }
+
+  std::string storage_key(key);
+  auto vary_value = response.headers.Get("Vary");
+  if (vary_value.has_value()) {
+    std::vector<std::string> names = http::ParseVaryNames(*vary_value);
+    if (!names.empty() && names.front() == "*") {
+      // Vary: * — the response depends on inputs no cache can see.
+      stats_.store_rejects++;
+      return false;
+    }
+    if (!names.empty()) {
+      // First varying store for this key displaces any plain entry (it
+      // predates the resource starting to vary).
+      auto it = vary_names_.find(key);
+      if (it == vary_names_.end()) {
+        entries_.Erase(key);
+        vary_names_.emplace(std::string(key), names);
+      } else if (it->second != names) {
+        // The Vary set itself changed: old variant keys are unreachable
+        // under the new set, drop them before they rot in the budget.
+        std::string prefix = std::string(key) + kVariantSep;
+        entries_.EraseIf([&prefix](const std::string& k, const CacheEntry&) {
+          return StartsWith(k, prefix);
+        });
+        it->second = names;
+      }
+      storage_key = StorageKey(key, request_headers);
+    }
+  } else if (vary_names_.find(key) != vary_names_.end()) {
+    // The resource stopped varying: retire the variant entries and the
+    // mapping, then store plainly.
+    std::string prefix = std::string(key) + kVariantSep;
+    entries_.EraseIf([&prefix](const std::string& k, const CacheEntry&) {
+      return StartsWith(k, prefix);
+    });
+    vary_names_.erase(vary_names_.find(key));
+  }
+
   CacheEntry entry;
   entry.response = response;
   entry.stored_at = now;
@@ -38,14 +125,21 @@ bool HttpCache::Store(std::string_view key, const http::HttpResponse& response,
   entry.ttl = freshness.value_or(Duration::Zero());
   entry.swr = cc.stale_while_revalidate.value_or(Duration::Zero());
   entry.requires_revalidation = cc.no_cache;
-  entries_.Put(key, std::move(entry));
+  entries_.Put(storage_key, std::move(entry));
   stats_.stores++;
   return true;
 }
 
 void HttpCache::Refresh(std::string_view key,
                         const http::HttpResponse& not_modified, SimTime now) {
-  CacheEntry* entry = entries_.Get(key);
+  static const http::HeaderMap kNoHeaders;
+  Refresh(key, kNoHeaders, not_modified, now);
+}
+
+void HttpCache::Refresh(std::string_view key,
+                        const http::HeaderMap& request_headers,
+                        const http::HttpResponse& not_modified, SimTime now) {
+  CacheEntry* entry = entries_.Get(StorageKey(key, request_headers));
   if (entry == nullptr) return;
   http::CacheControl cc = not_modified.GetCacheControl();
   auto freshness =
@@ -66,10 +160,23 @@ void HttpCache::Refresh(std::string_view key,
 
 bool HttpCache::Purge(std::string_view key) {
   bool removed = entries_.Erase(key);
+  auto it = vary_names_.find(key);
+  if (it != vary_names_.end()) {
+    // A purge hits the resource, i.e. every variant of it.
+    std::string prefix = std::string(key) + kVariantSep;
+    removed |= entries_.EraseIf([&prefix](const std::string& k,
+                                          const CacheEntry&) {
+                 return StartsWith(k, prefix);
+               }) > 0;
+    vary_names_.erase(it);
+  }
   if (removed) stats_.purges++;
   return removed;
 }
 
-void HttpCache::Clear() { entries_.Clear(); }
+void HttpCache::Clear() {
+  entries_.Clear();
+  vary_names_.clear();
+}
 
 }  // namespace speedkit::cache

@@ -13,8 +13,11 @@
 #include <optional>
 #include <string>
 #include <string_view>
+#include <unordered_map>
+#include <vector>
 
 #include "cache/lru_cache.h"
+#include "common/hash.h"
 #include "common/sim_time.h"
 #include "http/message.h"
 
@@ -55,7 +58,7 @@ struct HttpCacheStats {
   uint64_t stale_hits = 0;
   uint64_t misses = 0;
   uint64_t stores = 0;
-  uint64_t store_rejects = 0;  // no-store / private-at-shared
+  uint64_t store_rejects = 0;  // no-store / private-at-shared / Vary: *
   uint64_t refreshes = 0;      // 304-driven lifetime extensions
   uint64_t purges = 0;
 };
@@ -66,20 +69,33 @@ class HttpCache {
   // private). `capacity_bytes` 0 = unbounded.
   HttpCache(bool shared, size_t capacity_bytes);
 
+  // Vary-aware lookup: when the stored response carried `Vary`, the named
+  // request headers become a secondary cache key, so two variants (e.g.
+  // segments) can never cross-serve. The header-less overload is for
+  // resources known not to vary (and legacy callers).
   LookupResult Lookup(std::string_view key, SimTime now);
+  LookupResult Lookup(std::string_view key,
+                      const http::HeaderMap& request_headers, SimTime now);
 
   // Stores `response` if its Cache-Control permits storage in this cache
   // class. Returns true if stored. Responses without explicit freshness get
-  // TTL zero (stored for revalidation only).
+  // TTL zero (stored for revalidation only). A response with `Vary` is
+  // stored under the variant key derived from `request_headers`;
+  // `Vary: *` is uncacheable (counted as a store reject).
   bool Store(std::string_view key, const http::HttpResponse& response,
              SimTime now);
+  bool Store(std::string_view key, const http::HeaderMap& request_headers,
+             const http::HttpResponse& response, SimTime now);
 
   // Applies a 304: extends the stored entry's freshness using the new
   // Cache-Control and render time. No-op if the entry vanished.
   void Refresh(std::string_view key, const http::HttpResponse& not_modified,
                SimTime now);
+  void Refresh(std::string_view key, const http::HeaderMap& request_headers,
+               const http::HttpResponse& not_modified, SimTime now);
 
-  // Invalidation-based removal (CDN purge API).
+  // Invalidation-based removal (CDN purge API). Purging a varying key
+  // removes every stored variant.
   bool Purge(std::string_view key);
   void Clear();
 
@@ -90,8 +106,18 @@ class HttpCache {
   const HttpCacheStats& stats() const { return stats_; }
 
  private:
+  // The internal storage key: the primary key, plus a discriminator built
+  // from the Vary'd request-header values when the resource varies.
+  std::string StorageKey(std::string_view key,
+                         const http::HeaderMap& request_headers) const;
+  LookupResult LookupStored(std::string_view storage_key, SimTime now);
+
   bool shared_;
   LruCache<CacheEntry> entries_;
+  // Primary key -> normalized Vary header names of the stored response(s).
+  std::unordered_map<std::string, std::vector<std::string>, StringHash,
+                     std::equal_to<>>
+      vary_names_;
   HttpCacheStats stats_;
 };
 

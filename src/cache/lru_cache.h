@@ -15,6 +15,8 @@
 #include <string_view>
 #include <unordered_map>
 
+#include "common/hash.h"
+
 namespace speedkit::cache {
 
 template <typename Value>
@@ -31,8 +33,10 @@ class LruCache {
   LruCache& operator=(const LruCache&) = delete;
 
   // Returns the resident value and marks it most-recently-used.
+  // Heterogeneous index lookup: the string_view key is hashed and compared
+  // in place, no temporary std::string per probe.
   Value* Get(std::string_view key) {
-    auto it = index_.find(std::string(key));
+    auto it = index_.find(key);
     if (it == index_.end()) return nullptr;
     order_.splice(order_.begin(), order_, it->second);
     return &it->second->value;
@@ -40,7 +44,7 @@ class LruCache {
 
   // Lookup without touching recency (metrics probes).
   const Value* Peek(std::string_view key) const {
-    auto it = index_.find(std::string(key));
+    auto it = index_.find(key);
     return it == index_.end() ? nullptr : &it->second->value;
   }
 
@@ -52,7 +56,7 @@ class LruCache {
       Erase(key);
       return;
     }
-    auto it = index_.find(std::string(key));
+    auto it = index_.find(key);
     if (it != index_.end()) {
       used_bytes_ -= size_fn_(it->second->value);
       it->second->value = std::move(value);
@@ -67,7 +71,7 @@ class LruCache {
   }
 
   bool Erase(std::string_view key) {
-    auto it = index_.find(std::string(key));
+    auto it = index_.find(key);
     if (it == index_.end()) return false;
     used_bytes_ -= size_fn_(it->second->value);
     order_.erase(it->second);
@@ -122,7 +126,9 @@ class LruCache {
   size_t capacity_bytes_;
   SizeFn size_fn_;
   std::list<Node> order_;  // front = most recent
-  std::unordered_map<std::string, typename std::list<Node>::iterator> index_;
+  std::unordered_map<std::string, typename std::list<Node>::iterator,
+                     StringHash, std::equal_to<>>
+      index_;
   size_t used_bytes_ = 0;
   uint64_t evictions_ = 0;
 };

@@ -38,6 +38,17 @@ uint64_t Fnv1a_64(std::string_view s);
 // SplitMix64 finalizer; good for hashing already-numeric keys.
 uint64_t Mix64(uint64_t x);
 
+// Transparent string hasher for unordered containers keyed by std::string:
+// together with std::equal_to<> it enables heterogeneous lookup, so a
+// string_view probe does not materialize a temporary std::string (the
+// hottest path in every cache tier does one lookup per request).
+struct StringHash {
+  using is_transparent = void;
+  size_t operator()(std::string_view s) const {
+    return static_cast<size_t>(Murmur3_64(s));
+  }
+};
+
 }  // namespace speedkit
 
 #endif  // SPEEDKIT_COMMON_HASH_H_

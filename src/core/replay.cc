@@ -53,9 +53,10 @@ ReplayResult TraceReplayer::Replay(const workload::Trace& trace) {
           // can carry malformed URLs, so never dereference unchecked.
           auto url = http::Url::Parse(event->url);
           if (url.ok()) {
-            stack_->staleness().RecordRead(url->CacheKey(),
-                                           r.response.object_version,
-                                           stack_->clock().Now());
+            stack_->staleness().RecordRead(
+                url->CacheKey(), r.response.object_version,
+                stack_->clock().Now(),
+                /*excused=*/r.source == proxy::ServedFrom::kOfflineCache);
           } else {
             result.errors++;
           }

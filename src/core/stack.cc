@@ -20,7 +20,9 @@ SpeedKitStack::SpeedKitStack(const StackConfig& config)
     : config_(config),
       rng_(config.seed, config.seed ^ 0x5eed0001ULL),
       events_(&clock_),
+      faults_(config.faults),
       network_(config.network, rng_.Fork(1)) {
+  network_.SetFaultSchedule(&faults_);
   // TTL policy by variant/mode.
   switch (config_.variant) {
     case SystemVariant::kNoCaching:
@@ -61,7 +63,25 @@ SpeedKitStack::SpeedKitStack(const StackConfig& config)
     // The origin records every handed-out freshness deadline; the pipeline
     // must consult that same book to size sketch horizons correctly.
     pipeline_->UseExpiryBook(&origin_->expiry_book());
+    pipeline_->SetFaultSchedule(&faults_);
     pipeline_->AttachTo(&store_);
+  }
+
+  // Mirror outage windows into clock events so that components consult
+  // plain availability flags instead of each re-deriving window coverage.
+  // Windows per node must be disjoint (documented in fault_schedule.h):
+  // each one toggles down at `start` and back up at `end`.
+  for (const sim::FaultWindow& w : config_.faults.origin) {
+    events_.At(w.start, [this] { origin_->set_available(false); });
+    events_.At(w.end, [this] { origin_->set_available(true); });
+  }
+  for (size_t e = 0; e < config_.faults.edges.size(); ++e) {
+    if (e >= static_cast<size_t>(cdn_->num_edges())) break;
+    int edge = static_cast<int>(e);
+    for (const sim::FaultWindow& w : config_.faults.edges[e]) {
+      events_.At(w.start, [this, edge] { cdn_->SetEdgeDown(edge, true); });
+      events_.At(w.end, [this, edge] { cdn_->SetEdgeDown(edge, false); });
+    }
   }
 
   // Staleness instrumentation: date every record version and every

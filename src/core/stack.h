@@ -26,6 +26,7 @@
 #include "proxy/client_proxy.h"
 #include "sim/clock.h"
 #include "sim/event_queue.h"
+#include "sim/fault_schedule.h"
 #include "sim/network.h"
 #include "sketch/cache_sketch.h"
 #include "storage/object_store.h"
@@ -64,6 +65,12 @@ struct StackConfig {
   TtlMode ttl_mode = TtlMode::kEstimator;
   Duration fixed_ttl = Duration::Seconds(60);
   ttl::EstimatorConfig estimator;
+
+  // Fault injection (E14). Link loss and purge loss/delay are applied
+  // probabilistically from the components' own RNG streams; origin and
+  // edge outage windows become clock events at construction. An empty
+  // schedule reproduces a no-schedule run bit-for-bit.
+  sim::FaultScheduleConfig faults;
 };
 
 class SpeedKitStack {
@@ -100,6 +107,7 @@ class SpeedKitStack {
   invalidation::InvalidationPipeline* pipeline() { return pipeline_.get(); }
   ttl::TtlPolicy& ttl_policy() { return *ttl_policy_; }
   StalenessTracker& staleness() { return staleness_; }
+  const sim::FaultSchedule& faults() { return faults_; }
 
   // Forks a deterministic child RNG for drivers.
   Pcg32 ForkRng(uint64_t salt) { return rng_.Fork(salt); }
@@ -117,6 +125,7 @@ class SpeedKitStack {
   Pcg32 rng_;
   sim::SimClock clock_;
   sim::EventQueue events_;
+  sim::FaultSchedule faults_;
   sim::Network network_;
   storage::ObjectStore store_;
   std::unique_ptr<ttl::TtlPolicy> ttl_policy_;

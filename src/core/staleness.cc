@@ -14,7 +14,7 @@ void StalenessTracker::RecordWrite(std::string_view key, uint64_t version,
 }
 
 Duration StalenessTracker::RecordRead(std::string_view key, uint64_t version,
-                                      SimTime now) {
+                                      SimTime now, bool excused) {
   report_.reads++;
   auto it = keys_.find(std::string(key));
   if (it == keys_.end()) return Duration::Zero();  // key never written
@@ -43,6 +43,11 @@ Duration StalenessTracker::RecordRead(std::string_view key, uint64_t version,
     report_.clamped++;
   }
   if (staleness > report_.max_staleness) report_.max_staleness = staleness;
+  if (excused) {
+    report_.excused_stale_reads++;
+  } else if (staleness > delta_bound_) {
+    report_.delta_violations++;
+  }
   staleness_us_.Add(staleness.micros());
   return staleness;
 }

@@ -30,10 +30,23 @@ struct StalenessReport {
   uint64_t stale_reads = 0;
   uint64_t clamped = 0;  // staleness underestimated (ring overflow)
   Duration max_staleness = Duration::Zero();
+  // Δ-bound accounting (fault injection, E14): a read staler than the
+  // armed bound is a violation — unless it was excused, i.e. the caller
+  // knowingly traded freshness for availability (offline serves during an
+  // outage). Excused stale reads are tallied separately so availability
+  // wins are visible without masking coherence regressions.
+  uint64_t delta_violations = 0;
+  uint64_t excused_stale_reads = 0;
 
   double StaleFraction() const {
     return reads == 0 ? 0.0
                       : static_cast<double>(stale_reads) /
+                            static_cast<double>(reads);
+  }
+
+  double ViolationFraction() const {
+    return reads == 0 ? 0.0
+                      : static_cast<double>(delta_violations) /
                             static_cast<double>(reads);
   }
 
@@ -46,6 +59,8 @@ struct StalenessReport {
     if (other.max_staleness > max_staleness) {
       max_staleness = other.max_staleness;
     }
+    delta_violations += other.delta_violations;
+    excused_stale_reads += other.excused_stale_reads;
   }
 };
 
@@ -60,8 +75,17 @@ class StalenessTracker {
   void RecordWrite(std::string_view key, uint64_t version, SimTime now);
 
   // Reports a read that served `version` of `key` at `now`. Returns the
-  // read's staleness (zero if current).
-  Duration RecordRead(std::string_view key, uint64_t version, SimTime now);
+  // read's staleness (zero if current). `excused` marks reads where the
+  // serving layer deliberately chose availability over freshness (offline
+  // mode): they count as stale but never as Δ-violations.
+  Duration RecordRead(std::string_view key, uint64_t version, SimTime now,
+                      bool excused = false);
+
+  // Arms Δ-bound checking: any non-excused read staler than `bound`
+  // increments delta_violations. Duration::Max() (the default) disables
+  // the check. Callers set this to Δ + a purge-propagation allowance.
+  void SetDeltaBound(Duration bound) { delta_bound_ = bound; }
+  Duration delta_bound() const { return delta_bound_; }
 
   const StalenessReport& report() const { return report_; }
   // Staleness of stale reads only, microseconds.
@@ -75,6 +99,7 @@ class StalenessTracker {
   };
 
   size_t ring_capacity_;
+  Duration delta_bound_ = Duration::Max();
   std::unordered_map<std::string, KeyHistory> keys_;
   StalenessReport report_;
   Histogram staleness_us_;

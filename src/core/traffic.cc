@@ -141,8 +141,11 @@ void TrafficSimulation::ExecutePageView(size_t client_index,
   if (track_staleness) {
     result_.api_latency_us.Add(r.latency.micros());
     if (r.response.ok() && r.response.object_version > 0) {
+      // Offline serves are the availability-over-freshness trade the
+      // proxy makes deliberately; they must not count as Δ-violations.
+      bool excused = r.source == proxy::ServedFrom::kOfflineCache;
       Duration staleness = stack_->staleness().RecordRead(
-          url, r.response.object_version, stack_->clock().Now());
+          url, r.response.object_version, stack_->clock().Now(), excused);
       result_.stale_timeline.Add(stack_->clock().Now(),
                                  staleness > Duration::Zero() ? 1.0 : 0.0);
     }

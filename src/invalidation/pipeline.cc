@@ -1,7 +1,6 @@
 #include "invalidation/pipeline.h"
 
 #include <algorithm>
-#include <memory>
 
 namespace speedkit::invalidation {
 
@@ -74,16 +73,32 @@ void InvalidationPipeline::InvalidateKey(const std::string& key) {
   // unpurged edge can re-serve the stale copy to a fresh client.
   SimTime last_purge = now;
   if (cdn_ != nullptr) {
-    auto purged_flags = std::make_shared<std::vector<bool>>();
+    // A probability of 0 must not touch the RNG: an attached-but-quiet
+    // fault schedule reproduces the faultless run bit-for-bit.
+    auto chance = [this](double p) { return p > 0 && rng_.WithProbability(p); };
     for (int i = 0; i < cdn_->num_edges(); ++i) {
+      stats_.purges_scheduled++;
+      if (faults_ != nullptr && chance(faults_->purge_loss_probability())) {
+        // Delivery lost in flight. The edge keeps its stale copy until the
+        // copy's own TTL runs out — which the sketch horizon covers via
+        // the ExpiryBook, so Δ-atomicity survives (at the cost of longer
+        // forced revalidation).
+        stats_.purges_dropped++;
+        cdn_->NotePurgeDropped(i);
+        continue;
+      }
       double jitter = config_.purge_log_sigma > 0
                           ? rng_.LogNormal(0.0, config_.purge_log_sigma)
                           : 1.0;
       Duration delay = Duration::Micros(static_cast<int64_t>(
           config_.purge_median_delay.micros() * jitter));
+      if (faults_ != nullptr && chance(faults_->purge_delay_probability())) {
+        delay = delay * faults_->purge_delay_factor();
+        stats_.purges_delayed++;
+        cdn_->NotePurgeDelayed(i);
+      }
       SimTime at = now + delay;
       last_purge = std::max(last_purge, at);
-      stats_.purges_scheduled++;
       int edge = i;
       std::string key_copy = key;
       events_->At(at, [this, edge, key_copy]() {

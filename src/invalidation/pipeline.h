@@ -29,6 +29,7 @@
 #include "invalidation/query_matcher.h"
 #include "sim/clock.h"
 #include "sim/event_queue.h"
+#include "sim/fault_schedule.h"
 #include "sketch/cache_sketch.h"
 #include "storage/object_store.h"
 
@@ -47,6 +48,18 @@ struct PipelineStats {
   uint64_t keys_invalidated = 0;
   uint64_t purges_scheduled = 0;
   uint64_t purges_effective = 0;  // an edge actually held the key
+  uint64_t purges_dropped = 0;    // delivery lost before reaching the edge
+  uint64_t purges_delayed = 0;    // delivery took the schedule's slow path
+
+  PipelineStats& operator+=(const PipelineStats& other) {
+    writes_seen += other.writes_seen;
+    keys_invalidated += other.keys_invalidated;
+    purges_scheduled += other.purges_scheduled;
+    purges_effective += other.purges_effective;
+    purges_dropped += other.purges_dropped;
+    purges_delayed += other.purges_delayed;
+    return *this;
+  }
 };
 
 // Maps a written record to the cache keys that render it (detail page,
@@ -81,6 +94,13 @@ class InvalidationPipeline {
   // client copies are still live, breaking the Δ-atomicity bound.
   void UseExpiryBook(ExpiryBook* book) { expiry_book_ = book; }
 
+  // Attaches the stack's fault schedule (not owned; may be nullptr).
+  // Purge deliveries are then subject to loss and slow-path delay; the
+  // sketch horizon still covers unpurged copies because it takes the
+  // ExpiryBook's latest handed-out deadline — this is the mechanism E14
+  // stresses. A schedule with zero purge probabilities draws no RNG.
+  void SetFaultSchedule(const sim::FaultSchedule* faults) { faults_ = faults; }
+
   ExpiryBook& expiry_book() { return *expiry_book_; }
   QueryMatcher& matcher() { return matcher_; }
   const PipelineStats& stats() const { return stats_; }
@@ -97,6 +117,7 @@ class InvalidationPipeline {
   cache::Cdn* cdn_;
   sketch::CacheSketch* sketch_;
   Pcg32 rng_;
+  const sim::FaultSchedule* faults_ = nullptr;
 
   RecordKeyMapper record_key_mapper_;
   QueryMatcher matcher_;

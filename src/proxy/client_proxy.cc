@@ -41,7 +41,8 @@ ClientProxy::ClientProxy(const ProxyConfig& config, uint64_t client_id,
       origin_(origin),
       auditor_(auditor),
       browser_cache_(/*shared=*/false, config.browser_cache_bytes),
-      client_sketch_(config.sketch_refresh_interval) {}
+      client_sketch_(config.sketch_refresh_interval),
+      rng_(Mix64(client_id ^ 0xba0c0ffeeULL), client_id * 2 + 1) {}
 
 FetchResult ClientProxy::Fetch(std::string_view url_text) {
   auto url = http::Url::Parse(url_text);
@@ -88,7 +89,7 @@ FetchResult ClientProxy::FetchResolved(const http::Url& url) {
   bool flagged = use_sketch && client_sketch_.MightBeStale(key);
 
   http::HttpRequest request = http::HttpRequest::Get(url);
-  cache::LookupResult lookup = browser_cache_.Lookup(key, now);
+  cache::LookupResult lookup = browser_cache_.Lookup(key, request.headers, now);
 
   if (lookup.outcome == cache::LookupOutcome::kFreshHit && !flagged) {
     // Serving from the browser cache is gated on the sketch check, so a
@@ -147,37 +148,100 @@ Duration ClientProxy::MaybeRefreshSketchLatency() {
   SimTime now = clock_->Now();
   if (!client_sketch_.NeedsRefresh(now)) return Duration::Zero();
   if (!origin_->available()) return Duration::Zero();  // keep the old snapshot
+  if (!network_->Delivered(sim::Link::kClientEdge, now)) {
+    // The refresh request never got through: keep the old snapshot and
+    // charge one timeout. Degraded mode — the Δ guarantee rests on the
+    // next successful refresh; no retry loop here because the refresh is
+    // re-attempted by the very next request anyway.
+    stats_.timeouts++;
+    return config_.request_timeout;
+  }
   std::string snapshot = origin_->SketchSnapshot();
   if (!client_sketch_.Update(snapshot, now).ok()) return Duration::Zero();
   stats_.sketch_refreshes++;
   stats_.sketch_bytes += snapshot.size();
   // The sketch service answers from the edge tier.
-  return network_->RequestTime(sim::Link::kClientEdge, snapshot.size());
+  return network_->RequestTime(sim::Link::kClientEdge, snapshot.size(), now);
+}
+
+bool ClientProxy::DeliverWithRetries(sim::Link link, Duration* latency) {
+  SimTime now = clock_->Now();
+  if (network_->Delivered(link, now)) return true;
+  stats_.timeouts++;
+  *latency += config_.request_timeout;
+  for (int attempt = 0; attempt < config_.max_retries; ++attempt) {
+    stats_.retries++;
+    // Exponential backoff with jitter; the jitter draw comes from the
+    // proxy's own RNG stream and only happens on this (fault-only) path,
+    // so faultless runs keep their exact draw sequences.
+    Duration backoff =
+        config_.retry_backoff * static_cast<double>(1 << attempt);
+    if (config_.retry_jitter > 0) {
+      backoff = backoff * (1.0 + config_.retry_jitter * rng_.NextDouble());
+    }
+    *latency += backoff;
+    if (network_->Delivered(link, now)) return true;
+    stats_.timeouts++;
+    *latency += config_.request_timeout;
+  }
+  return false;
 }
 
 FetchResult ClientProxy::FetchOverNetwork(const http::HttpRequest& request,
                                           const std::string& key,
                                           bool bypass_shared) {
-  SimTime now = clock_->Now();
   Audit(request);
 
   bool via_edge = config_.enabled && config_.use_cdn && cdn_ != nullptr;
-  if (!via_edge) {
-    http::HttpResponse resp = origin_->Handle(request);
-    if (resp.status_code == 503) {
-      return OfflineFallback(key, network_->SampleRtt(sim::Link::kClientOrigin));
-    }
-    size_t down =
-        resp.IsNotModified() ? kNotModifiedWireBytes : resp.WireSize();
-    Duration lat = network_->SampleRtt(sim::Link::kClientOrigin) +
-                   network_->TransferTime(sim::Link::kClientOrigin, down) +
-                   resp.server_time;
-    return FinishClientResponse(request, key, resp, ServedFrom::kOrigin, lat);
-  }
+  if (!via_edge) return FetchDirect(request, key, Duration::Zero());
 
-  cache::HttpCache& edge = cdn_->edge(cdn_->RouteFor(client_id_));
+  // Degraded-mode decision, step 1: is the accelerated edge path
+  // reachable at all? An edge outage or a dead client<->edge link reroutes
+  // the request to pass-through against the original site (the paper's
+  // fallback rule), carrying the time burned on the failed attempts.
+  int edge_index = cdn_->RouteFor(client_id_);
+  Duration burned = Duration::Zero();
+  bool edge_reachable = cdn_->EdgeAvailable(edge_index);
+  if (!edge_reachable) {
+    cdn_->NoteEdgeReject(edge_index);
+  } else if (!DeliverWithRetries(sim::Link::kClientEdge, &burned)) {
+    edge_reachable = false;
+  }
+  if (!edge_reachable) {
+    FetchResult result = FetchDirect(request, key, burned);
+    if (result.source != ServedFrom::kError) stats_.fallback_serves++;
+    return result;
+  }
+  return FetchViaEdge(request, key, bypass_shared, edge_index, burned);
+}
+
+FetchResult ClientProxy::FetchDirect(const http::HttpRequest& request,
+                                     const std::string& key, Duration burned) {
+  if (!DeliverWithRetries(sim::Link::kClientOrigin, &burned)) {
+    return OfflineFallback(request, key, burned);
+  }
+  SimTime now = clock_->Now();
+  http::HttpResponse resp = origin_->Handle(request);
+  if (resp.status_code == 503) {
+    return OfflineFallback(
+        request, key,
+        burned + network_->SampleRtt(sim::Link::kClientOrigin, now));
+  }
+  size_t down = resp.IsNotModified() ? kNotModifiedWireBytes : resp.WireSize();
+  Duration lat = burned + network_->SampleRtt(sim::Link::kClientOrigin, now) +
+                 network_->TransferTime(sim::Link::kClientOrigin, down) +
+                 resp.server_time;
+  return FinishClientResponse(request, key, resp, ServedFrom::kOrigin, lat);
+}
+
+FetchResult ClientProxy::FetchViaEdge(const http::HttpRequest& request,
+                                      const std::string& key,
+                                      bool bypass_shared, int edge_index,
+                                      Duration burned) {
+  SimTime now = clock_->Now();
+  cache::HttpCache& edge = cdn_->edge(edge_index);
   if (!bypass_shared) {
-    cache::LookupResult el = edge.Lookup(key, now);
+    cache::LookupResult el = edge.Lookup(key, request.headers, now);
     if (el.outcome == cache::LookupOutcome::kFreshHit) {
       // A matching client validator gets a cache-minted 304. Its
       // generated_at is the entry's original render time so the browser
@@ -188,14 +252,15 @@ FetchResult ClientProxy::FetchOverNetwork(const http::HttpRequest& request,
             *inm, el.entry->response.GetCacheControl(),
             el.entry->response.object_version,
             el.entry->response.generated_at);
-        Duration lat = network_->RequestTime(sim::Link::kClientEdge,
-                                             kNotModifiedWireBytes);
+        Duration lat = burned + network_->RequestTime(sim::Link::kClientEdge,
+                                                      kNotModifiedWireBytes,
+                                                      now);
         return FinishClientResponse(request, key, edge_304,
                                     ServedFrom::kEdgeCache, lat);
       }
       Duration lat =
-          network_->RequestTime(sim::Link::kClientEdge,
-                                el.entry->response.WireSize());
+          burned + network_->RequestTime(sim::Link::kClientEdge,
+                                         el.entry->response.WireSize(), now);
       return FinishClientResponse(request, key, el.entry->response,
                                   ServedFrom::kEdgeCache, lat);
     }
@@ -207,19 +272,33 @@ FetchResult ClientProxy::FetchOverNetwork(const http::HttpRequest& request,
       if (!edge_etag.empty()) {
         forwarded.headers.Set("If-None-Match", edge_etag);
       }
+      if (!DeliverWithRetries(sim::Link::kEdgeOrigin, &burned)) {
+        // Degraded mode, step 2: the upstream is unreachable but the edge
+        // still holds a copy — serve it stale (stale-if-error) rather than
+        // fail. Safe for sketch-clean keys: they are merely TTL-expired;
+        // a genuinely invalidated key is flagged and never takes this
+        // branch (it bypasses the edge entirely).
+        stats_.fallback_serves++;
+        Duration lat =
+            burned + network_->RequestTime(sim::Link::kClientEdge,
+                                           el.entry->response.WireSize(), now);
+        return FinishClientResponse(request, key, el.entry->response,
+                                    ServedFrom::kEdgeCache, lat);
+      }
       http::HttpResponse oresp = origin_->Handle(forwarded);
       if (oresp.status_code == 503) {
         return OfflineFallback(
-            key, network_->SampleRtt(sim::Link::kClientEdge) +
-                     network_->SampleRtt(sim::Link::kEdgeOrigin));
+            request, key,
+            burned + network_->SampleRtt(sim::Link::kClientEdge, now) +
+                network_->SampleRtt(sim::Link::kEdgeOrigin, now));
       }
       if (oresp.IsNotModified()) {
-        edge.Refresh(key, oresp, now);
-        cache::LookupResult refreshed = edge.Lookup(key, now);
+        edge.Refresh(key, request.headers, oresp, now);
+        cache::LookupResult refreshed = edge.Lookup(key, request.headers, now);
         if (refreshed.entry != nullptr) {
           Duration upstream =
-              network_->SampleRtt(sim::Link::kClientEdge) +
-              network_->SampleRtt(sim::Link::kEdgeOrigin) +
+              burned + network_->SampleRtt(sim::Link::kClientEdge, now) +
+              network_->SampleRtt(sim::Link::kEdgeOrigin, now) +
               network_->TransferTime(sim::Link::kEdgeOrigin,
                                      kNotModifiedWireBytes) +
               oresp.server_time;
@@ -243,10 +322,10 @@ FetchResult ClientProxy::FetchOverNetwork(const http::HttpRequest& request,
         }
         // Entry evicted under us; fall through to a plain origin fetch.
       } else {
-        edge.Store(key, oresp, now);
+        edge.Store(key, request.headers, oresp, now);
         Duration lat =
-            network_->SampleRtt(sim::Link::kClientEdge) +
-            network_->SampleRtt(sim::Link::kEdgeOrigin) +
+            burned + network_->SampleRtt(sim::Link::kClientEdge, now) +
+            network_->SampleRtt(sim::Link::kEdgeOrigin, now) +
             network_->TransferTime(sim::Link::kEdgeOrigin, oresp.WireSize()) +
             network_->TransferTime(sim::Link::kClientEdge, oresp.WireSize()) +
             oresp.server_time;
@@ -259,23 +338,31 @@ FetchResult ClientProxy::FetchOverNetwork(const http::HttpRequest& request,
   // Pass-through: edge miss, or a sketch-flagged request that must reach
   // the origin. The client's own validator travels with the request; the
   // edge is refreshed on the way back so later clients benefit.
+  if (!DeliverWithRetries(sim::Link::kEdgeOrigin, &burned)) {
+    // Nothing servable at the edge (miss, or a flagged key that must not
+    // be served from a shared cache): last resort is the offline cache.
+    return OfflineFallback(
+        request, key,
+        burned + network_->SampleRtt(sim::Link::kClientEdge, now));
+  }
   http::HttpResponse oresp = origin_->Handle(request);
   if (oresp.status_code == 503) {
-    return OfflineFallback(key,
-                           network_->SampleRtt(sim::Link::kClientEdge) +
-                               network_->SampleRtt(sim::Link::kEdgeOrigin));
+    return OfflineFallback(
+        request, key,
+        burned + network_->SampleRtt(sim::Link::kClientEdge, now) +
+            network_->SampleRtt(sim::Link::kEdgeOrigin, now));
   }
   size_t down =
       oresp.IsNotModified() ? kNotModifiedWireBytes : oresp.WireSize();
-  Duration lat = network_->SampleRtt(sim::Link::kClientEdge) +
-                 network_->SampleRtt(sim::Link::kEdgeOrigin) +
+  Duration lat = burned + network_->SampleRtt(sim::Link::kClientEdge, now) +
+                 network_->SampleRtt(sim::Link::kEdgeOrigin, now) +
                  network_->TransferTime(sim::Link::kEdgeOrigin, down) +
                  network_->TransferTime(sim::Link::kClientEdge, down) +
                  oresp.server_time;
   if (oresp.IsNotModified()) {
-    edge.Refresh(key, oresp, now);
+    edge.Refresh(key, request.headers, oresp, now);
   } else {
-    edge.Store(key, oresp, now);
+    edge.Store(key, request.headers, oresp, now);
   }
   return FinishClientResponse(request, key, oresp, ServedFrom::kOrigin, lat);
 }
@@ -296,13 +383,13 @@ FetchResult ClientProxy::FinishClientResponse(const http::HttpRequest& request,
     if (resp.IsNotModified()) {
       stats_.background_304s++;
       stats_.background_bytes += kNotModifiedWireBytes;
-      browser_cache_.Refresh(key, resp, now);
+      browser_cache_.Refresh(key, request.headers, resp, now);
       result.source = source;
       result.revalidated = true;
     } else if (resp.ok()) {
       stats_.background_200s++;
       stats_.background_bytes += resp.WireSize();
-      browser_cache_.Store(key, resp, now);
+      browser_cache_.Store(key, request.headers, resp, now);
       result.source = source;
     } else {
       stats_.background_errors++;
@@ -312,8 +399,9 @@ FetchResult ClientProxy::FinishClientResponse(const http::HttpRequest& request,
   if (resp.IsNotModified()) {
     stats_.revalidations_304++;
     stats_.bytes_over_network += kNotModifiedWireBytes;
-    browser_cache_.Refresh(key, resp, now);
-    cache::LookupResult refreshed = browser_cache_.Lookup(key, now);
+    browser_cache_.Refresh(key, request.headers, resp, now);
+    cache::LookupResult refreshed =
+        browser_cache_.Lookup(key, request.headers, now);
     if (refreshed.entry != nullptr) {
       // The 304 round trip is what served this request: attribute it to
       // the tier that answered so serve counts reconcile with `requests`.
@@ -349,7 +437,7 @@ FetchResult ClientProxy::FinishClientResponse(const http::HttpRequest& request,
     stats_.origin_fetches++;
   }
   stats_.bytes_over_network += resp.WireSize();
-  browser_cache_.Store(key, resp, now);
+  browser_cache_.Store(key, request.headers, resp, now);
   FetchResult result;
   result.response = resp;
   result.latency = latency;
@@ -357,7 +445,8 @@ FetchResult ClientProxy::FinishClientResponse(const http::HttpRequest& request,
   return result;
 }
 
-FetchResult ClientProxy::OfflineFallback(const std::string& key,
+FetchResult ClientProxy::OfflineFallback(const http::HttpRequest& request,
+                                         const std::string& key,
                                          Duration attempt_latency) {
   SimTime now = clock_->Now();
   if (background_fetch_) {
@@ -370,7 +459,8 @@ FetchResult ClientProxy::OfflineFallback(const std::string& key,
     return result;
   }
   if (config_.enabled && config_.offline_mode) {
-    cache::LookupResult lookup = browser_cache_.Lookup(key, now);
+    cache::LookupResult lookup =
+        browser_cache_.Lookup(key, request.headers, now);
     if (lookup.entry != nullptr) {
       stats_.offline_serves++;
       return ServeFromEntry(*lookup.entry, ServedFrom::kOfflineCache,

@@ -14,6 +14,13 @@
 //   4. if the origin is down and offline mode is on, serve the most recent
 //      browser copy even if expired (availability over freshness).
 //
+// Degraded-mode decision order (fault injection, E14): every network hop
+// is subject to timeouts with bounded exponential-backoff retries; when
+// the edge path stays unreachable the request reroutes to pass-through
+// against the original site; when the upstream fails during an edge
+// revalidation the stale edge copy is served (stale-if-error); when the
+// origin itself is unreachable the offline cache is the last resort.
+//
 // Δ-atomicity: a value written at time W can only be served from a cache
 // after W if the client's snapshot predates W; snapshots are at most Δ old
 // at check time, so no read observes data overwritten more than
@@ -86,6 +93,17 @@ struct ProxyConfig {
   Duration device_overhead = Duration::Micros(300);
   // On-device template-join cost for a user-scoped block.
   Duration render_overhead = Duration::Millis(1);
+
+  // Degraded-mode handling (the paper's "reroute or fall back" rule).
+  // A request attempt that the network does not deliver costs a timeout,
+  // then up to `max_retries` retries with exponential backoff + jitter;
+  // when the accelerated edge path stays unreachable the proxy falls back
+  // to pass-through against the original site, and when the origin itself
+  // is unreachable, to the offline cache.
+  Duration request_timeout = Duration::Seconds(2);
+  int max_retries = 2;
+  Duration retry_backoff = Duration::Millis(200);  // doubles per retry
+  double retry_jitter = 0.5;  // uniform extra fraction of the backoff
 };
 
 // Per-client request accounting. Every request the page makes lands in
@@ -112,6 +130,16 @@ struct ProxyStats {
   uint64_t swr_serves = 0;  // stale served while revalidating in background
   uint64_t bytes_from_browser_cache = 0;
   uint64_t bytes_over_network = 0;
+
+  // Degraded-mode accounting. Like sketch_bypasses these annotate requests
+  // that still land in exactly one serve bucket above, so ServedTotal()
+  // keeps reconciling: a timed-out request that eventually got through is
+  // an edge_hit/origin_fetch, a rerouted one an origin_fetch/offline/error.
+  uint64_t timeouts = 0;         // attempts the network never delivered
+  uint64_t retries = 0;          // re-attempts after a timeout
+  uint64_t fallback_serves = 0;  // served via a degraded path: pass-through
+                                 // reroute, stale-if-error at the edge, or
+                                 // an offline copy after a failed reroute
 
   // Background (stale-while-revalidate) traffic, off the request path.
   uint64_t background_revalidations = 0;  // revalidations launched
@@ -144,6 +172,9 @@ struct ProxyStats {
     swr_serves += other.swr_serves;
     bytes_from_browser_cache += other.bytes_from_browser_cache;
     bytes_over_network += other.bytes_over_network;
+    timeouts += other.timeouts;
+    retries += other.retries;
+    fallback_serves += other.fallback_serves;
     background_revalidations += other.background_revalidations;
     background_304s += other.background_304s;
     background_200s += other.background_200s;
@@ -187,8 +218,27 @@ class ClientProxy {
 
   // One network fetch (request already carries any validator). When
   // `bypass_shared` is set, edge caches are passed through, not consulted.
+  // Dispatches to the edge path when it is reachable, else reroutes to
+  // the direct-origin path (degraded-mode fallback).
   FetchResult FetchOverNetwork(const http::HttpRequest& request,
                                const std::string& key, bool bypass_shared);
+
+  // The accelerated path through the client's CDN edge. `burned` carries
+  // latency already spent on failed attempts (timeouts, backoff).
+  FetchResult FetchViaEdge(const http::HttpRequest& request,
+                           const std::string& key, bool bypass_shared,
+                           int edge_index, Duration burned);
+
+  // Pass-through against the original site (no CDN).
+  FetchResult FetchDirect(const http::HttpRequest& request,
+                          const std::string& key, Duration burned);
+
+  // Tries to get one request across `link`: a timeout costs
+  // request_timeout, each retry adds exponential backoff with jitter.
+  // Failed-attempt time accumulates into `latency`; the successful
+  // attempt's own RTT is charged by the caller as usual. Returns false
+  // when all attempts fail.
+  bool DeliverWithRetries(sim::Link link, Duration* latency);
 
   // Handles the client-side outcome of a network response: 304 -> refresh
   // and serve the stored body; 200 -> store and serve; else error.
@@ -198,7 +248,8 @@ class ClientProxy {
                                    ServedFrom source, Duration latency);
 
   // Origin unreachable: serve a (possibly stale) browser copy if allowed.
-  FetchResult OfflineFallback(const std::string& key,
+  FetchResult OfflineFallback(const http::HttpRequest& request,
+                              const std::string& key,
                               Duration attempt_latency);
 
   FetchResult ServeFromEntry(const cache::CacheEntry& entry,
@@ -220,6 +271,10 @@ class ClientProxy {
 
   cache::HttpCache browser_cache_;
   sketch::ClientSketch client_sketch_;
+  // Drives retry-backoff jitter only. Seeded from the client id — not the
+  // stack's stream — so attaching fault handling does not perturb any
+  // pre-existing draw sequence (network latencies, traffic).
+  Pcg32 rng_;
   ProxyStats stats_;
   // True while an SWR background revalidation is in flight: its network
   // outcome must land in the background_* counters, not the per-request

@@ -1,0 +1,73 @@
+#include "sim/fault_schedule.h"
+
+#include <utility>
+
+namespace speedkit::sim {
+namespace {
+
+bool AnyDown(const std::vector<FaultWindow>& windows, SimTime now) {
+  for (const FaultWindow& w : windows) {
+    if (w.down && w.Covers(now)) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+bool FaultScheduleConfig::Empty() const {
+  if (purge_loss_probability > 0 || purge_delay_probability > 0) return false;
+  if (client_edge.loss_probability > 0 || !client_edge.windows.empty() ||
+      client_origin.loss_probability > 0 || !client_origin.windows.empty() ||
+      edge_origin.loss_probability > 0 || !edge_origin.windows.empty()) {
+    return false;
+  }
+  if (!origin.empty()) return false;
+  for (const auto& per_edge : edges) {
+    if (!per_edge.empty()) return false;
+  }
+  return true;
+}
+
+FaultSchedule::FaultSchedule(FaultScheduleConfig config)
+    : config_(std::move(config)) {}
+
+const LinkFaults& FaultSchedule::FaultsFor(Link link) const {
+  switch (link) {
+    case Link::kClientEdge:
+      return config_.client_edge;
+    case Link::kClientOrigin:
+      return config_.client_origin;
+    case Link::kEdgeOrigin:
+      return config_.edge_origin;
+  }
+  return config_.client_origin;
+}
+
+bool FaultSchedule::LinkDown(Link link, SimTime now) const {
+  return AnyDown(FaultsFor(link).windows, now);
+}
+
+double FaultSchedule::LatencyMultiplier(Link link, SimTime now) const {
+  double factor = 1.0;
+  for (const FaultWindow& w : FaultsFor(link).windows) {
+    if (!w.down && w.Covers(now)) factor *= w.latency_multiplier;
+  }
+  return factor;
+}
+
+double FaultSchedule::LossProbability(Link link) const {
+  return FaultsFor(link).loss_probability;
+}
+
+bool FaultSchedule::OriginDown(SimTime now) const {
+  return AnyDown(config_.origin, now);
+}
+
+bool FaultSchedule::EdgeDown(int edge, SimTime now) const {
+  if (edge < 0 || static_cast<size_t>(edge) >= config_.edges.size()) {
+    return false;
+  }
+  return AnyDown(config_.edges[edge], now);
+}
+
+}  // namespace speedkit::sim

@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "sim/fault_schedule.h"
+
 namespace speedkit::sim {
 
 NetworkConfig NetworkConfig::Instant() {
@@ -38,6 +40,23 @@ Duration Network::SampleRtt(Link link) {
       static_cast<int64_t>(s.median_rtt.micros() * factor));
 }
 
+Duration Network::SampleRtt(Link link, SimTime now) {
+  Duration rtt = SampleRtt(link);
+  if (faults_ == nullptr) return rtt;
+  double factor = faults_->LatencyMultiplier(link, now);
+  return factor == 1.0 ? rtt : rtt * factor;
+}
+
+bool Network::Delivered(Link link, SimTime now) {
+  if (faults_ == nullptr) return true;
+  if (faults_->LinkDown(link, now)) return false;
+  double loss = faults_->LossProbability(link);
+  // No draw on lossless links: an attached-but-quiet schedule must not
+  // change any downstream latency sample.
+  if (loss <= 0.0) return true;
+  return !rng_.WithProbability(loss);
+}
+
 Duration Network::TransferTime(Link link, size_t bytes) const {
   const LinkSpec& s = spec(link);
   if (s.bandwidth_bytes_per_sec <= 0.0) return Duration::Zero();
@@ -47,6 +66,10 @@ Duration Network::TransferTime(Link link, size_t bytes) const {
 
 Duration Network::RequestTime(Link link, size_t response_bytes) {
   return SampleRtt(link) + TransferTime(link, response_bytes);
+}
+
+Duration Network::RequestTime(Link link, size_t response_bytes, SimTime now) {
+  return SampleRtt(link, now) + TransferTime(link, response_bytes);
 }
 
 }  // namespace speedkit::sim

@@ -42,24 +42,44 @@ struct NetworkConfig {
   static NetworkConfig Instant();
 };
 
+class FaultSchedule;
+
 class Network {
  public:
   Network(const NetworkConfig& config, Pcg32 rng);
 
+  // Attaches a fault schedule (not owned; may be nullptr). Without one —
+  // or with an all-zero schedule — every API below behaves exactly as
+  // before faults existed, including the RNG draw sequence.
+  void SetFaultSchedule(const FaultSchedule* faults) { faults_ = faults; }
+
   // Samples one round trip on `link`.
   Duration SampleRtt(Link link);
+
+  // Fault-aware variant: the sample is stretched by any latency-spike
+  // window covering `now`.
+  Duration SampleRtt(Link link, SimTime now);
+
+  // Whether a request sent over `link` at `now` gets through. False when
+  // a down window covers `now` or a per-request loss draw fires; the
+  // caller (the proxy) turns false into timeout + retry + fallback. Draws
+  // the RNG only when the link is actually lossy, so lossless runs keep
+  // their latency sample sequence.
+  bool Delivered(Link link, SimTime now);
 
   // Time to move `bytes` across `link` once the connection exists.
   Duration TransferTime(Link link, size_t bytes) const;
 
   // Full request cost: one RTT plus response transfer.
   Duration RequestTime(Link link, size_t response_bytes);
+  Duration RequestTime(Link link, size_t response_bytes, SimTime now);
 
   const LinkSpec& spec(Link link) const;
 
  private:
   NetworkConfig config_;
   Pcg32 rng_;
+  const FaultSchedule* faults_ = nullptr;
 };
 
 }  // namespace speedkit::sim

@@ -66,21 +66,33 @@ double BloomFilter::EstimatedFpr() const {
   return std::pow(fill, num_hashes_);
 }
 
-std::string BloomFilter::Serialize() const {
+bool BloomFilter::AppendSnapshotHeader(std::string* out, size_t bits, int k) {
   // A bit count >= 2^48 cannot be represented in the header; no realistic
   // filter gets there (2^48 bits = 32 TiB of words), but truncating would
   // silently corrupt the snapshot, so refuse loudly instead.
-  if (num_bits_ >= (1ull << 48)) return std::string();
+  if (bits >= (1ull << 48)) return false;
+  auto put_le = [out](uint64_t v, int bytes) {
+    for (int i = 0; i < bytes; ++i) {
+      out->push_back(static_cast<char>(v >> (8 * i)));
+    }
+  };
+  put_le(bits, 4);
+  put_le(static_cast<uint64_t>(k), 2);
+  // High 16 bits of the 48-bit bit count. Filters under 2^32 bits write 0
+  // here, byte-identical to the old format's reserved field.
+  put_le(static_cast<uint64_t>(bits) >> 32, 2);
+  return true;
+}
+
+std::string BloomFilter::Serialize() const {
   std::string out;
   out.reserve(8 + words_.size() * 8);
+  if (!AppendSnapshotHeader(&out, num_bits_, num_hashes_)) {
+    return std::string();
+  }
   auto put_le = [&out](uint64_t v, int bytes) {
     for (int i = 0; i < bytes; ++i) out.push_back(static_cast<char>(v >> (8 * i)));
   };
-  put_le(num_bits_, 4);
-  put_le(static_cast<uint64_t>(num_hashes_), 2);
-  // High 16 bits of the 48-bit bit count. Filters under 2^32 bits write 0
-  // here, byte-identical to the old format's reserved field.
-  put_le(static_cast<uint64_t>(num_bits_) >> 32, 2);
   for (uint64_t w : words_) put_le(w, 8);
   return out;
 }

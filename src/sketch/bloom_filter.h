@@ -57,6 +57,14 @@ class BloomFilter {
   std::string Serialize() const;
   static Result<BloomFilter> Deserialize(std::string_view data);
 
+  // Appends the snapshot header for a filter of `bits` bits and `k`
+  // hashes to `out`. The single writer of the wire-format header — shared
+  // with CountingBloomFilter::Materialize so the two serializers cannot
+  // drift (Materialize once kept the pre-widening header and silently
+  // truncated cell counts at 2^32). Returns false (appending nothing)
+  // when `bits` does not fit the 48-bit header field.
+  static bool AppendSnapshotHeader(std::string* out, size_t bits, int k);
+
   friend bool operator==(const BloomFilter& a, const BloomFilter& b) {
     return a.num_bits_ == b.num_bits_ && a.num_hashes_ == b.num_hashes_ &&
            a.words_ == b.words_;

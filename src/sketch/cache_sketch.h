@@ -73,6 +73,9 @@ class CacheSketch {
   std::string SerializedSnapshot(SimTime now);
 
   const CacheSketchStats& stats() const { return stats_; }
+  // The backing counting filter — exposed so tests can assert lifecycle
+  // invariants (e.g. the add/remove discipline never underflows a counter).
+  const CountingBloomFilter& filter() const { return filter_; }
   size_t entries() const { return horizon_.size(); }
   size_t FilterSizeBytes() const { return num_cells_ / 8; }  // as bits
 

@@ -44,7 +44,15 @@ void CountingBloomFilter::Remove(std::string_view key) {
   for (int i = 0; i < num_hashes_; ++i) {
     size_t cell = (h.h1 + static_cast<uint64_t>(i) * h.h2) % num_cells_;
     uint8_t c = Get(cell);
-    if (c == 15 || c == 0) continue;  // sticky or (erroneously) empty
+    if (c == 15) continue;  // saturated: sticky forever
+    if (c == 0) {
+      // Erroneously empty: this remove was never matched by an add (or a
+      // saturated counter absorbed the add). Other keys hashing here may
+      // now report false negatives upstream — count it so the corruption
+      // is observable instead of silent.
+      ++underflows_;
+      continue;
+    }
     Set(cell, static_cast<uint8_t>(c - 1));
   }
 }
@@ -61,21 +69,24 @@ bool CountingBloomFilter::MightContain(std::string_view key) const {
 void CountingBloomFilter::Clear() {
   std::fill(nibbles_.begin(), nibbles_.end(), 0);
   saturated_ = 0;
+  underflows_ = 0;
 }
 
 BloomFilter CountingBloomFilter::Materialize() const {
   BloomFilter filter(num_cells_, num_hashes_);
   // Reconstruct bit-by-bit; BloomFilter has no bulk setter by design (its
   // invariant is "bits only come from Add or Deserialize"), so we go
-  // through the serialized form.
+  // through the serialized form — with the header written by the shared
+  // helper, so this writer can never drift from BloomFilter::Serialize
+  // again (it used to truncate the cell count at 2^32).
   std::string bytes;
   bytes.reserve(8 + num_cells_ / 8);
+  if (!BloomFilter::AppendSnapshotHeader(&bytes, num_cells_, num_hashes_)) {
+    return filter;  // >= 2^48 cells: unrepresentable, like Serialize()
+  }
   auto put_le = [&bytes](uint64_t v, int n) {
     for (int i = 0; i < n; ++i) bytes.push_back(static_cast<char>(v >> (8 * i)));
   };
-  put_le(num_cells_, 4);
-  put_le(static_cast<uint64_t>(num_hashes_), 2);
-  put_le(0, 2);
   uint64_t word = 0;
   for (size_t i = 0; i < num_cells_; ++i) {
     if (Get(i) != 0) word |= (1ULL << (i & 63));

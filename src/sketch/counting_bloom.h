@@ -38,6 +38,13 @@ class CountingBloomFilter {
   // the filter is undersized for the workload).
   size_t saturated_cells() const { return saturated_; }
 
+  // Number of Remove() decrements that found an already-zero counter — a
+  // remove that was never matched by an add. Any non-zero value means the
+  // caller broke the contract above and membership answers for colliding
+  // keys may already be corrupted; the sketch lifecycle tests assert this
+  // stays 0.
+  size_t underflows() const { return underflows_; }
+
   // Collapses counters to bits: the client-facing snapshot.
   BloomFilter Materialize() const;
 
@@ -48,6 +55,7 @@ class CountingBloomFilter {
   size_t num_cells_;
   int num_hashes_;
   size_t saturated_ = 0;
+  size_t underflows_ = 0;
   std::vector<uint8_t> nibbles_;  // two 4-bit counters per byte
 };
 

@@ -146,5 +146,63 @@ TEST(HttpCacheTest, ZeroTtlEntryIsStoredButStale) {
   EXPECT_EQ(cache.Lookup("k", At(0)).outcome, LookupOutcome::kStaleHit);
 }
 
+http::HeaderMap SegHeaders(std::string_view segment) {
+  http::HeaderMap headers;
+  headers.Set("X-Segment", segment);
+  return headers;
+}
+
+http::HttpResponse VaryingResponse(std::string body) {
+  http::HttpResponse resp = Response("max-age=60", 0, 1, std::move(body));
+  resp.headers.Set("Vary", "X-Segment");
+  return resp;
+}
+
+TEST(HttpCacheTest, VaryingVariantsNeverCrossServe) {
+  HttpCache cache(true, 0);
+  ASSERT_TRUE(cache.Store("k", SegHeaders("A"), VaryingResponse("for-A"), At(0)));
+  ASSERT_TRUE(cache.Store("k", SegHeaders("B"), VaryingResponse("for-B"), At(0)));
+
+  LookupResult a = cache.Lookup("k", SegHeaders("A"), At(1));
+  ASSERT_EQ(a.outcome, LookupOutcome::kFreshHit);
+  EXPECT_EQ(a.entry->response.body, "for-A");
+  LookupResult b = cache.Lookup("k", SegHeaders("B"), At(1));
+  ASSERT_EQ(b.outcome, LookupOutcome::kFreshHit);
+  EXPECT_EQ(b.entry->response.body, "for-B");
+  // A segment that never populated its variant misses — it must not be
+  // handed another segment's copy.
+  EXPECT_EQ(cache.Lookup("k", SegHeaders("C"), At(1)).outcome,
+            LookupOutcome::kMiss);
+}
+
+TEST(HttpCacheTest, VaryStarIsUncacheable) {
+  HttpCache cache(true, 0);
+  http::HttpResponse resp = Response("max-age=60");
+  resp.headers.Set("Vary", "*");
+  EXPECT_FALSE(cache.Store("k", SegHeaders("A"), resp, At(0)));
+  EXPECT_EQ(cache.stats().store_rejects, 1u);
+  EXPECT_EQ(cache.Lookup("k", SegHeaders("A"), At(0)).outcome,
+            LookupOutcome::kMiss);
+}
+
+TEST(HttpCacheTest, PurgeRemovesAllVariants) {
+  HttpCache cache(true, 0);
+  cache.Store("k", SegHeaders("A"), VaryingResponse("for-A"), At(0));
+  cache.Store("k", SegHeaders("B"), VaryingResponse("for-B"), At(0));
+  EXPECT_TRUE(cache.Purge("k"));
+  EXPECT_EQ(cache.Lookup("k", SegHeaders("A"), At(1)).outcome,
+            LookupOutcome::kMiss);
+  EXPECT_EQ(cache.Lookup("k", SegHeaders("B"), At(1)).outcome,
+            LookupOutcome::kMiss);
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(HttpCacheTest, HeaderlessLookupOfVaryingResourceMisses) {
+  HttpCache cache(true, 0);
+  cache.Store("k", SegHeaders("A"), VaryingResponse("for-A"), At(0));
+  // A request without the Vary'd header matches no stored variant.
+  EXPECT_EQ(cache.Lookup("k", At(1)).outcome, LookupOutcome::kMiss);
+}
+
 }  // namespace
 }  // namespace speedkit::cache

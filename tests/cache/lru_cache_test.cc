@@ -110,6 +110,22 @@ TEST(LruCacheTest, ClearEmptiesEverything) {
   EXPECT_EQ(cache.Get("a"), nullptr);
 }
 
+TEST(LruCacheTest, HeterogeneousLookupNeedsNoKeyCopy) {
+  LruCache<int> cache(0);
+  cache.Put("alpha", 1);
+  cache.Put("beta", 2);
+  // string_view (and string literal) keys probe the index directly via
+  // transparent hashing — no std::string materialization per lookup.
+  std::string_view alpha_view("alpha");
+  ASSERT_NE(cache.Get(alpha_view), nullptr);
+  EXPECT_EQ(*cache.Get(alpha_view), 1);
+  EXPECT_NE(cache.Peek(std::string_view("beta")), nullptr);
+  EXPECT_EQ(cache.Get(std::string_view("gamma")), nullptr);
+  EXPECT_TRUE(cache.Erase(std::string_view("alpha")));
+  EXPECT_EQ(cache.Get(alpha_view), nullptr);
+  EXPECT_EQ(cache.size(), 1u);
+}
+
 TEST(LruCacheTest, EvictionCascadeForLargeInsert) {
   LruCache<std::string> cache(10, BySize());
   cache.Put("a", "123");

@@ -112,5 +112,36 @@ TEST(StackTest, MakeClientUsesVariantDefaults) {
   EXPECT_FALSE(client->config().enabled);
 }
 
+TEST(StackTest, OriginOutageWindowTogglesAvailability) {
+  StackConfig config;
+  sim::FaultWindow window;
+  window.start = SimTime::Origin() + Duration::Seconds(10);
+  window.end = SimTime::Origin() + Duration::Seconds(20);
+  config.faults.origin = {window};
+  SpeedKitStack stack(config);
+
+  EXPECT_TRUE(stack.origin().available());
+  stack.AdvanceTo(SimTime::Origin() + Duration::Seconds(15));
+  EXPECT_FALSE(stack.origin().available());
+  stack.AdvanceTo(SimTime::Origin() + Duration::Seconds(21));
+  EXPECT_TRUE(stack.origin().available());
+}
+
+TEST(StackTest, EdgeOutageWindowTogglesEdgeAvailability) {
+  StackConfig config;
+  sim::FaultWindow window;
+  window.start = SimTime::Origin() + Duration::Seconds(10);
+  window.end = SimTime::Origin() + Duration::Seconds(20);
+  config.faults.edges = {{window}};  // edge 0 only
+  SpeedKitStack stack(config);
+
+  EXPECT_TRUE(stack.cdn().EdgeAvailable(0));
+  stack.AdvanceTo(SimTime::Origin() + Duration::Seconds(15));
+  EXPECT_FALSE(stack.cdn().EdgeAvailable(0));
+  EXPECT_TRUE(stack.cdn().EdgeAvailable(1));  // unscheduled edges unaffected
+  stack.AdvanceTo(SimTime::Origin() + Duration::Seconds(21));
+  EXPECT_TRUE(stack.cdn().EdgeAvailable(0));
+}
+
 }  // namespace
 }  // namespace speedkit::core

@@ -88,5 +88,61 @@ TEST(StalenessTrackerTest, StaleFraction) {
   EXPECT_DOUBLE_EQ(tracker.report().StaleFraction(), 0.5);
 }
 
+TEST(StalenessTrackerTest, DeltaBoundCountsViolations) {
+  StalenessTracker tracker;
+  tracker.SetDeltaBound(Duration::Seconds(20));
+  tracker.RecordWrite("k", 1, At(0));
+  tracker.RecordWrite("k", 2, At(100));
+  // 10s stale: within the bound.
+  tracker.RecordRead("k", 1, At(110));
+  EXPECT_EQ(tracker.report().stale_reads, 1u);
+  EXPECT_EQ(tracker.report().delta_violations, 0u);
+  // 30s stale: over the bound.
+  tracker.RecordRead("k", 1, At(130));
+  EXPECT_EQ(tracker.report().stale_reads, 2u);
+  EXPECT_EQ(tracker.report().delta_violations, 1u);
+  EXPECT_DOUBLE_EQ(tracker.report().ViolationFraction(), 0.5);
+}
+
+TEST(StalenessTrackerTest, ExcusedStaleReadIsNeverAViolation) {
+  StalenessTracker tracker;
+  tracker.SetDeltaBound(Duration::Seconds(20));
+  tracker.RecordWrite("k", 1, At(0));
+  tracker.RecordWrite("k", 2, At(100));
+  // An offline serve during an outage: 200s stale, but excused.
+  tracker.RecordRead("k", 1, At(300), /*excused=*/true);
+  EXPECT_EQ(tracker.report().stale_reads, 1u);
+  EXPECT_EQ(tracker.report().excused_stale_reads, 1u);
+  EXPECT_EQ(tracker.report().delta_violations, 0u);
+  // Staleness itself is still measured and reported.
+  EXPECT_EQ(tracker.report().max_staleness, Duration::Seconds(200));
+}
+
+TEST(StalenessTrackerTest, UnarmedBoundNeverViolates) {
+  StalenessTracker tracker;  // delta_bound stays Duration::Max()
+  tracker.RecordWrite("k", 1, At(0));
+  tracker.RecordWrite("k", 2, At(1));
+  tracker.RecordRead("k", 1, At(100000));
+  EXPECT_EQ(tracker.report().stale_reads, 1u);
+  EXPECT_EQ(tracker.report().delta_violations, 0u);
+}
+
+TEST(StalenessTrackerTest, ReportMergeSumsViolationAccounting) {
+  StalenessTracker a;
+  a.SetDeltaBound(Duration::Seconds(1));
+  a.RecordWrite("k", 1, At(0));
+  a.RecordWrite("k", 2, At(1));
+  a.RecordRead("k", 1, At(10));                    // violation
+  a.RecordRead("k", 1, At(20), /*excused=*/true);  // excused
+
+  StalenessReport merged;
+  merged.Merge(a.report());
+  merged.Merge(a.report());
+  EXPECT_EQ(merged.reads, 4u);
+  EXPECT_EQ(merged.delta_violations, 2u);
+  EXPECT_EQ(merged.excused_stale_reads, 2u);
+  EXPECT_EQ(merged.max_staleness, a.report().max_staleness);
+}
+
 }  // namespace
 }  // namespace speedkit::core

@@ -146,6 +146,84 @@ TEST_F(PipelineTest, PropagationLatencyRecorded) {
               80000.0, 2600.0);
 }
 
+TEST_F(PipelineTest, TotalPurgeLossDropsDeliveriesButKeepsSketchCoverage) {
+  sim::FaultScheduleConfig fc;
+  fc.purge_loss_probability = 1.0;
+  sim::FaultSchedule faults(fc);
+  pipeline_.SetFaultSchedule(&faults);
+
+  std::string key = RecordCacheKey("p1");
+  for (int i = 0; i < 3; ++i) {
+    cdn_.edge(i).Store(key, CacheableResponse(clock_.Now()), clock_.Now());
+  }
+  // A client copy is outstanding until t=200s — the ExpiryBook, not purge
+  // acknowledgements, is what sizes the sketch horizon.
+  pipeline_.expiry_book().RecordServed(
+      key, SimTime::Origin() + Duration::Seconds(200));
+  WriteProduct("p1", 1, 10.0);
+  EXPECT_EQ(pipeline_.stats().purges_scheduled, 3u);
+  EXPECT_EQ(pipeline_.stats().purges_dropped, 3u);
+  EXPECT_EQ(cdn_.TotalFaultStats().purges_dropped, 3u);
+  events_.RunUntil(clock_.Now() + Duration::Seconds(1));
+  // No purge ever landed: the edges still hold the stale copies...
+  EXPECT_EQ(pipeline_.stats().purges_effective, 0u);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_NE(cdn_.edge(i).Lookup(key, clock_.Now()).outcome,
+              cache::LookupOutcome::kMiss);
+  }
+  // ...but the sketch still flags the key for the outstanding copy's full
+  // TTL, so sketch-checking clients revalidate regardless — this is why
+  // Δ-atomicity survives ANY purge-loss rate.
+  EXPECT_TRUE(sketch_.Contains(key));
+  EXPECT_TRUE(sketch_.Snapshot(SimTime::Origin() + Duration::Seconds(199))
+                  .MightContain(key));
+}
+
+TEST_F(PipelineTest, DelayedPurgesLandOnTheSlowPath) {
+  sim::FaultScheduleConfig fc;
+  fc.purge_delay_probability = 1.0;
+  fc.purge_delay_factor = 10.0;  // median 80ms -> 800ms
+  sim::FaultSchedule faults(fc);
+  pipeline_.SetFaultSchedule(&faults);
+
+  std::string key = RecordCacheKey("p1");
+  for (int i = 0; i < 3; ++i) {
+    cdn_.edge(i).Store(key, CacheableResponse(clock_.Now()), clock_.Now());
+  }
+  WriteProduct("p1", 1, 10.0);
+  EXPECT_EQ(pipeline_.stats().purges_delayed, 3u);
+  EXPECT_EQ(cdn_.TotalFaultStats().purges_delayed, 3u);
+  // At the normal landing time the keys are still cached...
+  events_.RunUntil(clock_.Now() + Duration::Millis(100));
+  EXPECT_EQ(pipeline_.stats().purges_effective, 0u);
+  // ...and the slow path lands at 10x the median delay.
+  events_.RunUntil(clock_.Now() + Duration::Millis(800));
+  EXPECT_EQ(pipeline_.stats().purges_effective, 3u);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(cdn_.edge(i).Lookup(key, clock_.Now()).outcome,
+              cache::LookupOutcome::kMiss);
+  }
+}
+
+TEST_F(PipelineTest, ZeroProbabilityScheduleChangesNothing) {
+  sim::FaultSchedule faults((sim::FaultScheduleConfig()));
+  pipeline_.SetFaultSchedule(&faults);
+  std::string key = RecordCacheKey("p1");
+  for (int i = 0; i < 3; ++i) {
+    cdn_.edge(i).Store(key, CacheableResponse(clock_.Now()), clock_.Now());
+  }
+  WriteProduct("p1", 1, 10.0);
+  events_.RunUntil(clock_.Now() + Duration::Millis(100));
+  EXPECT_EQ(pipeline_.stats().purges_dropped, 0u);
+  EXPECT_EQ(pipeline_.stats().purges_delayed, 0u);
+  EXPECT_EQ(pipeline_.stats().purges_effective, 3u);
+  // Same landing time as the no-schedule runs (zero probabilities draw no
+  // RNG, so timing draws stay aligned).
+  EXPECT_NEAR(
+      static_cast<double>(pipeline_.propagation_latency_us().max()),
+      80000.0, 2600.0);
+}
+
 TEST(PipelineStandaloneTest, WorksWithoutSketchAndCdn) {
   sim::SimClock clock;
   sim::EventQueue events(&clock);

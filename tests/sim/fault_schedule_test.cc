@@ -1,0 +1,114 @@
+#include "sim/fault_schedule.h"
+
+#include <gtest/gtest.h>
+
+namespace speedkit::sim {
+namespace {
+
+SimTime At(double seconds) {
+  return SimTime::Origin() + Duration::Seconds(seconds);
+}
+
+FaultWindow Window(double start_s, double end_s, bool down = true,
+                   double multiplier = 1.0) {
+  FaultWindow w;
+  w.start = At(start_s);
+  w.end = At(end_s);
+  w.down = down;
+  w.latency_multiplier = multiplier;
+  return w;
+}
+
+TEST(FaultScheduleTest, DefaultConfigIsEmptyAndQuiet) {
+  FaultScheduleConfig config;
+  EXPECT_TRUE(config.Empty());
+  FaultSchedule schedule(config);
+  EXPECT_FALSE(schedule.LinkDown(Link::kClientEdge, At(0)));
+  EXPECT_FALSE(schedule.OriginDown(At(0)));
+  EXPECT_FALSE(schedule.EdgeDown(0, At(0)));
+  EXPECT_DOUBLE_EQ(schedule.LatencyMultiplier(Link::kEdgeOrigin, At(0)), 1.0);
+  EXPECT_DOUBLE_EQ(schedule.LossProbability(Link::kClientOrigin), 0.0);
+}
+
+TEST(FaultScheduleTest, AnyFaultMakesConfigNonEmpty) {
+  FaultScheduleConfig loss;
+  loss.client_edge.loss_probability = 0.1;
+  EXPECT_FALSE(loss.Empty());
+
+  FaultScheduleConfig outage;
+  outage.origin.push_back(Window(1, 2));
+  EXPECT_FALSE(outage.Empty());
+
+  FaultScheduleConfig purge;
+  purge.purge_loss_probability = 0.5;
+  EXPECT_FALSE(purge.Empty());
+}
+
+TEST(FaultScheduleTest, DownWindowIsHalfOpen) {
+  FaultScheduleConfig config;
+  config.client_edge.windows.push_back(Window(10, 20));
+  FaultSchedule schedule(config);
+  EXPECT_FALSE(schedule.LinkDown(Link::kClientEdge, At(9.999)));
+  EXPECT_TRUE(schedule.LinkDown(Link::kClientEdge, At(10)));
+  EXPECT_TRUE(schedule.LinkDown(Link::kClientEdge, At(19.999)));
+  EXPECT_FALSE(schedule.LinkDown(Link::kClientEdge, At(20)));
+  // Other links are unaffected.
+  EXPECT_FALSE(schedule.LinkDown(Link::kClientOrigin, At(15)));
+  EXPECT_FALSE(schedule.LinkDown(Link::kEdgeOrigin, At(15)));
+}
+
+TEST(FaultScheduleTest, LatencySpikeAppliesOnlyInsideItsWindow) {
+  FaultScheduleConfig config;
+  config.edge_origin.windows.push_back(
+      Window(10, 20, /*down=*/false, /*multiplier=*/3.0));
+  FaultSchedule schedule(config);
+  EXPECT_DOUBLE_EQ(schedule.LatencyMultiplier(Link::kEdgeOrigin, At(5)), 1.0);
+  EXPECT_DOUBLE_EQ(schedule.LatencyMultiplier(Link::kEdgeOrigin, At(15)), 3.0);
+  EXPECT_DOUBLE_EQ(schedule.LatencyMultiplier(Link::kEdgeOrigin, At(25)), 1.0);
+  // A spike window never makes the link "down".
+  EXPECT_FALSE(schedule.LinkDown(Link::kEdgeOrigin, At(15)));
+}
+
+TEST(FaultScheduleTest, DownWindowDoesNotStretchLatency) {
+  FaultScheduleConfig config;
+  config.client_edge.windows.push_back(
+      Window(0, 10, /*down=*/true, /*multiplier=*/5.0));
+  FaultSchedule schedule(config);
+  // While down, latency is meaningless (nothing gets through), so the
+  // multiplier must not leak from a down window.
+  EXPECT_DOUBLE_EQ(schedule.LatencyMultiplier(Link::kClientEdge, At(5)), 1.0);
+}
+
+TEST(FaultScheduleTest, OriginAndEdgeOutagesAreIndependent) {
+  FaultScheduleConfig config;
+  config.origin.push_back(Window(10, 20));
+  config.edges.push_back({Window(30, 40)});  // edge 0
+  FaultSchedule schedule(config);
+  EXPECT_TRUE(schedule.OriginDown(At(15)));
+  EXPECT_FALSE(schedule.EdgeDown(0, At(15)));
+  EXPECT_TRUE(schedule.EdgeDown(0, At(35)));
+  EXPECT_FALSE(schedule.OriginDown(At(35)));
+}
+
+TEST(FaultScheduleTest, UnscheduledEdgeIndexIsAlwaysUp) {
+  FaultScheduleConfig config;
+  config.edges.push_back({Window(0, 100)});
+  FaultSchedule schedule(config);
+  EXPECT_TRUE(schedule.EdgeDown(0, At(50)));
+  EXPECT_FALSE(schedule.EdgeDown(1, At(50)));
+  EXPECT_FALSE(schedule.EdgeDown(-1, At(50)));
+}
+
+TEST(FaultScheduleTest, PurgeFaultKnobsPassThrough) {
+  FaultScheduleConfig config;
+  config.purge_loss_probability = 0.25;
+  config.purge_delay_probability = 0.5;
+  config.purge_delay_factor = 7.0;
+  FaultSchedule schedule(config);
+  EXPECT_DOUBLE_EQ(schedule.purge_loss_probability(), 0.25);
+  EXPECT_DOUBLE_EQ(schedule.purge_delay_probability(), 0.5);
+  EXPECT_DOUBLE_EQ(schedule.purge_delay_factor(), 7.0);
+}
+
+}  // namespace
+}  // namespace speedkit::sim

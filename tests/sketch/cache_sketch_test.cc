@@ -139,5 +139,27 @@ TEST(CacheSketchTest, StatsTrackSnapshots) {
   EXPECT_EQ(sketch.stats().snapshots, 2u);
 }
 
+TEST(CacheSketchTest, FullLifecycleNeverUnderflowsTheFilter) {
+  // The add/remove discipline over the backing counting filter: inserts,
+  // horizon extensions (which must NOT double-add), and expirations must
+  // balance exactly — any underflow means a counter went wrong and a
+  // later snapshot could miss a tracked key.
+  CacheSketch sketch(1000, 0.01);
+  for (int i = 0; i < 200; ++i) {
+    sketch.ReportInvalidation("k" + std::to_string(i), At(10 + i % 50), At(0));
+  }
+  // Extend some horizons (re-reports of tracked keys).
+  for (int i = 0; i < 100; ++i) {
+    sketch.ReportInvalidation("k" + std::to_string(i), At(200), At(5));
+  }
+  // Shorter re-reports (dropped) and expired reports (dropped) mixed in.
+  sketch.ReportInvalidation("k0", At(20), At(6));
+  sketch.ReportInvalidation("late", At(3), At(6));
+  sketch.ExpireUntil(At(1000));
+  EXPECT_EQ(sketch.entries(), 0u);
+  EXPECT_EQ(sketch.filter().underflows(), 0u);
+  EXPECT_EQ(sketch.Snapshot(At(1000)).PopCount(), 0u);
+}
+
 }  // namespace
 }  // namespace speedkit::sketch

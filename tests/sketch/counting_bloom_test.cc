@@ -86,6 +86,56 @@ TEST(CountingBloomTest, MaterializeOfEmptyIsEmpty) {
   EXPECT_EQ(snapshot.PopCount(), 0u);
 }
 
+TEST(CountingBloomTest, RemoveOfAbsentKeyCountsUnderflows) {
+  CountingBloomFilter cbf(4096, 5);
+  EXPECT_EQ(cbf.underflows(), 0u);
+  cbf.Remove("ghost");
+  // Every probe found its cell at zero: one underflow per hash function,
+  // and the cells stay at zero (no wrap-around).
+  EXPECT_EQ(cbf.underflows(), 5u);
+  EXPECT_FALSE(cbf.MightContain("ghost"));
+}
+
+TEST(CountingBloomTest, BalancedLifecycleNeverUnderflows) {
+  CountingBloomFilter cbf(1 << 14, 5);
+  for (int i = 0; i < 500; ++i) cbf.Add(Key(i));
+  for (int i = 0; i < 500; ++i) cbf.Remove(Key(i));
+  EXPECT_EQ(cbf.underflows(), 0u);
+}
+
+TEST(CountingBloomTest, ClearResetsUnderflows) {
+  CountingBloomFilter cbf(1024, 4);
+  cbf.Remove("ghost");
+  ASSERT_GT(cbf.underflows(), 0u);
+  cbf.Clear();
+  EXPECT_EQ(cbf.underflows(), 0u);
+}
+
+TEST(CountingBloomTest, MaterializeRoundTripsAtThe32BitCellCountBoundary) {
+  // 2^32 cells overflows a u32, so a header that writes the bit count as
+  // 32 bits materializes a snapshot claiming zero bits. The shared
+  // 48-bit header must carry the full count through serialization too.
+  constexpr size_t kCells = 1ull << 32;
+  CountingBloomFilter cbf(kCells, 4);
+  cbf.Add("big/a");
+  cbf.Add("big/b");
+  BloomFilter snapshot = cbf.Materialize();
+  EXPECT_EQ(snapshot.bits(), kCells);
+  EXPECT_EQ(snapshot.num_hashes(), 4);
+  EXPECT_TRUE(snapshot.MightContain("big/a"));
+  EXPECT_TRUE(snapshot.MightContain("big/b"));
+  EXPECT_FALSE(snapshot.MightContain("big/c"));
+  // 2 keys x 4 hashes, minus any colliding positions.
+  EXPECT_GE(snapshot.PopCount(), 4u);
+  EXPECT_LE(snapshot.PopCount(), 8u);
+
+  auto restored = BloomFilter::Deserialize(snapshot.Serialize());
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ(restored->bits(), kCells);
+  EXPECT_EQ(restored->PopCount(), snapshot.PopCount());
+  EXPECT_TRUE(restored->MightContain("big/a"));
+}
+
 TEST(CountingBloomTest, MaterializedSnapshotSerializes) {
   CountingBloomFilter cbf(2048, 5);
   cbf.Add("x");
