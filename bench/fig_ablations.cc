@@ -14,6 +14,7 @@
 
 #include "bench/bench_util.h"
 #include "bench/json_writer.h"
+#include "bench/trace_support.h"
 #include "bench/workload_runner.h"
 #include "core/stack.h"
 #include "sketch/counting_bloom.h"
@@ -257,6 +258,8 @@ int main(int argc, char** argv) {
   speedkit::tools::Flags flags(argc, argv);
   std::string json_path = speedkit::bench::JsonPathFromFlag(
       flags.GetString("json", ""), "ablations");
+  std::string trace_path = speedkit::bench::TracePathFromFlag(
+      flags.GetString("trace", ""), "ablations");
 
   speedkit::bench::PrintHeader(
       "E12",
@@ -275,5 +278,11 @@ int main(int argc, char** argv) {
     root.Set("rows", std::move(rows));
     speedkit::bench::WriteJsonFile(json_path, root);
   }
+  // A1's estimator arm: the full speed_kit feature set under write skew.
+  speedkit::bench::RunSpec trace_spec = speedkit::bench::DefaultRunSpec();
+  trace_spec.traffic.write_skew = 1.2;
+  trace_spec.traffic.writes_per_sec = 4.0;
+  trace_spec.stack.estimator.max_ttl = speedkit::Duration::Seconds(3600);
+  speedkit::bench::MaybeTraceRun(trace_spec, "ablations", trace_path);
   return 0;
 }

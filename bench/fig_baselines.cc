@@ -20,6 +20,7 @@
 #include "bench/bench_util.h"
 #include "bench/json_writer.h"
 #include "bench/parallel_runner.h"
+#include "bench/trace_support.h"
 #include "tools/flags.h"
 
 namespace speedkit {
@@ -34,7 +35,8 @@ double HitRate(const bench::RunOutput& out) {
   return out.traffic.BrowserHitRatio() + out.traffic.EdgeHitRatio();
 }
 
-void Run(int num_seeds, int threads, const std::string& json_path) {
+void Run(int num_seeds, int threads, const std::string& json_path,
+         const std::string& trace_path) {
   std::vector<bench::RunSpec> configs;
   for (double writes_per_sec : kWriteRates) {
     for (core::SystemVariant variant : kVariants) {
@@ -108,6 +110,9 @@ void Run(int num_seeds, int threads, const std::string& json_path) {
   root.Set("cpu_seconds", sweep.cpu_seconds);
   root.Set("speedup", sweep.Speedup());
   if (!json_path.empty()) bench::WriteJsonFile(json_path, root);
+
+  // speed_kit at the lowest write rate: the canonical happy-path trace.
+  bench::MaybeTraceRun(configs[0], "baselines", trace_path);
 }
 
 }  // namespace
@@ -119,12 +124,14 @@ int main(int argc, char** argv) {
   int threads = static_cast<int>(flags.GetInt("threads", 1));
   std::string json_path = speedkit::bench::JsonPathFromFlag(
       flags.GetString("json", ""), "baselines");
+  std::string trace_path = speedkit::bench::TracePathFromFlag(
+      flags.GetString("trace", ""), "baselines");
 
   speedkit::bench::PrintHeader(
       "E9", "Baseline comparison: latency, staleness, origin load",
       "the paper's positioning against traditional CDNs, no caching, and "
       "pure invalidation");
-  speedkit::Run(seeds, threads, json_path);
+  speedkit::Run(seeds, threads, json_path, trace_path);
   speedkit::bench::Note(
       "expected shape: speed_kit ~matches fixed_ttl_cdn latency with "
       "near-zero staleness; no_caching has zero staleness at ~10x latency; "

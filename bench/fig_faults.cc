@@ -28,6 +28,7 @@
 #include "bench/bench_util.h"
 #include "bench/json_writer.h"
 #include "bench/parallel_runner.h"
+#include "bench/trace_support.h"
 #include "tools/flags.h"
 
 namespace speedkit {
@@ -88,7 +89,8 @@ double Availability(const bench::RunOutput& out) {
   return 1.0 - static_cast<double>(p.errors) / static_cast<double>(p.requests);
 }
 
-void Run(int num_seeds, int threads, const std::string& json_path) {
+void Run(int num_seeds, int threads, const std::string& json_path,
+         const std::string& trace_path) {
   // One flat sweep so workers stay busy across section boundaries.
   std::vector<bench::RunSpec> configs;
   std::vector<std::string> variants;  // parallel to the purge section
@@ -233,6 +235,10 @@ void Run(int num_seeds, int threads, const std::string& json_path) {
   root.Set("cpu_seconds", sweep.cpu_seconds);
   root.Set("speedup", sweep.Speedup());
   if (!json_path.empty()) bench::WriteJsonFile(json_path, root);
+
+  // Flaky-link config: its traces carry the richest degraded-path spans
+  // (timeout waits, retry backoffs, reroutes) next to the happy paths.
+  bench::MaybeTraceRun(FlakyLinkSpec(0.2), "faults", trace_path);
 }
 
 }  // namespace
@@ -244,11 +250,13 @@ int main(int argc, char** argv) {
   int threads = static_cast<int>(flags.GetInt("threads", 1));
   std::string json_path = speedkit::bench::JsonPathFromFlag(
       flags.GetString("json", ""), "faults");
+  std::string trace_path = speedkit::bench::TracePathFromFlag(
+      flags.GetString("trace", ""), "faults");
 
   speedkit::bench::PrintHeader(
       "E14", "Fault injection: purge loss, outages, flaky links",
       "degraded-mode behavior — the Delta bound survives purge loss, "
       "availability survives outages, retries absorb transient link loss");
-  speedkit::Run(seeds, threads, json_path);
+  speedkit::Run(seeds, threads, json_path, trace_path);
   return 0;
 }

@@ -8,6 +8,7 @@
 
 #include "bench/bench_util.h"
 #include "bench/json_writer.h"
+#include "bench/trace_support.h"
 #include "bench/workload_runner.h"
 #include "tools/flags.h"
 
@@ -96,6 +97,8 @@ int main(int argc, char** argv) {
   speedkit::tools::Flags flags(argc, argv);
   std::string json_path = speedkit::bench::JsonPathFromFlag(
       flags.GetString("json", ""), "hit_layers");
+  std::string trace_path = speedkit::bench::TracePathFromFlag(
+      flags.GetString("trace", ""), "hit_layers");
 
   speedkit::bench::PrintHeader(
       "E4", "Requests served per cache layer",
@@ -111,5 +114,8 @@ int main(int argc, char** argv) {
     root.Set("rows", std::move(rows));
     speedkit::bench::WriteJsonFile(json_path, root);
   }
+  speedkit::bench::RunSpec trace_spec = speedkit::bench::DefaultRunSpec();
+  trace_spec.traffic.session.product_skew = 0.9;
+  speedkit::bench::MaybeTraceRun(trace_spec, "hit_layers", trace_path);
   return 0;
 }

@@ -15,6 +15,7 @@
 #include "bench/bench_util.h"
 #include "bench/json_writer.h"
 #include "bench/parallel_runner.h"
+#include "bench/trace_support.h"
 #include "tools/flags.h"
 
 namespace speedkit {
@@ -50,7 +51,8 @@ bench::RunSpec WriteRateSpec(double rate) {
   return spec;
 }
 
-void Run(int num_seeds, int threads, const std::string& json_path) {
+void Run(int num_seeds, int threads, const std::string& json_path,
+         const std::string& trace_path) {
   // One flat sweep over all three sections so --threads workers stay busy
   // across section boundaries; sections index into the grid by offset.
   std::vector<bench::RunSpec> configs;
@@ -146,6 +148,8 @@ void Run(int num_seeds, int threads, const std::string& json_path) {
   root.Set("cpu_seconds", sweep.cpu_seconds);
   root.Set("speedup", sweep.Speedup());
   if (!json_path.empty()) bench::WriteJsonFile(json_path, root);
+
+  bench::MaybeTraceRun(configs[0], "staleness_delta", trace_path);
 }
 
 }  // namespace
@@ -157,11 +161,13 @@ int main(int argc, char** argv) {
   int threads = static_cast<int>(flags.GetInt("threads", 1));
   std::string json_path = speedkit::bench::JsonPathFromFlag(
       flags.GetString("json", ""), "staleness_delta");
+  std::string trace_path = speedkit::bench::TracePathFromFlag(
+      flags.GetString("trace", ""), "staleness_delta");
 
   speedkit::bench::PrintHeader(
       "E2", "Delta-atomicity: staleness bound vs sketch refresh interval",
       "the paper's central coherence claim (bounded staleness under "
       "expiration-based caching)");
-  speedkit::Run(seeds, threads, json_path);
+  speedkit::Run(seeds, threads, json_path, trace_path);
   return 0;
 }

@@ -16,6 +16,7 @@
 #include "bench/bench_util.h"
 #include "bench/json_writer.h"
 #include "bench/parallel_runner.h"
+#include "bench/trace_support.h"
 #include "tools/flags.h"
 
 namespace speedkit {
@@ -60,7 +61,8 @@ bench::RunSpec SpecFor(const WorkloadPoint& workload,
   return spec;
 }
 
-void Run(int num_seeds, int threads, const std::string& json_path) {
+void Run(int num_seeds, int threads, const std::string& json_path,
+         const std::string& trace_path) {
   const std::vector<WorkloadPoint> workloads = {
       {"moderate skew (0.8), 2 writes/s", 0.8, 2.0},
       {"high skew (0.99), 2 writes/s", 0.99, 2.0},
@@ -133,6 +135,8 @@ void Run(int num_seeds, int threads, const std::string& json_path) {
   root.Set("cpu_seconds", sweep.cpu_seconds);
   root.Set("speedup", sweep.Speedup());
   if (!json_path.empty()) bench::WriteJsonFile(json_path, root);
+
+  bench::MaybeTraceRun(configs[0], "ttl_policy", trace_path);
 }
 
 }  // namespace
@@ -144,12 +148,14 @@ int main(int argc, char** argv) {
   int threads = static_cast<int>(flags.GetInt("threads", 1));
   std::string json_path = speedkit::bench::JsonPathFromFlag(
       flags.GetString("json", ""), "ttl_policy");
+  std::string trace_path = speedkit::bench::TracePathFromFlag(
+      flags.GetString("trace", ""), "ttl_policy");
 
   speedkit::bench::PrintHeader(
       "E3", "TTL policy: latency & hit ratio vs cache-lifetime strategy",
       "the TTL estimator's role in the polyglot architecture (hits vs "
       "coherence load)");
-  speedkit::Run(seeds, threads, json_path);
+  speedkit::Run(seeds, threads, json_path, trace_path);
   speedkit::bench::Note(
       "expected shape: estimator ~matches the best fixed TTL on hits with "
       "fewer sketch entries/revalidations; no-cache pays full origin RTTs");

@@ -8,20 +8,25 @@
 
 #include "bench/bench_util.h"
 #include "bench/json_writer.h"
+#include "bench/trace_support.h"
 #include "bench/workload_runner.h"
 #include "tools/flags.h"
 
 namespace speedkit {
 namespace {
 
-core::TrafficResult RunTimeline(core::SystemVariant variant) {
+bench::RunSpec TimelineSpec(core::SystemVariant variant) {
   bench::RunSpec spec = bench::DefaultRunSpec();
   spec.stack.variant = variant;
   spec.stack.fixed_ttl = Duration::Seconds(60);  // conservative baseline
   spec.traffic.duration = Duration::Minutes(30);
   spec.traffic.num_clients = 30;
   spec.traffic.writes_per_sec = 2.0;
-  return bench::RunWorkload(spec).traffic;
+  return spec;
+}
+
+core::TrafficResult RunTimeline(core::SystemVariant variant) {
+  return bench::RunWorkload(TimelineSpec(variant)).traffic;
 }
 
 }  // namespace
@@ -31,6 +36,8 @@ int main(int argc, char** argv) {
   speedkit::tools::Flags flags(argc, argv);
   std::string json_path = speedkit::bench::JsonPathFromFlag(
       flags.GetString("json", ""), "warmup");
+  std::string trace_path = speedkit::bench::TracePathFromFlag(
+      flags.GetString("trace", ""), "warmup");
 
   speedkit::bench::PrintHeader(
       "E13", "Cache warm-up timeline (per-minute hit ratio & latency)",
@@ -82,5 +89,8 @@ int main(int argc, char** argv) {
       "the baseline's nominally-higher hit ratio is bought with stale "
       "serves (cdn_stale); every speed_kit hit is coherence-checked — "
       "its stale column stays ~0 at comparable latency");
+  speedkit::bench::MaybeTraceRun(
+      speedkit::TimelineSpec(speedkit::core::SystemVariant::kSpeedKit),
+      "warmup", trace_path);
   return 0;
 }

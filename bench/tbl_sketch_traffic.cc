@@ -10,6 +10,7 @@
 
 #include "bench/bench_util.h"
 #include "bench/json_writer.h"
+#include "bench/trace_support.h"
 #include "bench/workload_runner.h"
 #include "tools/flags.h"
 
@@ -87,6 +88,8 @@ int main(int argc, char** argv) {
   speedkit::tools::Flags flags(argc, argv);
   std::string json_path = speedkit::bench::JsonPathFromFlag(
       flags.GetString("json", ""), "sketch_traffic");
+  std::string trace_path = speedkit::bench::TracePathFromFlag(
+      flags.GetString("trace", ""), "sketch_traffic");
 
   speedkit::bench::PrintHeader(
       "E8", "Cache Sketch maintenance traffic",
@@ -101,5 +104,11 @@ int main(int argc, char** argv) {
     root.Set("rows", std::move(rows));
     speedkit::bench::WriteJsonFile(json_path, root);
   }
+  // The delta=30s / fixed-120s-TTL cell both sweeps share.
+  speedkit::bench::RunSpec trace_spec = speedkit::bench::DefaultRunSpec();
+  trace_spec.stack.ttl_mode = speedkit::core::TtlMode::kFixed;
+  trace_spec.stack.fixed_ttl = speedkit::Duration::Seconds(120);
+  trace_spec.stack.delta = speedkit::Duration::Seconds(30);
+  speedkit::bench::MaybeTraceRun(trace_spec, "sketch_traffic", trace_path);
   return 0;
 }

@@ -32,6 +32,13 @@ struct RunOutput {
   uint64_t sketch_snapshot_bytes = 0;
   invalidation::PipelineStats pipeline;  // zero for pipeline-less variants
   cache::EdgeFaultStats edge_faults;     // degraded-mode accounting (E14)
+
+  // Observability captures — non-null only when spec.stack.obs switched
+  // them on. Shared so they outlive the stack; MergeRuns deliberately
+  // ignores them (trace/metric captures are per-run artifacts, the merged
+  // numbers come from the stats structs above).
+  std::shared_ptr<obs::MetricsRegistry> metrics;
+  std::shared_ptr<obs::InMemoryTraceSink> traces;
 };
 
 inline RunSpec DefaultRunSpec() {
@@ -77,6 +84,11 @@ inline RunOutput RunWorkload(const RunSpec& spec) {
     out.pipeline = stack.pipeline()->stats();
   }
   out.edge_faults = stack.cdn().TotalFaultStats();
+  if (stack.metrics() != nullptr) {
+    stack.CollectMetrics(&out.traffic.proxies);
+    out.metrics = stack.metrics();
+  }
+  out.traces = stack.trace_sink();
   return out;
 }
 

@@ -14,6 +14,8 @@
 #include <vector>
 
 #include "cache/http_cache.h"
+#include "common/histogram.h"
+#include "common/sim_time.h"
 
 namespace speedkit::cache {
 
@@ -22,11 +24,16 @@ struct EdgeFaultStats {
   uint64_t down_rejects = 0;    // requests that found the edge down
   uint64_t purges_dropped = 0;  // purge deliveries lost (edge down / faulted)
   uint64_t purges_delayed = 0;  // purge deliveries on the slow path
+  // Propagation delay (us) of every purge delivery scheduled to this edge
+  // — slow-path deliveries included, in-flight losses not (they never get
+  // a delay). Feeds the `edge.purge_delay_us` metric.
+  Histogram purge_delay_us;
 
   EdgeFaultStats& operator+=(const EdgeFaultStats& other) {
     down_rejects += other.down_rejects;
     purges_dropped += other.purges_dropped;
     purges_delayed += other.purges_delayed;
+    purge_delay_us.Merge(other.purge_delay_us);
     return *this;
   }
 };
@@ -58,6 +65,11 @@ class Cdn {
   }
   void NotePurgeDelayed(int i) {
     fault_stats_[static_cast<size_t>(i)].purges_delayed++;
+  }
+  // Called by the pipeline for every purge delivery it schedules, with the
+  // delivery's final propagation delay (slow-path stretch included).
+  void NotePurgeScheduled(int i, Duration delay) {
+    fault_stats_[static_cast<size_t>(i)].purge_delay_us.Add(delay.micros());
   }
 
   // Purges `key` from one edge; returns true if the edge held it. A purge

@@ -1,5 +1,7 @@
 #include "core/stack.h"
 
+#include "obs/metric_names.h"
+
 namespace speedkit::core {
 
 std::string_view SystemVariantName(SystemVariant variant) {
@@ -65,6 +67,22 @@ SpeedKitStack::SpeedKitStack(const StackConfig& config)
     pipeline_->UseExpiryBook(&origin_->expiry_book());
     pipeline_->SetFaultSchedule(&faults_);
     pipeline_->AttachTo(&store_);
+  }
+
+  // Observability. Allocated only when switched on, so the default stack
+  // pays nothing. The network histograms are live (filled as RTTs are
+  // drawn); everything else is snapshotted via CollectMetrics().
+  if (config_.obs.metrics) {
+    metrics_ = std::make_shared<obs::MetricsRegistry>();
+    network_.SetRttHistograms(
+        metrics_->Histo(obs::kNetworkRttUs, "link=client_edge"),
+        metrics_->Histo(obs::kNetworkRttUs, "link=client_origin"),
+        metrics_->Histo(obs::kNetworkRttUs, "link=edge_origin"));
+  }
+  if (config_.obs.tracing) {
+    trace_sink_ = std::make_shared<obs::InMemoryTraceSink>(config_.obs.max_traces);
+    tracer_ = std::make_unique<obs::Tracer>(trace_sink_.get());
+    if (pipeline_ != nullptr) pipeline_->SetTracer(tracer_.get());
   }
 
   // Mirror outage windows into clock events so that components consult
@@ -144,9 +162,11 @@ std::unique_ptr<proxy::ClientProxy> SpeedKitStack::MakeClient(
 std::unique_ptr<proxy::ClientProxy> SpeedKitStack::MakeClient(
     const proxy::ProxyConfig& proxy_config, uint64_t client_id,
     personalization::BoundaryAuditor* auditor) {
-  return std::make_unique<proxy::ClientProxy>(proxy_config, client_id, &clock_,
-                                              &network_, cdn_.get(),
-                                              origin_.get(), auditor);
+  auto client = std::make_unique<proxy::ClientProxy>(
+      proxy_config, client_id, &clock_, &network_, cdn_.get(), origin_.get(),
+      auditor);
+  if (tracer_ != nullptr) client->SetTracer(tracer_.get());
+  return client;
 }
 
 }  // namespace speedkit::core

@@ -22,6 +22,9 @@
 #include "common/random.h"
 #include "core/staleness.h"
 #include "invalidation/pipeline.h"
+#include "obs/metrics.h"
+#include "obs/obs_config.h"
+#include "obs/trace.h"
 #include "origin/origin_server.h"
 #include "proxy/client_proxy.h"
 #include "sim/clock.h"
@@ -71,6 +74,10 @@ struct StackConfig {
   // edge outage windows become clock events at construction. An empty
   // schedule reproduces a no-schedule run bit-for-bit.
   sim::FaultScheduleConfig faults;
+
+  // Observability (off by default; turning it on never changes results —
+  // see docs/METRICS.md and docs/ARCHITECTURE.md).
+  obs::ObsConfig obs;
 };
 
 class SpeedKitStack {
@@ -112,6 +119,24 @@ class SpeedKitStack {
   // Forks a deterministic child RNG for drivers.
   Pcg32 ForkRng(uint64_t salt) { return rng_.Fork(salt); }
 
+  // -- observability ---------------------------------------------------
+  // Null unless config.obs.metrics / config.obs.tracing are on. Shared
+  // pointers so harness outputs (RunOutput) can outlive the stack.
+  const std::shared_ptr<obs::MetricsRegistry>& metrics() const {
+    return metrics_;
+  }
+  const std::shared_ptr<obs::InMemoryTraceSink>& trace_sink() const {
+    return trace_sink_;
+  }
+  obs::Tracer* tracer() { return tracer_.get(); }
+
+  // Snapshots every component's stats into the registry under the names
+  // in obs/metric_names.h. `merged_proxies` carries the proxy counters
+  // (the stack does not own its clients); pass null to skip the proxy
+  // family. No-op without config.obs.metrics. Implemented in
+  // stack_metrics.cc — the one file that knows every stats struct.
+  void CollectMetrics(const proxy::ProxyStats* merged_proxies);
+
  private:
   bool UsesSketch() const {
     return config_.variant == SystemVariant::kSpeedKit;
@@ -134,6 +159,12 @@ class SpeedKitStack {
   std::unique_ptr<origin::OriginServer> origin_;
   std::unique_ptr<invalidation::InvalidationPipeline> pipeline_;
   StalenessTracker staleness_;
+
+  // Observability (null when off). The tracer is heap-allocated so the
+  // pointer handed to proxies/pipeline stays stable.
+  std::shared_ptr<obs::MetricsRegistry> metrics_;
+  std::shared_ptr<obs::InMemoryTraceSink> trace_sink_;
+  std::unique_ptr<obs::Tracer> tracer_;
 };
 
 }  // namespace speedkit::core

@@ -67,6 +67,13 @@ void InvalidationPipeline::InvalidateKey(const std::string& key) {
   stats_.keys_invalidated++;
   SimTime now = clock_->Now();
 
+  // One `purge`-kind trace per invalidated key; deliveries fan out in
+  // parallel so spans share offset 0. Recording happens strictly after
+  // every RNG draw for an edge, so tracing cannot perturb the stream.
+  obs::TraceBuilder trace;
+  trace.Begin(tracer_, obs::kTraceKindPurge, key, now);
+  bool faulted = false;
+
   // Purge fan-out: each edge cleans up after its own propagation delay.
   // The key stays in the sketch until the *later* of (a) the last
   // outstanding client copy's TTL and (b) purge completion, because an
@@ -85,6 +92,11 @@ void InvalidationPipeline::InvalidateKey(const std::string& key) {
         // forced revalidation).
         stats_.purges_dropped++;
         cdn_->NotePurgeDropped(i);
+        faulted = true;
+        if (trace.active()) {
+          trace.AddSpanAt("purge.dropped." + std::to_string(i),
+                          obs::kTierEdge, Duration::Zero(), Duration::Zero());
+        }
         continue;
       }
       double jitter = config_.purge_log_sigma > 0
@@ -96,6 +108,12 @@ void InvalidationPipeline::InvalidateKey(const std::string& key) {
         delay = delay * faults_->purge_delay_factor();
         stats_.purges_delayed++;
         cdn_->NotePurgeDelayed(i);
+        faulted = true;
+      }
+      cdn_->NotePurgeScheduled(i, delay);
+      if (trace.active()) {
+        trace.AddSpanAt("purge.deliver." + std::to_string(i), obs::kTierEdge,
+                        Duration::Zero(), delay);
       }
       SimTime at = now + delay;
       last_purge = std::max(last_purge, at);
@@ -107,6 +125,7 @@ void InvalidationPipeline::InvalidateKey(const std::string& key) {
     }
     propagation_latency_us_.Add((last_purge - now).micros());
   }
+  trace.Finish(obs::kTierPurge, /*status=*/0, faulted, last_purge - now);
 
   if (sketch_ != nullptr) {
     SimTime stale_until =

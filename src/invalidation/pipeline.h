@@ -26,6 +26,7 @@
 #include "common/histogram.h"
 #include "common/random.h"
 #include "invalidation/expiry_book.h"
+#include "obs/trace.h"
 #include "invalidation/query_matcher.h"
 #include "sim/clock.h"
 #include "sim/event_queue.h"
@@ -101,6 +102,12 @@ class InvalidationPipeline {
   // stresses. A schedule with zero purge probabilities draws no RNG.
   void SetFaultSchedule(const sim::FaultSchedule* faults) { faults_ = faults; }
 
+  // Attaches the stack's tracer (not owned; may be null = off). Each
+  // invalidated key then emits one `purge`-kind trace whose spans are the
+  // per-edge deliveries (offset 0, duration = propagation delay; dropped
+  // deliveries get a zero-length marker span).
+  void SetTracer(obs::Tracer* tracer) { tracer_ = tracer; }
+
   ExpiryBook& expiry_book() { return *expiry_book_; }
   QueryMatcher& matcher() { return matcher_; }
   const PipelineStats& stats() const { return stats_; }
@@ -118,6 +125,7 @@ class InvalidationPipeline {
   sketch::CacheSketch* sketch_;
   Pcg32 rng_;
   const sim::FaultSchedule* faults_ = nullptr;
+  obs::Tracer* tracer_ = nullptr;
 
   RecordKeyMapper record_key_mapper_;
   QueryMatcher matcher_;

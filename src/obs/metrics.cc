@@ -1,0 +1,94 @@
+#include "obs/metrics.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace speedkit::obs {
+
+namespace {
+
+std::string SlotKey(std::string_view name, std::string_view labels) {
+  std::string key;
+  key.reserve(name.size() + labels.size() + 2);
+  key.append(name);
+  key.push_back('{');
+  key.append(labels);
+  key.push_back('}');
+  return key;
+}
+
+}  // namespace
+
+std::string_view MetricKindName(MetricKind kind) {
+  switch (kind) {
+    case MetricKind::kCounter: return "counter";
+    case MetricKind::kGauge: return "gauge";
+    case MetricKind::kHistogram: return "histogram";
+  }
+  return "unknown";
+}
+
+Metric* MetricsRegistry::FindOrCreate(std::string_view name,
+                                      std::string_view labels,
+                                      MetricKind kind) {
+  const std::string key = SlotKey(name, labels);
+  if (auto it = index_.find(key); it != index_.end()) {
+    Metric* m = metrics_[it->second].get();
+    if (m->kind != kind) {
+      std::fprintf(stderr,
+                   "MetricsRegistry: %s registered as %s, requested as %s\n",
+                   key.c_str(), std::string(MetricKindName(m->kind)).c_str(),
+                   std::string(MetricKindName(kind)).c_str());
+      std::abort();
+    }
+    return m;
+  }
+  auto metric = std::make_unique<Metric>();
+  metric->name = std::string(name);
+  metric->labels = std::string(labels);
+  metric->kind = kind;
+  Metric* raw = metric.get();
+  index_.emplace(key, metrics_.size());
+  metrics_.push_back(std::move(metric));
+  return raw;
+}
+
+uint64_t* MetricsRegistry::Counter(std::string_view name,
+                                   std::string_view labels) {
+  return &FindOrCreate(name, labels, MetricKind::kCounter)->counter;
+}
+
+int64_t* MetricsRegistry::Gauge(std::string_view name,
+                                std::string_view labels) {
+  return &FindOrCreate(name, labels, MetricKind::kGauge)->gauge;
+}
+
+Histogram* MetricsRegistry::Histo(std::string_view name,
+                                  std::string_view labels) {
+  return &FindOrCreate(name, labels, MetricKind::kHistogram)->histogram;
+}
+
+const Metric* MetricsRegistry::Find(std::string_view name,
+                                    std::string_view labels) const {
+  auto it = index_.find(SlotKey(name, labels));
+  return it == index_.end() ? nullptr : metrics_[it->second].get();
+}
+
+void MetricsRegistry::MergeFrom(const MetricsRegistry& other) {
+  for (const auto& theirs : other.metrics_) {
+    Metric* mine = FindOrCreate(theirs->name, theirs->labels, theirs->kind);
+    switch (theirs->kind) {
+      case MetricKind::kCounter:
+        mine->counter += theirs->counter;
+        break;
+      case MetricKind::kGauge:
+        if (theirs->gauge > mine->gauge) mine->gauge = theirs->gauge;
+        break;
+      case MetricKind::kHistogram:
+        mine->histogram.Merge(theirs->histogram);
+        break;
+    }
+  }
+}
+
+}  // namespace speedkit::obs

@@ -1,0 +1,83 @@
+// MetricsRegistry — a flat, insertion-ordered collection of named counters,
+// gauges and latency histograms.
+//
+// One registry describes one run of one stack. Components do not talk to it
+// directly while the simulation runs (their existing stats structs stay the
+// source of truth, so behavior cannot depend on whether metrics are on);
+// instead SpeedKitStack::CollectMetrics() snapshots every component into the
+// registry under the canonical names from metric_names.h. The exception is
+// live histograms (e.g. network RTTs) which components feed through a plain
+// `Histogram*` handed to them by the stack — recording into a histogram
+// draws no randomness and takes no branch the simulation can observe.
+//
+// Labels: a metric family ("proxy.serves") fans out into one Metric per
+// label string ("tier=edge"). Labels are a single pre-rendered
+// `key=value[,key=value]` string — deterministic, allocation-cheap, and
+// trivially diffable in exported files. The empty label string is the
+// family total (or the only series, for unlabeled metrics).
+#ifndef SPEEDKIT_OBS_METRICS_H_
+#define SPEEDKIT_OBS_METRICS_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/histogram.h"
+
+namespace speedkit::obs {
+
+enum class MetricKind { kCounter, kGauge, kHistogram };
+
+std::string_view MetricKindName(MetricKind kind);
+
+struct Metric {
+  std::string name;    // from metric_names.h
+  std::string labels;  // "key=value[,key=value]", "" = family total
+  MetricKind kind = MetricKind::kCounter;
+
+  uint64_t counter = 0;  // kCounter: monotone event count
+  int64_t gauge = 0;     // kGauge: last observed level
+  Histogram histogram;   // kHistogram: fixed log-bucketed distribution
+};
+
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  // Find-or-create accessors. Pointers are stable for the registry's
+  // lifetime (metrics are heap-allocated behind the index), so live
+  // instruments can hold them across the whole run. Asking for an existing
+  // name with a different kind is a programming error and dies loudly.
+  uint64_t* Counter(std::string_view name, std::string_view labels = "");
+  int64_t* Gauge(std::string_view name, std::string_view labels = "");
+  Histogram* Histo(std::string_view name, std::string_view labels = "");
+
+  // Lookup without creation; nullptr when absent.
+  const Metric* Find(std::string_view name, std::string_view labels = "") const;
+
+  // All metrics in first-registration order (deterministic export order).
+  const std::vector<std::unique_ptr<Metric>>& metrics() const {
+    return metrics_;
+  }
+
+  // Cross-run accumulation for the multi-seed harness: counters sum,
+  // gauges take the max (they are high-water levels here), histograms
+  // merge. Metrics absent on one side are adopted as-is.
+  void MergeFrom(const MetricsRegistry& other);
+
+ private:
+  Metric* FindOrCreate(std::string_view name, std::string_view labels,
+                       MetricKind kind);
+
+  std::vector<std::unique_ptr<Metric>> metrics_;
+  std::unordered_map<std::string, size_t> index_;  // "name{labels}" -> slot
+};
+
+}  // namespace speedkit::obs
+
+#endif  // SPEEDKIT_OBS_METRICS_H_

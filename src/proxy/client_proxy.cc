@@ -48,12 +48,19 @@ FetchResult ClientProxy::Fetch(std::string_view url_text) {
   auto url = http::Url::Parse(url_text);
   if (!url.ok()) {
     // A malformed URL is still a request the page made — count it, or the
-    // serve-source buckets stop reconciling with `requests`.
+    // serve-source buckets stop reconciling with `requests`. It also gets
+    // a (zero-latency) trace and error-tier histogram entry, so the span
+    // count keeps matching ServedTotal().
     stats_.requests++;
     stats_.errors++;
+    if (!background_fetch_) {
+      trace_.Begin(tracer_, obs::kTraceKindRequest, url_text, clock_->Now());
+      request_degraded_ = false;
+    }
     FetchResult result;
     result.response.status_code = 400;
     result.source = ServedFrom::kError;
+    RecordRequestOutcome(result);
     return result;
   }
   return Fetch(*url);
@@ -74,6 +81,27 @@ FetchResult ClientProxy::Fetch(const http::Url& url) {
 }
 
 FetchResult ClientProxy::FetchResolved(const http::Url& url) {
+  if (!background_fetch_) {
+    trace_.Begin(tracer_, obs::kTraceKindRequest, url.CacheKey(),
+                 clock_->Now());
+    request_degraded_ = false;
+  }
+  FetchResult result = FetchDecide(url);
+  RecordRequestOutcome(result);
+  return result;
+}
+
+void ClientProxy::RecordRequestOutcome(const FetchResult& result) {
+  if (background_fetch_) return;
+  const int64_t us = result.latency.micros();
+  stats_.LatencyFor(result.source)->Add(us);
+  (request_degraded_ ? stats_.latency_degraded_us : stats_.latency_ok_us)
+      .Add(us);
+  trace_.Finish(ServedFromName(result.source), result.response.status_code,
+                request_degraded_, result.latency);
+}
+
+FetchResult ClientProxy::FetchDecide(const http::Url& url) {
   stats_.requests++;
   SimTime now = clock_->Now();
   std::string key = url.CacheKey();
@@ -88,6 +116,16 @@ FetchResult ClientProxy::FetchResolved(const http::Url& url) {
   // every expiration-based cache between the device and the origin.
   bool flagged = use_sketch && client_sketch_.MightBeStale(key);
 
+  // Trace attribution for the legs every path shares. A sketch refresh
+  // only serializes with cache serves (network fetches overlap it); the
+  // span records where the time went either way.
+  if (overhead > Duration::Zero()) {
+    TraceSpan("proxy.overhead", obs::kTierProxy, overhead);
+  }
+  if (refresh_latency > Duration::Zero()) {
+    TraceSpan("sketch.refresh", obs::kTierProxy, refresh_latency);
+  }
+
   http::HttpRequest request = http::HttpRequest::Get(url);
   cache::LookupResult lookup = browser_cache_.Lookup(key, request.headers, now);
 
@@ -95,6 +133,7 @@ FetchResult ClientProxy::FetchResolved(const http::Url& url) {
     // Serving from the browser cache is gated on the sketch check, so a
     // due refresh is on the critical path here.
     stats_.browser_hits++;
+    TraceSpan("browser.hit", obs::kTierBrowser, Duration::Zero());
     return ServeFromEntry(*lookup.entry, ServedFrom::kBrowserCache,
                           overhead + refresh_latency);
   }
@@ -107,6 +146,7 @@ FetchResult ClientProxy::FetchResolved(const http::Url& url) {
     // the background (the revalidation's latency is off the critical
     // path; its cache updates happen now).
     stats_.swr_serves++;
+    TraceSpan("browser.swr_serve", obs::kTierBrowser, Duration::Zero());
     FetchResult served = ServeFromEntry(*lookup.entry,
                                         ServedFrom::kBrowserCache,
                                         overhead + refresh_latency);
@@ -154,6 +194,8 @@ Duration ClientProxy::MaybeRefreshSketchLatency() {
     // next successful refresh; no retry loop here because the refresh is
     // re-attempted by the very next request anyway.
     stats_.timeouts++;
+    NoteFaultOnRequest();
+    TraceSpan("timeout.wait", obs::kTierNetwork, config_.request_timeout);
     return config_.request_timeout;
   }
   std::string snapshot = origin_->SketchSnapshot();
@@ -168,6 +210,8 @@ bool ClientProxy::DeliverWithRetries(sim::Link link, Duration* latency) {
   SimTime now = clock_->Now();
   if (network_->Delivered(link, now)) return true;
   stats_.timeouts++;
+  NoteFaultOnRequest();
+  TraceSpan("timeout.wait", obs::kTierNetwork, config_.request_timeout);
   *latency += config_.request_timeout;
   for (int attempt = 0; attempt < config_.max_retries; ++attempt) {
     stats_.retries++;
@@ -179,9 +223,11 @@ bool ClientProxy::DeliverWithRetries(sim::Link link, Duration* latency) {
     if (config_.retry_jitter > 0) {
       backoff = backoff * (1.0 + config_.retry_jitter * rng_.NextDouble());
     }
+    TraceSpan("retry.backoff", obs::kTierProxy, backoff);
     *latency += backoff;
     if (network_->Delivered(link, now)) return true;
     stats_.timeouts++;
+    TraceSpan("timeout.wait", obs::kTierNetwork, config_.request_timeout);
     *latency += config_.request_timeout;
   }
   return false;
@@ -204,6 +250,8 @@ FetchResult ClientProxy::FetchOverNetwork(const http::HttpRequest& request,
   bool edge_reachable = cdn_->EdgeAvailable(edge_index);
   if (!edge_reachable) {
     cdn_->NoteEdgeReject(edge_index);
+    NoteFaultOnRequest();
+    TraceSpan("edge.down_reject", obs::kTierEdge, Duration::Zero());
   } else if (!DeliverWithRetries(sim::Link::kClientEdge, &burned)) {
     edge_reachable = false;
   }
@@ -223,14 +271,19 @@ FetchResult ClientProxy::FetchDirect(const http::HttpRequest& request,
   SimTime now = clock_->Now();
   http::HttpResponse resp = origin_->Handle(request);
   if (resp.status_code == 503) {
-    return OfflineFallback(
-        request, key,
-        burned + network_->SampleRtt(sim::Link::kClientOrigin, now));
+    Duration rtt = network_->SampleRtt(sim::Link::kClientOrigin, now);
+    TraceSpan("net.client_origin", obs::kTierNetwork, rtt);
+    return OfflineFallback(request, key, burned + rtt);
   }
   size_t down = resp.IsNotModified() ? kNotModifiedWireBytes : resp.WireSize();
-  Duration lat = burned + network_->SampleRtt(sim::Link::kClientOrigin, now) +
-                 network_->TransferTime(sim::Link::kClientOrigin, down) +
-                 resp.server_time;
+  // RTT draws are hoisted into locals (here and everywhere a span needs a
+  // leg's duration) — each call site keeps its position and count, so the
+  // network's RNG stream advances exactly as before tracing existed.
+  Duration rtt = network_->SampleRtt(sim::Link::kClientOrigin, now);
+  Duration xfer = network_->TransferTime(sim::Link::kClientOrigin, down);
+  TraceSpan("net.client_origin", obs::kTierNetwork, rtt + xfer);
+  TraceSpan("origin.render", obs::kTierOrigin, resp.server_time);
+  Duration lat = burned + rtt + xfer + resp.server_time;
   return FinishClientResponse(request, key, resp, ServedFrom::kOrigin, lat);
 }
 
@@ -252,17 +305,19 @@ FetchResult ClientProxy::FetchViaEdge(const http::HttpRequest& request,
             *inm, el.entry->response.GetCacheControl(),
             el.entry->response.object_version,
             el.entry->response.generated_at);
-        Duration lat = burned + network_->RequestTime(sim::Link::kClientEdge,
-                                                      kNotModifiedWireBytes,
-                                                      now);
+        Duration rt = network_->RequestTime(sim::Link::kClientEdge,
+                                            kNotModifiedWireBytes, now);
+        TraceSpan("edge.hit_304", obs::kTierEdge, Duration::Zero());
+        TraceSpan("net.client_edge", obs::kTierNetwork, rt);
         return FinishClientResponse(request, key, edge_304,
-                                    ServedFrom::kEdgeCache, lat);
+                                    ServedFrom::kEdgeCache, burned + rt);
       }
-      Duration lat =
-          burned + network_->RequestTime(sim::Link::kClientEdge,
-                                         el.entry->response.WireSize(), now);
+      Duration rt = network_->RequestTime(sim::Link::kClientEdge,
+                                          el.entry->response.WireSize(), now);
+      TraceSpan("edge.hit", obs::kTierEdge, Duration::Zero());
+      TraceSpan("net.client_edge", obs::kTierNetwork, rt);
       return FinishClientResponse(request, key, el.entry->response,
-                                  ServedFrom::kEdgeCache, lat);
+                                  ServedFrom::kEdgeCache, burned + rt);
     }
     if (el.outcome == cache::LookupOutcome::kStaleHit) {
       // The edge revalidates with ITS validator; the client still gets a
@@ -279,56 +334,75 @@ FetchResult ClientProxy::FetchViaEdge(const http::HttpRequest& request,
         // a genuinely invalidated key is flagged and never takes this
         // branch (it bypasses the edge entirely).
         stats_.fallback_serves++;
-        Duration lat =
-            burned + network_->RequestTime(sim::Link::kClientEdge,
-                                           el.entry->response.WireSize(), now);
+        NoteFaultOnRequest();
+        Duration rt = network_->RequestTime(sim::Link::kClientEdge,
+                                            el.entry->response.WireSize(), now);
+        TraceSpan("edge.stale_if_error", obs::kTierEdge, Duration::Zero());
+        TraceSpan("net.client_edge", obs::kTierNetwork, rt);
         return FinishClientResponse(request, key, el.entry->response,
-                                    ServedFrom::kEdgeCache, lat);
+                                    ServedFrom::kEdgeCache, burned + rt);
       }
       http::HttpResponse oresp = origin_->Handle(forwarded);
       if (oresp.status_code == 503) {
-        return OfflineFallback(
-            request, key,
-            burned + network_->SampleRtt(sim::Link::kClientEdge, now) +
-                network_->SampleRtt(sim::Link::kEdgeOrigin, now));
+        // Draw order matters: the compiled pre-obs code evaluated the
+        // edge->origin leg's RTT first, so the hoisted draws keep that
+        // order to leave the RNG stream byte-identical.
+        Duration rtt_eo = network_->SampleRtt(sim::Link::kEdgeOrigin, now);
+        Duration rtt_ce = network_->SampleRtt(sim::Link::kClientEdge, now);
+        TraceSpan("net.client_edge", obs::kTierNetwork, rtt_ce);
+        TraceSpan("net.edge_origin", obs::kTierNetwork, rtt_eo);
+        return OfflineFallback(request, key, burned + rtt_ce + rtt_eo);
       }
       if (oresp.IsNotModified()) {
         edge.Refresh(key, request.headers, oresp, now);
         cache::LookupResult refreshed = edge.Lookup(key, request.headers, now);
         if (refreshed.entry != nullptr) {
-          Duration upstream =
-              burned + network_->SampleRtt(sim::Link::kClientEdge, now) +
-              network_->SampleRtt(sim::Link::kEdgeOrigin, now) +
-              network_->TransferTime(sim::Link::kEdgeOrigin,
-                                     kNotModifiedWireBytes) +
-              oresp.server_time;
+          Duration rtt_eo = network_->SampleRtt(sim::Link::kEdgeOrigin, now);
+          Duration rtt_ce = network_->SampleRtt(sim::Link::kClientEdge, now);
+          Duration xfer_eo = network_->TransferTime(sim::Link::kEdgeOrigin,
+                                                    kNotModifiedWireBytes);
+          Duration upstream = burned + rtt_ce + rtt_eo + xfer_eo +
+                              oresp.server_time;
+          TraceSpan("edge.revalidate", obs::kTierEdge, Duration::Zero());
+          TraceSpan("net.edge_origin", obs::kTierNetwork, rtt_eo + xfer_eo);
+          TraceSpan("origin.render", obs::kTierOrigin, oresp.server_time);
           // If the client's validator also matches, forward the origin's
           // 304 instead of re-sending the body.
           auto inm = request.headers.Get("If-None-Match");
           if (inm.has_value() && *inm == oresp.ETag()) {
-            Duration lat = upstream +
-                           network_->TransferTime(sim::Link::kClientEdge,
-                                                  kNotModifiedWireBytes);
+            Duration xfer_ce = network_->TransferTime(
+                sim::Link::kClientEdge, kNotModifiedWireBytes);
+            TraceSpan("net.client_edge", obs::kTierNetwork, rtt_ce + xfer_ce);
             return FinishClientResponse(request, key, oresp,
-                                        ServedFrom::kEdgeCache, lat);
+                                        ServedFrom::kEdgeCache,
+                                        upstream + xfer_ce);
           }
-          Duration lat =
-              upstream +
-              network_->TransferTime(sim::Link::kClientEdge,
-                                     refreshed.entry->response.WireSize());
+          Duration xfer_ce = network_->TransferTime(
+              sim::Link::kClientEdge, refreshed.entry->response.WireSize());
+          TraceSpan("net.client_edge", obs::kTierNetwork, rtt_ce + xfer_ce);
           return FinishClientResponse(request, key,
                                       refreshed.entry->response,
-                                      ServedFrom::kEdgeCache, lat);
+                                      ServedFrom::kEdgeCache,
+                                      upstream + xfer_ce);
         }
         // Entry evicted under us; fall through to a plain origin fetch.
       } else {
         edge.Store(key, request.headers, oresp, now);
+        // Draw order matters: the compiled pre-obs code evaluated the
+        // edge->origin leg's RTT first, so the hoisted draws keep that
+        // order to leave the RNG stream byte-identical.
+        Duration rtt_eo = network_->SampleRtt(sim::Link::kEdgeOrigin, now);
+        Duration rtt_ce = network_->SampleRtt(sim::Link::kClientEdge, now);
+        Duration xfer_eo =
+            network_->TransferTime(sim::Link::kEdgeOrigin, oresp.WireSize());
+        Duration xfer_ce =
+            network_->TransferTime(sim::Link::kClientEdge, oresp.WireSize());
+        TraceSpan("edge.revalidate", obs::kTierEdge, Duration::Zero());
+        TraceSpan("net.edge_origin", obs::kTierNetwork, rtt_eo + xfer_eo);
+        TraceSpan("origin.render", obs::kTierOrigin, oresp.server_time);
+        TraceSpan("net.client_edge", obs::kTierNetwork, rtt_ce + xfer_ce);
         Duration lat =
-            burned + network_->SampleRtt(sim::Link::kClientEdge, now) +
-            network_->SampleRtt(sim::Link::kEdgeOrigin, now) +
-            network_->TransferTime(sim::Link::kEdgeOrigin, oresp.WireSize()) +
-            network_->TransferTime(sim::Link::kClientEdge, oresp.WireSize()) +
-            oresp.server_time;
+            burned + rtt_ce + rtt_eo + xfer_eo + xfer_ce + oresp.server_time;
         return FinishClientResponse(request, key, oresp, ServedFrom::kOrigin,
                                     lat);
       }
@@ -341,24 +415,31 @@ FetchResult ClientProxy::FetchViaEdge(const http::HttpRequest& request,
   if (!DeliverWithRetries(sim::Link::kEdgeOrigin, &burned)) {
     // Nothing servable at the edge (miss, or a flagged key that must not
     // be served from a shared cache): last resort is the offline cache.
-    return OfflineFallback(
-        request, key,
-        burned + network_->SampleRtt(sim::Link::kClientEdge, now));
+    Duration rtt_ce = network_->SampleRtt(sim::Link::kClientEdge, now);
+    TraceSpan("net.client_edge", obs::kTierNetwork, rtt_ce);
+    return OfflineFallback(request, key, burned + rtt_ce);
   }
   http::HttpResponse oresp = origin_->Handle(request);
   if (oresp.status_code == 503) {
-    return OfflineFallback(
-        request, key,
-        burned + network_->SampleRtt(sim::Link::kClientEdge, now) +
-            network_->SampleRtt(sim::Link::kEdgeOrigin, now));
+    Duration rtt_ce = network_->SampleRtt(sim::Link::kClientEdge, now);
+    Duration rtt_eo = network_->SampleRtt(sim::Link::kEdgeOrigin, now);
+    TraceSpan("net.client_edge", obs::kTierNetwork, rtt_ce);
+    TraceSpan("net.edge_origin", obs::kTierNetwork, rtt_eo);
+    return OfflineFallback(request, key, burned + rtt_ce + rtt_eo);
   }
   size_t down =
       oresp.IsNotModified() ? kNotModifiedWireBytes : oresp.WireSize();
-  Duration lat = burned + network_->SampleRtt(sim::Link::kClientEdge, now) +
-                 network_->SampleRtt(sim::Link::kEdgeOrigin, now) +
-                 network_->TransferTime(sim::Link::kEdgeOrigin, down) +
-                 network_->TransferTime(sim::Link::kClientEdge, down) +
-                 oresp.server_time;
+  Duration rtt_eo = network_->SampleRtt(sim::Link::kEdgeOrigin, now);
+  Duration rtt_ce = network_->SampleRtt(sim::Link::kClientEdge, now);
+  Duration xfer_eo = network_->TransferTime(sim::Link::kEdgeOrigin, down);
+  Duration xfer_ce = network_->TransferTime(sim::Link::kClientEdge, down);
+  TraceSpan(bypass_shared ? "edge.bypass" : "edge.miss", obs::kTierEdge,
+            Duration::Zero());
+  TraceSpan("net.edge_origin", obs::kTierNetwork, rtt_eo + xfer_eo);
+  TraceSpan("origin.render", obs::kTierOrigin, oresp.server_time);
+  TraceSpan("net.client_edge", obs::kTierNetwork, rtt_ce + xfer_ce);
+  Duration lat =
+      burned + rtt_ce + rtt_eo + xfer_eo + xfer_ce + oresp.server_time;
   if (oresp.IsNotModified()) {
     edge.Refresh(key, request.headers, oresp, now);
   } else {
@@ -458,11 +539,13 @@ FetchResult ClientProxy::OfflineFallback(const http::HttpRequest& request,
     result.latency = attempt_latency;
     return result;
   }
+  NoteFaultOnRequest();
   if (config_.enabled && config_.offline_mode) {
     cache::LookupResult lookup =
         browser_cache_.Lookup(key, request.headers, now);
     if (lookup.entry != nullptr) {
       stats_.offline_serves++;
+      TraceSpan("offline.serve", obs::kTierOffline, Duration::Zero());
       return ServeFromEntry(*lookup.entry, ServedFrom::kOfflineCache,
                             attempt_latency);
     }

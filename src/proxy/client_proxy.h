@@ -36,8 +36,10 @@
 
 #include "cache/cdn.h"
 #include "cache/http_cache.h"
+#include "common/histogram.h"
 #include "common/random.h"
 #include "common/sim_time.h"
+#include "obs/trace.h"
 #include "http/message.h"
 #include "origin/origin_server.h"
 #include "personalization/dynamic_block.h"
@@ -148,6 +150,34 @@ struct ProxyStats {
   uint64_t background_errors = 0;         // ... failed (origin down etc.)
   uint64_t background_bytes = 0;          // wire bytes of background traffic
 
+  // Client-observed latency distributions (us), filled unconditionally so
+  // every harness gets a per-tier breakdown whether or not the obs layer
+  // is on. Each request lands in exactly ONE tier histogram — keyed by its
+  // serve bucket, with SWR serves under `browser` (that is the cache that
+  // answered) — and in exactly one of ok/degraded: `degraded` means some
+  // fault-handling path (timeout, retry, reroute, stale-if-error, offline)
+  // fired on the way, whatever tier finally served. Recording draws no
+  // randomness, so the histograms cannot perturb seeded runs.
+  Histogram latency_browser_us;
+  Histogram latency_edge_us;
+  Histogram latency_origin_us;
+  Histogram latency_offline_us;
+  Histogram latency_error_us;
+  Histogram latency_ok_us;
+  Histogram latency_degraded_us;
+
+  // The tier histogram for `source` (see above; never null).
+  Histogram* LatencyFor(ServedFrom source) {
+    switch (source) {
+      case ServedFrom::kBrowserCache: return &latency_browser_us;
+      case ServedFrom::kEdgeCache: return &latency_edge_us;
+      case ServedFrom::kOrigin: return &latency_origin_us;
+      case ServedFrom::kOfflineCache: return &latency_offline_us;
+      case ServedFrom::kError: return &latency_error_us;
+    }
+    return &latency_error_us;
+  }
+
   // Sum of the per-source serve counts; equals `requests` when the
   // accounting reconciles.
   uint64_t ServedTotal() const {
@@ -155,8 +185,10 @@ struct ProxyStats {
            offline_serves + errors;
   }
 
-  // Field-wise accumulation — the single place that knows every counter,
-  // used by traffic aggregation, trace replay and the multi-seed merge.
+  // Field-wise accumulation — the single place that knows every counter
+  // AND histogram, used by traffic aggregation, trace replay and the
+  // multi-seed merge (dropping a field here silently corrupts every
+  // aggregated table, so new stats must be added to both lists).
   ProxyStats& operator+=(const ProxyStats& other) {
     requests += other.requests;
     browser_hits += other.browser_hits;
@@ -180,6 +212,13 @@ struct ProxyStats {
     background_200s += other.background_200s;
     background_errors += other.background_errors;
     background_bytes += other.background_bytes;
+    latency_browser_us.Merge(other.latency_browser_us);
+    latency_edge_us.Merge(other.latency_edge_us);
+    latency_origin_us.Merge(other.latency_origin_us);
+    latency_offline_us.Merge(other.latency_offline_us);
+    latency_error_us.Merge(other.latency_error_us);
+    latency_ok_us.Merge(other.latency_ok_us);
+    latency_degraded_us.Merge(other.latency_degraded_us);
     return *this;
   }
 };
@@ -206,6 +245,12 @@ class ClientProxy {
   // Attaches the device's PII vault (required for user-scoped blocks).
   void AttachVault(const personalization::PiiVault* vault) { vault_ = vault; }
 
+  // Attaches the stack's tracer (not owned; may be null = tracing off).
+  // Emits one RequestTrace per foreground request — span count therefore
+  // equals ServedTotal(). Tracing records only durations the proxy already
+  // computed, so it cannot change behavior (enforced by tests/obs).
+  void SetTracer(obs::Tracer* tracer) { tracer_ = tracer; }
+
   cache::HttpCache& browser_cache() { return browser_cache_; }
   sketch::ClientSketch& client_sketch() { return client_sketch_; }
   const ProxyStats& stats() const { return stats_; }
@@ -213,8 +258,31 @@ class ClientProxy {
   const ProxyConfig& config() const { return config_; }
 
  private:
-  // The decision flow proper, after any URL rewriting.
+  // Observability wrapper around one foreground request: begins the trace,
+  // resets the degraded flag, runs the decision flow, then records the
+  // outcome (tier/fault histograms + trace finish) exactly once.
   FetchResult FetchResolved(const http::Url& url);
+
+  // The decision flow proper, after any URL rewriting.
+  FetchResult FetchDecide(const http::Url& url);
+
+  // Adds a span to the current request's trace; no-op while tracing is
+  // off or a background revalidation is in flight (its legs must not
+  // pollute the foreground request's tree).
+  void TraceSpan(std::string_view name, std::string_view tier,
+                 Duration duration) {
+    if (!background_fetch_) trace_.AddSpan(name, tier, duration);
+  }
+
+  // Marks the current foreground request as degraded (a fault-handling
+  // path fired). Background traffic never flips the flag.
+  void NoteFaultOnRequest() {
+    if (!background_fetch_) request_degraded_ = true;
+  }
+
+  // Final per-request accounting: one tier histogram + ok/degraded split
+  // + trace finish. The single funnel every foreground request exits by.
+  void RecordRequestOutcome(const FetchResult& result);
 
   // One network fetch (request already carries any validator). When
   // `bypass_shared` is set, edge caches are passed through, not consulted.
@@ -280,6 +348,12 @@ class ClientProxy {
   // outcome must land in the background_* counters, not the per-request
   // serve buckets.
   bool background_fetch_ = false;
+
+  // Observability (null tracer = off; span calls are then one branch).
+  obs::Tracer* tracer_ = nullptr;
+  obs::TraceBuilder trace_;
+  // A fault-handling path fired during the current foreground request.
+  bool request_degraded_ = false;
 };
 
 }  // namespace speedkit::proxy

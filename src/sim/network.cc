@@ -30,7 +30,7 @@ const LinkSpec& Network::spec(Link link) const {
   return config_.client_origin;
 }
 
-Duration Network::SampleRtt(Link link) {
+Duration Network::SampleRaw(Link link) {
   const LinkSpec& s = spec(link);
   if (s.median_rtt == Duration::Zero()) return Duration::Zero();
   if (s.log_sigma <= 0.0) return s.median_rtt;
@@ -40,11 +40,20 @@ Duration Network::SampleRtt(Link link) {
       static_cast<int64_t>(s.median_rtt.micros() * factor));
 }
 
+Duration Network::SampleRtt(Link link) {
+  Duration rtt = SampleRaw(link);
+  RecordRtt(link, rtt);
+  return rtt;
+}
+
 Duration Network::SampleRtt(Link link, SimTime now) {
-  Duration rtt = SampleRtt(link);
-  if (faults_ == nullptr) return rtt;
-  double factor = faults_->LatencyMultiplier(link, now);
-  return factor == 1.0 ? rtt : rtt * factor;
+  Duration rtt = SampleRaw(link);
+  if (faults_ != nullptr) {
+    double factor = faults_->LatencyMultiplier(link, now);
+    if (factor != 1.0) rtt = rtt * factor;
+  }
+  RecordRtt(link, rtt);
+  return rtt;
 }
 
 bool Network::Delivered(Link link, SimTime now) {

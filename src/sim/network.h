@@ -14,6 +14,7 @@
 
 #include <cstddef>
 
+#include "common/histogram.h"
 #include "common/random.h"
 #include "common/sim_time.h"
 
@@ -53,6 +54,17 @@ class Network {
   // before faults existed, including the RNG draw sequence.
   void SetFaultSchedule(const FaultSchedule* faults) { faults_ = faults; }
 
+  // Live observability hook: when set, every RTT this network hands out on
+  // a link is recorded (us, after any fault stretch) into that link's
+  // histogram — the `network.rtt_us` metric. Not owned; null disables.
+  // Recording draws no randomness and cannot affect simulation results.
+  void SetRttHistograms(Histogram* client_edge, Histogram* client_origin,
+                        Histogram* edge_origin) {
+    rtt_hist_[0] = client_edge;
+    rtt_hist_[1] = client_origin;
+    rtt_hist_[2] = edge_origin;
+  }
+
   // Samples one round trip on `link`.
   Duration SampleRtt(Link link);
 
@@ -77,9 +89,16 @@ class Network {
   const LinkSpec& spec(Link link) const;
 
  private:
+  Duration SampleRaw(Link link);
+  void RecordRtt(Link link, Duration rtt) {
+    Histogram* h = rtt_hist_[static_cast<size_t>(link)];
+    if (h != nullptr) h->Add(rtt.micros());
+  }
+
   NetworkConfig config_;
   Pcg32 rng_;
   const FaultSchedule* faults_ = nullptr;
+  Histogram* rtt_hist_[3] = {nullptr, nullptr, nullptr};
 };
 
 }  // namespace speedkit::sim

@@ -110,6 +110,37 @@ TEST(HistogramTest, QuantileIsMonotone) {
   }
 }
 
+TEST(HistogramTest, BucketBoundaryValuesRoundTrip) {
+  // Powers of two sit exactly on octave boundaries — the first value of a
+  // new bucket range. Each must come back as itself (its bucket's upper
+  // bound), not leak into the neighbouring bucket.
+  for (int64_t v : {32, 33, 63, 64, 65, 1024, 4096}) {
+    Histogram h;
+    h.Add(v);
+    EXPECT_EQ(h.ValueAtQuantile(0.0), v) << v;
+    EXPECT_EQ(h.ValueAtQuantile(1.0), v) << v;
+    EXPECT_EQ(h.P50(), v) << v;
+  }
+}
+
+TEST(HistogramTest, QuantileEdgesWithTwoSamples) {
+  Histogram h;
+  h.Add(10);
+  h.Add(1000);
+  // Nearest-rank: q=0 and q=0.5 resolve to the lower sample, only q=1
+  // reaches the upper one — and comes back clamped to the true max, not
+  // its bucket's upper bound.
+  EXPECT_EQ(h.ValueAtQuantile(0.0), 10);
+  EXPECT_EQ(h.ValueAtQuantile(0.5), 10);
+  EXPECT_EQ(h.ValueAtQuantile(1.0), 1000);
+}
+
+TEST(HistogramTest, QuantileAboveOneClampsToMaxBucket) {
+  Histogram h;
+  h.Add(100);
+  EXPECT_EQ(h.ValueAtQuantile(1.5), h.ValueAtQuantile(1.0));
+}
+
 TEST(HistogramTest, SummaryMentionsCount) {
   Histogram h;
   h.Add(5);

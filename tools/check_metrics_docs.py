@@ -1,0 +1,88 @@
+#!/usr/bin/env python3
+"""Docs-consistency check: src/obs/metric_names.h <-> docs/METRICS.md.
+
+The observability layer's contract is that every metric it can emit is
+documented, and that the docs never describe metrics that do not exist.
+Both directions are checked:
+
+  1. every quoted string literal in src/obs/metric_names.h (the single
+     source of truth for emitted names — see that header's comment) must
+     appear, backticked, somewhere in docs/METRICS.md;
+  2. every metric name documented in a METRICS.md table (the first
+     backticked cell of a `| ... |` row that looks like a metric name,
+     i.e. lowercase dotted) must be a literal in metric_names.h.
+
+Exit code 0 when both hold, 1 with a per-name report otherwise. Run from
+anywhere; paths resolve relative to the repo root. CI runs this on every
+push (see .github/workflows/ci.yml, docs job).
+"""
+
+import pathlib
+import re
+import sys
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+NAMES_H = ROOT / "src" / "obs" / "metric_names.h"
+METRICS_MD = ROOT / "docs" / "METRICS.md"
+
+METRIC_NAME = re.compile(r"^[a-z][a-z0-9_]*\.[a-z0-9_.]+$")
+
+
+def code_names() -> set[str]:
+    text = NAMES_H.read_text()
+    names = {m for m in re.findall(r'"([^"]+)"', text)}
+    bad = sorted(n for n in names if not METRIC_NAME.match(n))
+    if bad:
+        sys.exit(f"ERROR: non-conforming literals in {NAMES_H.name}: {bad} "
+                 "(metric names are lowercase dotted; keep other strings out "
+                 "of this header)")
+    return names
+
+
+def documented_names(text: str) -> set[str]:
+    """Metric names claimed by METRICS.md tables (first backticked cell)."""
+    names = set()
+    for line in text.splitlines():
+        if not line.lstrip().startswith("|"):
+            continue
+        cells = [c.strip() for c in line.strip().strip("|").split("|")]
+        if not cells:
+            continue
+        m = re.match(r"^`([^`]+)`$", cells[0])
+        if not m:
+            continue
+        name = m.group(1)
+        if METRIC_NAME.match(name):
+            names.add(name)
+    return names
+
+
+def main() -> int:
+    emitted = code_names()
+    md_text = METRICS_MD.read_text()
+    mentioned = set(re.findall(r"`([^`]+)`", md_text))
+    documented = documented_names(md_text)
+
+    undocumented = sorted(n for n in emitted if n not in mentioned)
+    phantom = sorted(n for n in documented if n not in emitted)
+
+    ok = True
+    if undocumented:
+        ok = False
+        print(f"ERROR: emitted by src/obs but missing from {METRICS_MD.name}:")
+        for name in undocumented:
+            print(f"  - {name}")
+    if phantom:
+        ok = False
+        print(f"ERROR: documented in {METRICS_MD.name} but not emitted "
+              "(no literal in metric_names.h):")
+        for name in phantom:
+            print(f"  - {name}")
+    if ok:
+        print(f"OK: {len(emitted)} metric names in {NAMES_H.name}, all "
+              f"documented; {len(documented)} table entries, none phantom")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -10,6 +10,7 @@
 
 #include "core/stack.h"
 #include "core/traffic.h"
+#include "obs/export.h"
 #include "tools/flags.h"
 
 using namespace speedkit;
@@ -32,7 +33,12 @@ int Usage() {
       "                    [--clients=N] [--minutes=M] [--writes-per-sec=W]\n"
       "                    [--skew=S] [--delta=SECONDS] [--products=P]\n"
       "                    [--categories=C] [--edges=E] [--fixed-ttl=SECONDS]\n"
-      "                    [--seed=N]\n");
+      "                    [--seed=N]\n"
+      "                    [--metrics[=METRICS.json]] write the metrics\n"
+      "                    registry snapshot (docs/METRICS.md names)\n"
+      "                    [--trace[=TRACE.csv]] record request traces,\n"
+      "                    print the per-tier latency breakdown, and write\n"
+      "                    the CSV tools/trace_report renders\n");
   return 2;
 }
 
@@ -51,6 +57,10 @@ int main(int argc, char** argv) {
   if (flags.GetString("ttl-mode", "estimator") == "fixed") {
     config.ttl_mode = core::TtlMode::kFixed;
   }
+  // Observability is inert by contract: with or without these flags the
+  // dashboard numbers below are bit-for-bit identical.
+  config.obs.metrics = flags.Has("metrics");
+  config.obs.tracing = flags.Has("trace");
   core::SpeedKitStack stack(config);
 
   workload::CatalogConfig catalog_config;
@@ -119,5 +129,53 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(os.requests),
               static_cast<unsigned long long>(os.render_cache_hits),
               os.render_time_saved_us / 1e6);
+
+  if (config.obs.tracing) {
+    std::printf("\nper-tier latency (ms):  "
+                "tier       requests     p50     p90     p99\n");
+    auto tier_row = [](const char* tier, const Histogram& h) {
+      if (h.count() == 0) return;
+      std::printf("                        %-10s %8llu %7.1f %7.1f %7.1f\n",
+                  tier, static_cast<unsigned long long>(h.count()),
+                  h.P50() / 1e3, h.P90() / 1e3, h.P99() / 1e3);
+    };
+    tier_row("browser", p.latency_browser_us);
+    tier_row("edge", p.latency_edge_us);
+    tier_row("origin", p.latency_origin_us);
+    tier_row("offline", p.latency_offline_us);
+    tier_row("error", p.latency_error_us);
+    tier_row("degraded", p.latency_degraded_us);
+
+    std::string trace_path = flags.GetString("trace", "true");
+    if (trace_path == "true") trace_path = "TRACE_sim.csv";
+    obs::MetaList meta = {
+        {"bench", "speedkit_sim"},
+        {"seed", std::to_string(config.seed)},
+        {"requests", std::to_string(p.requests)},
+        {"served_total", std::to_string(p.ServedTotal())},
+        {"trace_emitted", std::to_string(stack.trace_sink()->emitted())},
+        {"trace_dropped", std::to_string(stack.trace_sink()->dropped())},
+    };
+    if (obs::WriteTraceCsv(trace_path, stack.trace_sink()->traces(), meta)) {
+      std::printf("traces       wrote %zu to %s (render with "
+                  "tools/trace_report)\n",
+                  stack.trace_sink()->traces().size(), trace_path.c_str());
+    }
+  }
+  if (config.obs.metrics) {
+    stack.CollectMetrics(&result.proxies);
+    std::string metrics_path = flags.GetString("metrics", "true");
+    if (metrics_path == "true") metrics_path = "METRICS_sim.json";
+    obs::MetaList meta = {
+        {"bench", "speedkit_sim"},
+        {"variant", std::string(core::SystemVariantName(config.variant))},
+        {"seed", std::to_string(config.seed)},
+    };
+    if (obs::WriteMetricsJson(metrics_path, *stack.metrics(), meta)) {
+      std::printf("metrics      wrote %zu series to %s (reference: "
+                  "docs/METRICS.md)\n",
+                  stack.metrics()->metrics().size(), metrics_path.c_str());
+    }
+  }
   return 0;
 }
