@@ -23,6 +23,20 @@
 namespace speedkit {
 namespace {
 
+// --shards/--threads: in-run sharded execution for every RunWorkload this
+// harness performs (results are invariant to the thread count; the shard
+// count is a model parameter and must divide cdn_edges).
+int g_shards = 1;
+int g_run_threads = 1;
+
+bench::RunSpec BaseSpec() {
+  bench::RunSpec spec = bench::DefaultRunSpec();
+  spec.stack.shards = g_shards;
+  spec.run_threads = g_run_threads;
+  return spec;
+}
+
+
 using Clock = std::chrono::steady_clock;
 
 void AblationTtlEstimator(bench::JsonValue* rows) {
@@ -31,7 +45,7 @@ void AblationTtlEstimator(bench::JsonValue* rows) {
   bench::Row("%14s %10s %12s %14s %12s %12s", "ttl_policy", "hit_rate",
              "stale_rate", "sketch_entries", "reval_304", "p50_ms");
   for (const std::string& policy : {"estimator", "fixed-120s"}) {
-    bench::RunSpec spec = bench::DefaultRunSpec();
+    bench::RunSpec spec = BaseSpec();
     // Strong write skew: hot objects churn fast, tail barely changes —
     // exactly where one global TTL must be wrong for someone.
     spec.traffic.write_skew = 1.2;
@@ -178,7 +192,7 @@ void AblationSwr(bench::JsonValue* rows) {
   bench::Row("%8s %10s %10s %12s %12s %12s", "swr", "mean_ms", "p99_ms",
              "swr_serves", "stale_rate", "max_stale_s");
   for (bool swr_on : {true, false}) {
-    bench::RunSpec spec = bench::DefaultRunSpec();
+    bench::RunSpec spec = BaseSpec();
     spec.stack.ttl_mode = core::TtlMode::kFixed;
     spec.stack.fixed_ttl = Duration::Seconds(60);
     spec.traffic.writes_per_sec = 1.0;
@@ -256,6 +270,8 @@ void AblationAssetOptimization(bench::JsonValue* rows) {
 
 int main(int argc, char** argv) {
   speedkit::tools::Flags flags(argc, argv);
+  speedkit::g_shards = static_cast<int>(flags.GetInt("shards", 1));
+  speedkit::g_run_threads = static_cast<int>(flags.GetInt("threads", 1));
   std::string json_path = speedkit::bench::JsonPathFromFlag(
       flags.GetString("json", ""), "ablations");
   std::string trace_path = speedkit::bench::TracePathFromFlag(

@@ -35,7 +35,7 @@ double HitRate(const bench::RunOutput& out) {
   return out.traffic.BrowserHitRatio() + out.traffic.EdgeHitRatio();
 }
 
-void Run(int num_seeds, int threads, const std::string& json_path,
+void Run(int num_seeds, int threads, int shards, const std::string& json_path,
          const std::string& trace_path) {
   std::vector<bench::RunSpec> configs;
   for (double writes_per_sec : kWriteRates) {
@@ -47,13 +47,16 @@ void Run(int num_seeds, int threads, const std::string& json_path,
       configs.push_back(spec);
     }
   }
+  int sweep_threads =
+      bench::ApplyShardAndThreadFlags(&configs, shards, threads, num_seeds);
 
-  bench::SweepResult sweep = bench::RunSweep(configs, num_seeds, threads);
+  bench::SweepResult sweep = bench::RunSweep(configs, num_seeds, sweep_threads);
 
   bench::JsonValue root = bench::JsonValue::Object();
   root.Set("bench", "baselines");
   root.Set("seeds", num_seeds);
   root.Set("threads", threads);
+  root.Set("shards", shards);
   bench::JsonValue rows = bench::JsonValue::Array();
 
   size_t config_index = 0;
@@ -122,6 +125,7 @@ int main(int argc, char** argv) {
   speedkit::tools::Flags flags(argc, argv);
   int seeds = static_cast<int>(flags.GetInt("seeds", 8));
   int threads = static_cast<int>(flags.GetInt("threads", 1));
+  int shards = static_cast<int>(flags.GetInt("shards", 1));
   std::string json_path = speedkit::bench::JsonPathFromFlag(
       flags.GetString("json", ""), "baselines");
   std::string trace_path = speedkit::bench::TracePathFromFlag(
@@ -131,7 +135,7 @@ int main(int argc, char** argv) {
       "E9", "Baseline comparison: latency, staleness, origin load",
       "the paper's positioning against traditional CDNs, no caching, and "
       "pure invalidation");
-  speedkit::Run(seeds, threads, json_path, trace_path);
+  speedkit::Run(seeds, threads, shards, json_path, trace_path);
   speedkit::bench::Note(
       "expected shape: speed_kit ~matches fixed_ttl_cdn latency with "
       "near-zero staleness; no_caching has zero staleness at ~10x latency; "

@@ -89,7 +89,7 @@ double Availability(const bench::RunOutput& out) {
   return 1.0 - static_cast<double>(p.errors) / static_cast<double>(p.requests);
 }
 
-void Run(int num_seeds, int threads, const std::string& json_path,
+void Run(int num_seeds, int threads, int shards, const std::string& json_path,
          const std::string& trace_path) {
   // One flat sweep so workers stay busy across section boundaries.
   std::vector<bench::RunSpec> configs;
@@ -108,12 +108,16 @@ void Run(int num_seeds, int threads, const std::string& json_path,
   const size_t flaky_off = configs.size();
   for (double loss : kLinkLoss) configs.push_back(FlakyLinkSpec(loss));
 
-  bench::SweepResult sweep = bench::RunSweep(configs, num_seeds, threads);
+  int sweep_threads =
+      bench::ApplyShardAndThreadFlags(&configs, shards, threads, num_seeds);
+
+  bench::SweepResult sweep = bench::RunSweep(configs, num_seeds, sweep_threads);
 
   bench::JsonValue root = bench::JsonValue::Object();
   root.Set("bench", "faults");
   root.Set("seeds", num_seeds);
   root.Set("threads", threads);
+  root.Set("shards", shards);
   root.Set("bound_margin_s", kBoundMarginS);
   bench::JsonValue rows = bench::JsonValue::Array();
 
@@ -248,6 +252,7 @@ int main(int argc, char** argv) {
   speedkit::tools::Flags flags(argc, argv);
   int seeds = static_cast<int>(flags.GetInt("seeds", 3));
   int threads = static_cast<int>(flags.GetInt("threads", 1));
+  int shards = static_cast<int>(flags.GetInt("shards", 1));
   std::string json_path = speedkit::bench::JsonPathFromFlag(
       flags.GetString("json", ""), "faults");
   std::string trace_path = speedkit::bench::TracePathFromFlag(
@@ -257,6 +262,6 @@ int main(int argc, char** argv) {
       "E14", "Fault injection: purge loss, outages, flaky links",
       "degraded-mode behavior — the Delta bound survives purge loss, "
       "availability survives outages, retries absorb transient link loss");
-  speedkit::Run(seeds, threads, json_path, trace_path);
+  speedkit::Run(seeds, threads, shards, json_path, trace_path);
   return 0;
 }

@@ -15,12 +15,26 @@
 namespace speedkit {
 namespace {
 
+// --shards/--threads: in-run sharded execution for every RunWorkload this
+// harness performs (results are invariant to the thread count; the shard
+// count is a model parameter and must divide cdn_edges).
+int g_shards = 1;
+int g_run_threads = 1;
+
+bench::RunSpec BaseSpec() {
+  bench::RunSpec spec = bench::DefaultRunSpec();
+  spec.stack.shards = g_shards;
+  spec.run_threads = g_run_threads;
+  return spec;
+}
+
+
 void SkewSweep(bench::JsonValue* rows) {
   bench::PrintSection("share of requests per layer vs Zipf skew (4 edges)");
   bench::Row("%6s %10s %10s %10s %10s %12s", "skew", "browser", "edge",
              "origin", "reval304", "p50_ms");
   for (double skew : {0.5, 0.7, 0.9, 1.1, 1.3}) {
-    bench::RunSpec spec = bench::DefaultRunSpec();
+    bench::RunSpec spec = BaseSpec();
     spec.traffic.session.product_skew = skew;
     bench::RunOutput out = bench::RunWorkload(spec);
     const auto& p = out.traffic.proxies;
@@ -46,8 +60,15 @@ void EdgeCountSweep(bench::JsonValue* rows) {
   bench::Row("%6s %10s %10s %10s %12s", "edges", "browser", "edge", "origin",
              "p50_ms");
   for (int edges : {1, 2, 4, 8, 16}) {
-    bench::RunSpec spec = bench::DefaultRunSpec();
+    bench::RunSpec spec = BaseSpec();
     spec.stack.cdn_edges = edges;
+    // Sweep points the requested shard count cannot partition (shards must
+    // divide cdn_edges — Validate rejects, it does not clamp) run
+    // unsharded rather than abort the whole sweep.
+    if (edges % spec.stack.shards != 0) {
+      spec.stack.shards = 1;
+      spec.run_threads = 1;
+    }
     spec.traffic.session.product_skew = 0.9;
     bench::RunOutput out = bench::RunWorkload(spec);
     const auto& p = out.traffic.proxies;
@@ -72,7 +93,7 @@ void CatalogSizeSweep(bench::JsonValue* rows) {
   bench::PrintSection("working-set pressure: shares vs catalog size");
   bench::Row("%10s %10s %10s %10s", "products", "browser", "edge", "origin");
   for (size_t products : {500u, 2000u, 10000u, 50000u}) {
-    bench::RunSpec spec = bench::DefaultRunSpec();
+    bench::RunSpec spec = BaseSpec();
     spec.catalog.num_products = products;
     spec.traffic.session.product_skew = 0.9;
     bench::RunOutput out = bench::RunWorkload(spec);
@@ -95,6 +116,8 @@ void CatalogSizeSweep(bench::JsonValue* rows) {
 
 int main(int argc, char** argv) {
   speedkit::tools::Flags flags(argc, argv);
+  speedkit::g_shards = static_cast<int>(flags.GetInt("shards", 1));
+  speedkit::g_run_threads = static_cast<int>(flags.GetInt("threads", 1));
   std::string json_path = speedkit::bench::JsonPathFromFlag(
       flags.GetString("json", ""), "hit_layers");
   std::string trace_path = speedkit::bench::TracePathFromFlag(

@@ -51,7 +51,7 @@ bench::RunSpec WriteRateSpec(double rate) {
   return spec;
 }
 
-void Run(int num_seeds, int threads, const std::string& json_path,
+void Run(int num_seeds, int threads, int shards, const std::string& json_path,
          const std::string& trace_path) {
   // One flat sweep over all three sections so --threads workers stay busy
   // across section boundaries; sections index into the grid by offset.
@@ -62,12 +62,16 @@ void Run(int num_seeds, int threads, const std::string& json_path,
   const size_t rate_off = configs.size();
   for (double rate : kWriteRates) configs.push_back(WriteRateSpec(rate));
 
-  bench::SweepResult sweep = bench::RunSweep(configs, num_seeds, threads);
+  int sweep_threads =
+      bench::ApplyShardAndThreadFlags(&configs, shards, threads, num_seeds);
+
+  bench::SweepResult sweep = bench::RunSweep(configs, num_seeds, sweep_threads);
 
   bench::JsonValue root = bench::JsonValue::Object();
   root.Set("bench", "staleness_delta");
   root.Set("seeds", num_seeds);
   root.Set("threads", threads);
+  root.Set("shards", shards);
   bench::JsonValue rows = bench::JsonValue::Array();
 
   bench::PrintSection(
@@ -159,6 +163,7 @@ int main(int argc, char** argv) {
   speedkit::tools::Flags flags(argc, argv);
   int seeds = static_cast<int>(flags.GetInt("seeds", 4));
   int threads = static_cast<int>(flags.GetInt("threads", 1));
+  int shards = static_cast<int>(flags.GetInt("shards", 1));
   std::string json_path = speedkit::bench::JsonPathFromFlag(
       flags.GetString("json", ""), "staleness_delta");
   std::string trace_path = speedkit::bench::TracePathFromFlag(
@@ -168,6 +173,6 @@ int main(int argc, char** argv) {
       "E2", "Delta-atomicity: staleness bound vs sketch refresh interval",
       "the paper's central coherence claim (bounded staleness under "
       "expiration-based caching)");
-  speedkit::Run(seeds, threads, json_path, trace_path);
+  speedkit::Run(seeds, threads, shards, json_path, trace_path);
   return 0;
 }

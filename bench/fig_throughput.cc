@@ -1,0 +1,145 @@
+// E15 — Sharded-engine throughput: simulated requests/sec vs. threads.
+//
+// The sharded fleet's contract is "parallelism without consequences": the
+// merged numbers are a pure function of (seed, shards) and never of the
+// thread count. This harness measures the payoff side (wall-clock
+// requests/sec as threads grow at a fixed shard count) and GATES the
+// contract side — every thread count must reproduce the single-threaded
+// run's fingerprint bit-for-bit, or the process exits 1 so CI cannot miss
+// a determinism regression.
+//
+// Defaults are sized so the 8-thread point has real work to parallelize:
+// --shards 8 (cdn_edges is raised to a multiple automatically), a larger
+// client population and a longer simulated window than DefaultRunSpec.
+#include <chrono>
+#include <cinttypes>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "bench/json_writer.h"
+#include "bench/workload_runner.h"
+#include "tools/flags.h"
+
+namespace speedkit {
+namespace {
+
+struct ThroughputPoint {
+  int threads = 1;
+  double wall_seconds = 0;
+  double requests_per_sec = 0;
+  uint64_t fingerprint = 0;
+  uint64_t requests = 0;
+};
+
+bench::RunSpec ThroughputSpec(int shards) {
+  bench::RunSpec spec = bench::DefaultRunSpec();
+  spec.stack.shards = shards;
+  // Give every shard a non-trivial slice: the default 4-edge / 25-client
+  // stack would leave 8 shards mostly idle.
+  if (spec.stack.cdn_edges % shards != 0 || spec.stack.cdn_edges < shards) {
+    spec.stack.cdn_edges = 2 * shards;
+  }
+  spec.traffic.num_clients = 64;
+  spec.traffic.duration = Duration::Minutes(30);
+  return spec;
+}
+
+ThroughputPoint Measure(const bench::RunSpec& base, int threads) {
+  bench::RunSpec spec = base;
+  spec.run_threads = threads;
+  auto t0 = std::chrono::steady_clock::now();
+  bench::RunOutput out = bench::RunWorkload(spec);
+  ThroughputPoint point;
+  point.threads = threads;
+  point.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  point.requests = out.traffic.proxies.requests;
+  point.requests_per_sec =
+      point.wall_seconds > 0
+          ? static_cast<double>(point.requests) / point.wall_seconds
+          : 0.0;
+  point.fingerprint = bench::FingerprintRun(out);
+  return point;
+}
+
+// Returns false when any thread count diverged from the 1-thread run.
+bool Run(int shards, const std::vector<int>& thread_counts,
+         const std::string& json_path) {
+  bench::RunSpec base = ThroughputSpec(shards);
+
+  bench::PrintSection("requests/sec vs threads (shards=" +
+                      std::to_string(shards) + ", " +
+                      std::to_string(base.stack.cdn_edges) + " edges, " +
+                      std::to_string(base.traffic.num_clients) + " clients)");
+  bench::Row("%8s %12s %14s %12s %18s", "threads", "wall_s", "req/sec",
+             "speedup", "fingerprint");
+
+  std::vector<ThroughputPoint> points;
+  for (int threads : thread_counts) points.push_back(Measure(base, threads));
+
+  bool invariant = true;
+  const ThroughputPoint& first = points.front();
+  bench::JsonValue rows = bench::JsonValue::Array();
+  for (const ThroughputPoint& p : points) {
+    char fp[24];
+    std::snprintf(fp, sizeof(fp), "%016" PRIx64, p.fingerprint);
+    bench::Row("%8d %12.2f %14.0f %11.2fx %18s", p.threads, p.wall_seconds,
+               p.requests_per_sec, p.requests_per_sec / first.requests_per_sec,
+               fp);
+    rows.Push(bench::JsonRow(
+        {{"threads", p.threads},
+         {"wall_seconds", p.wall_seconds},
+         {"requests", p.requests},
+         {"requests_per_sec", p.requests_per_sec},
+         {"speedup_vs_1_thread", p.requests_per_sec / first.requests_per_sec},
+         {"fingerprint", std::string(fp)}}));
+    if (p.fingerprint != first.fingerprint) invariant = false;
+  }
+
+  if (invariant) {
+    bench::Note("determinism gate PASSED: all thread counts reproduced "
+                "fingerprint of the 1-thread run bit-for-bit");
+  } else {
+    std::fprintf(stderr,
+                 "FATAL: sharded run fingerprints diverged across thread "
+                 "counts — the engine's determinism invariant is broken\n");
+  }
+
+  if (!json_path.empty()) {
+    bench::JsonValue root = bench::JsonValue::Object();
+    root.Set("bench", "throughput");
+    root.Set("shards", shards);
+    root.Set("cdn_edges", base.stack.cdn_edges);
+    root.Set("num_clients", static_cast<uint64_t>(base.traffic.num_clients));
+    root.Set("invariant_ok", invariant);
+    root.Set("rows", std::move(rows));
+    bench::WriteJsonFile(json_path, root);
+  }
+  return invariant;
+}
+
+}  // namespace
+}  // namespace speedkit
+
+int main(int argc, char** argv) {
+  speedkit::tools::Flags flags(argc, argv);
+  int shards = static_cast<int>(flags.GetInt("shards", 8));
+  int max_threads = static_cast<int>(flags.GetInt("threads", 8));
+  std::string json_path = speedkit::bench::JsonPathFromFlag(
+      flags.GetString("json", ""), "throughput");
+
+  std::vector<int> thread_counts;
+  for (int t = 1; t <= max_threads; t *= 2) thread_counts.push_back(t);
+
+  speedkit::bench::PrintHeader(
+      "E15", "Sharded-engine throughput and determinism gate",
+      "simulated requests/sec vs worker threads at a fixed shard count; "
+      "every point must fingerprint identically");
+  bool ok = speedkit::Run(shards, thread_counts, json_path);
+  speedkit::bench::Note(
+      "expected shape: near-linear scaling until threads exceed shards or "
+      "physical cores; the numbers themselves never move");
+  return ok ? 0 : 1;
+}

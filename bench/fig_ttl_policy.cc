@@ -61,7 +61,7 @@ bench::RunSpec SpecFor(const WorkloadPoint& workload,
   return spec;
 }
 
-void Run(int num_seeds, int threads, const std::string& json_path,
+void Run(int num_seeds, int threads, int shards, const std::string& json_path,
          const std::string& trace_path) {
   const std::vector<WorkloadPoint> workloads = {
       {"moderate skew (0.8), 2 writes/s", 0.8, 2.0},
@@ -77,12 +77,16 @@ void Run(int num_seeds, int threads, const std::string& json_path,
       configs.push_back(SpecFor(workload, policy));
     }
   }
-  bench::SweepResult sweep = bench::RunSweep(configs, num_seeds, threads);
+  int sweep_threads =
+      bench::ApplyShardAndThreadFlags(&configs, shards, threads, num_seeds);
+
+  bench::SweepResult sweep = bench::RunSweep(configs, num_seeds, sweep_threads);
 
   bench::JsonValue root = bench::JsonValue::Object();
   root.Set("bench", "ttl_policy");
   root.Set("seeds", num_seeds);
   root.Set("threads", threads);
+  root.Set("shards", shards);
   bench::JsonValue rows = bench::JsonValue::Array();
 
   size_t config_index = 0;
@@ -146,6 +150,7 @@ int main(int argc, char** argv) {
   speedkit::tools::Flags flags(argc, argv);
   int seeds = static_cast<int>(flags.GetInt("seeds", 4));
   int threads = static_cast<int>(flags.GetInt("threads", 1));
+  int shards = static_cast<int>(flags.GetInt("shards", 1));
   std::string json_path = speedkit::bench::JsonPathFromFlag(
       flags.GetString("json", ""), "ttl_policy");
   std::string trace_path = speedkit::bench::TracePathFromFlag(
@@ -155,7 +160,7 @@ int main(int argc, char** argv) {
       "E3", "TTL policy: latency & hit ratio vs cache-lifetime strategy",
       "the TTL estimator's role in the polyglot architecture (hits vs "
       "coherence load)");
-  speedkit::Run(seeds, threads, json_path, trace_path);
+  speedkit::Run(seeds, threads, shards, json_path, trace_path);
   speedkit::bench::Note(
       "expected shape: estimator ~matches the best fixed TTL on hits with "
       "fewer sketch entries/revalidations; no-cache pays full origin RTTs");

@@ -3,14 +3,19 @@
 // intercepted request (the client proxy's overhead budget).
 #include <benchmark/benchmark.h>
 
+#include <memory>
+#include <string>
 #include <string_view>
+#include <unordered_map>
 #include <vector>
 
 #include "cache/lru_cache.h"
+#include "common/flat_map.h"
 #include "common/hash.h"
 #include "http/cache_control.h"
 #include "http/url.h"
 #include "invalidation/query_matcher.h"
+#include "sketch/blocked_bloom.h"
 #include "sketch/bloom_filter.h"
 #include "sketch/cache_sketch.h"
 #include "sketch/client_sketch.h"
@@ -143,6 +148,115 @@ void BM_CacheControlParse(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_CacheControlParse);
+
+// Scalar probe of the cache-line blocked filter: one memory access per
+// probe vs k random lines for the plain BloomFilter above (same sizing as
+// BM_BloomQuery for a direct comparison).
+void BM_BlockedBloomProbeScalar(benchmark::State& state) {
+  sketch::BlockedBloomFilter filter(1 << 20, static_cast<int>(state.range(0)));
+  for (size_t i = 0; i < 100000; ++i) filter.Add(Key(i));
+  std::vector<std::string> keys;
+  keys.reserve(4096);
+  for (size_t i = 0; i < 4096; ++i) keys.push_back(Key(i * 37));
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(filter.MightContain(keys[i++ % keys.size()]));
+  }
+}
+BENCHMARK(BM_BlockedBloomProbeScalar)->Arg(4)->Arg(7)->Arg(12);
+
+// Batched probe: hash+prefetch pass then probe pass. items_processed makes
+// the per-key rate comparable with the scalar probe's per-iteration time.
+void BM_BlockedBloomProbeBatch(benchmark::State& state) {
+  sketch::BlockedBloomFilter filter(1 << 20, 7);
+  for (size_t i = 0; i < 100000; ++i) filter.Add(Key(i));
+  const size_t batch = static_cast<size_t>(state.range(0));
+  std::vector<std::string> keys;
+  std::vector<std::string_view> views;
+  keys.reserve(batch);
+  for (size_t i = 0; i < batch; ++i) keys.push_back(Key(i * 37));
+  views.assign(keys.begin(), keys.end());
+  std::unique_ptr<bool[]> out(new bool[batch]);
+  for (auto _ : state) {
+    filter.MightContainBatch(views.data(), batch, out.get());
+    benchmark::DoNotOptimize(out.get());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(batch));
+}
+BENCHMARK(BM_BlockedBloomProbeBatch)->Arg(32)->Arg(256)->Arg(1024);
+
+// The expiry-book container race: open-addressing FlatStringMap vs the
+// node-based std::unordered_map it replaced. Upsert = the write path
+// (ReportInvalidation), Find = the read path (horizon checks).
+void BM_FlatMapUpsert(benchmark::State& state) {
+  std::vector<std::string> keys;
+  keys.reserve(10000);
+  for (size_t i = 0; i < 10000; ++i) keys.push_back(Key(i));
+  for (auto _ : state) {
+    state.PauseTiming();
+    FlatStringMap<int64_t> map;
+    state.ResumeTiming();
+    for (size_t i = 0; i < keys.size(); ++i) {
+      map.Upsert(keys[i], static_cast<int64_t>(i));
+    }
+    benchmark::DoNotOptimize(map.size());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 10000);
+}
+BENCHMARK(BM_FlatMapUpsert);
+
+void BM_UnorderedMapUpsert(benchmark::State& state) {
+  std::vector<std::string> keys;
+  keys.reserve(10000);
+  for (size_t i = 0; i < 10000; ++i) keys.push_back(Key(i));
+  for (auto _ : state) {
+    state.PauseTiming();
+    std::unordered_map<std::string, int64_t> map;
+    state.ResumeTiming();
+    for (size_t i = 0; i < keys.size(); ++i) {
+      map.emplace(keys[i], static_cast<int64_t>(i));
+    }
+    benchmark::DoNotOptimize(map.size());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 10000);
+}
+BENCHMARK(BM_UnorderedMapUpsert);
+
+void BM_FlatMapFind(benchmark::State& state) {
+  FlatStringMap<int64_t> map;
+  std::vector<std::string> keys;
+  keys.reserve(10000);
+  for (size_t i = 0; i < 10000; ++i) {
+    keys.push_back(Key(i));
+    map.Upsert(keys.back(), static_cast<int64_t>(i));
+  }
+  size_t i = 0;
+  for (auto _ : state) {
+    // Half the probes miss — the horizon check's common case.
+    benchmark::DoNotOptimize(
+        map.Find(std::string_view(keys[(i++ * 7) % keys.size()])));
+    benchmark::DoNotOptimize(map.Find("https://shop.example.com/api/miss"));
+  }
+}
+BENCHMARK(BM_FlatMapFind);
+
+void BM_UnorderedMapFind(benchmark::State& state) {
+  std::unordered_map<std::string, int64_t> map;
+  std::vector<std::string> keys;
+  keys.reserve(10000);
+  for (size_t i = 0; i < 10000; ++i) {
+    keys.push_back(Key(i));
+    map.emplace(keys.back(), static_cast<int64_t>(i));
+  }
+  std::string miss = "https://shop.example.com/api/miss";
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(map.find(keys[(i++ * 7) % keys.size()]));
+    benchmark::DoNotOptimize(map.find(miss));
+  }
+}
+BENCHMARK(BM_UnorderedMapFind);
 
 void BM_MatcherWrite(benchmark::State& state) {
   invalidation::QueryMatcher matcher(4, /*use_index=*/state.range(1) != 0);

@@ -46,6 +46,21 @@ inline RunSpec SpecForSeed(const RunSpec& base, int i) {
   return spec;
 }
 
+// Applies a harness's --shards/--threads flag pair to its sweep configs:
+// stamps stack.shards into every config and splits the thread budget
+// between multi-seed fan-out and in-run shard execution (see
+// SplitThreadBudget — the two never nest, so cores are not
+// oversubscribed). Returns the thread count to hand RunSweep.
+inline int ApplyShardAndThreadFlags(std::vector<RunSpec>* configs, int shards,
+                                    int threads, int num_seeds) {
+  ThreadSplit split = SplitThreadBudget(threads, num_seeds, configs->size());
+  for (RunSpec& spec : *configs) {
+    spec.stack.shards = shards;
+    spec.run_threads = split.run_threads;
+  }
+  return split.sweep_threads;
+}
+
 struct SweepResult {
   // outputs[config][seed], both dimensions in submission order.
   std::vector<std::vector<RunOutput>> outputs;

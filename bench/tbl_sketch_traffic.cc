@@ -17,13 +17,27 @@
 namespace speedkit {
 namespace {
 
+// --shards/--threads: in-run sharded execution for every RunWorkload this
+// harness performs (results are invariant to the thread count; the shard
+// count is a model parameter and must divide cdn_edges).
+int g_shards = 1;
+int g_run_threads = 1;
+
+bench::RunSpec BaseSpec() {
+  bench::RunSpec spec = bench::DefaultRunSpec();
+  spec.stack.shards = g_shards;
+  spec.run_threads = g_run_threads;
+  return spec;
+}
+
+
 void DeltaTrafficSweep(bench::JsonValue* rows) {
   bench::PrintSection(
       "per-client sketch traffic vs delta (fixed 120s TTL, 2 writes/s)");
   bench::Row("%8s %12s %14s %16s %14s %12s", "delta_s", "refreshes",
              "snapshot_B", "bytes/client/min", "bypasses", "max_stale_s");
   for (int delta_s : {5, 10, 30, 60, 120}) {
-    bench::RunSpec spec = bench::DefaultRunSpec();
+    bench::RunSpec spec = BaseSpec();
     spec.stack.ttl_mode = core::TtlMode::kFixed;
     spec.stack.fixed_ttl = Duration::Seconds(120);
     spec.stack.delta = Duration::Seconds(delta_s);
@@ -57,7 +71,7 @@ void WriteRateSweep(bench::JsonValue* rows) {
   bench::Row("%12s %14s %14s %14s %14s", "writes_per_s", "sketch_entries",
              "snapshot_B", "bypasses", "reval_304");
   for (double rate : {0.5, 1.0, 2.0, 4.0, 8.0, 16.0}) {
-    bench::RunSpec spec = bench::DefaultRunSpec();
+    bench::RunSpec spec = BaseSpec();
     spec.stack.ttl_mode = core::TtlMode::kFixed;
     spec.stack.fixed_ttl = Duration::Seconds(120);
     spec.stack.delta = Duration::Seconds(30);
@@ -86,6 +100,8 @@ void WriteRateSweep(bench::JsonValue* rows) {
 
 int main(int argc, char** argv) {
   speedkit::tools::Flags flags(argc, argv);
+  speedkit::g_shards = static_cast<int>(flags.GetInt("shards", 1));
+  speedkit::g_run_threads = static_cast<int>(flags.GetInt("threads", 1));
   std::string json_path = speedkit::bench::JsonPathFromFlag(
       flags.GetString("json", ""), "sketch_traffic");
   std::string trace_path = speedkit::bench::TracePathFromFlag(

@@ -1,44 +1,61 @@
 #include "cache/cdn.h"
 
-#include <algorithm>
+#include <cassert>
 
 #include "common/hash.h"
 
 namespace speedkit::cache {
 
-Cdn::Cdn(int num_edges, size_t edge_capacity_bytes) {
-  num_edges = std::max(1, num_edges);
-  edges_.reserve(static_cast<size_t>(num_edges));
-  for (int i = 0; i < num_edges; ++i) {
-    edges_.push_back(
-        std::make_unique<HttpCache>(/*shared=*/true, edge_capacity_bytes));
-  }
-  down_.assign(edges_.size(), false);
-  fault_stats_.assign(edges_.size(), EdgeFaultStats{});
+Cdn::Cdn(int num_edges, size_t edge_capacity_bytes)
+    : map_(std::make_shared<ShardedEdgeMap>(num_edges, edge_capacity_bytes)) {
+  assert(num_edges >= 1 && "Cdn requires at least one edge");
+  owned_.reserve(static_cast<size_t>(num_edges));
+  for (int i = 0; i < num_edges; ++i) owned_.push_back(i);
+}
+
+Cdn::Cdn(std::shared_ptr<ShardedEdgeMap> map, int shard, int shards)
+    : map_(std::move(map)), shard_(shard), shards_(shards) {
+  assert(shards >= 1 && shard >= 0 && shard < shards);
+  assert(map_->num_edges() % shards == 0 &&
+         "edge count must divide evenly across shards");
+  owned_.reserve(static_cast<size_t>(map_->num_edges() / shards));
+  for (int e = shard; e < map_->num_edges(); e += shards) owned_.push_back(e);
 }
 
 int Cdn::RouteFor(uint64_t client_id) const {
-  return static_cast<int>(Mix64(client_id) % edges_.size());
+  // Route over the PHYSICAL tier so the client->edge pinning is identical
+  // at every shard count, then translate to this view's local space.
+  int physical =
+      static_cast<int>(Mix64(client_id) % static_cast<uint64_t>(map_->num_edges()));
+  return physical / shards_;
+}
+
+bool Cdn::OwnsClient(uint64_t client_id) const {
+  int physical =
+      static_cast<int>(Mix64(client_id) % static_cast<uint64_t>(map_->num_edges()));
+  return physical % shards_ == shard_;
 }
 
 int Cdn::PurgeAll(std::string_view key) {
   int purged = 0;
-  for (auto& edge : edges_) {
-    if (edge->Purge(key)) ++purged;
+  for (int i = 0; i < num_edges(); ++i) {
+    ShardedEdgeMap::EdgeSlot& s = slot(i);
+    std::lock_guard<std::mutex> lock(s.mu);
+    if (s.cache.Purge(key)) ++purged;
   }
   return purged;
 }
 
 EdgeFaultStats Cdn::TotalFaultStats() const {
   EdgeFaultStats total;
-  for (const EdgeFaultStats& s : fault_stats_) total += s;
+  for (int i = 0; i < num_edges(); ++i) total += slot(i).fault_stats;
   return total;
 }
 
 HttpCacheStats Cdn::TotalStats() const {
   HttpCacheStats total;
-  for (const auto& edge : edges_) {
-    const HttpCacheStats& s = edge->stats();
+  for (int i = 0; i < num_edges(); ++i) {
+    const HttpCacheStats& s = slot(i).cache.stats();
     total.fresh_hits += s.fresh_hits;
     total.stale_hits += s.stale_hits;
     total.misses += s.misses;

@@ -1,103 +1,142 @@
-// Multi-edge CDN substrate.
+// Multi-edge CDN substrate — a (possibly partial) view over the physical
+// edge tier.
 //
 // N shared HTTP caches ("edges"); each client is pinned to one edge by a
 // stable hash of its client id, mirroring anycast routing to the nearest
 // POP. Purges fan out to every edge — the invalidation pipeline schedules
 // the fan-out with per-edge propagation delays, so the CDN itself exposes
 // synchronous per-edge purge.
+//
+// Two construction modes:
+//  * `Cdn(num_edges, capacity)` builds a private ShardedEdgeMap and views
+//    all of it — the classic single-domain stack.
+//  * `Cdn(map, shard, shards)` views only the edges owned by `shard`
+//    (physical edge e belongs to shard e % shards) of a map shared with
+//    the other shards of a fleet. Edge indices exposed by this class are
+//    LOCAL (dense 0..num_edges()-1 over owned edges); the translation to
+//    physical slots is internal, and LocalIndexOf() converts a physical
+//    index from shard-agnostic config (fault schedules) into the local
+//    space.
 #ifndef SPEEDKIT_CACHE_CDN_H_
 #define SPEEDKIT_CACHE_CDN_H_
 
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <string_view>
 #include <vector>
 
 #include "cache/http_cache.h"
-#include "common/histogram.h"
+#include "cache/sharded_edge_map.h"
 #include "common/sim_time.h"
 
 namespace speedkit::cache {
 
-// Per-edge degraded-operation accounting (fault injection, E14).
-struct EdgeFaultStats {
-  uint64_t down_rejects = 0;    // requests that found the edge down
-  uint64_t purges_dropped = 0;  // purge deliveries lost (edge down / faulted)
-  uint64_t purges_delayed = 0;  // purge deliveries on the slow path
-  // Propagation delay (us) of every purge delivery scheduled to this edge
-  // — slow-path deliveries included, in-flight losses not (they never get
-  // a delay). Feeds the `edge.purge_delay_us` metric.
-  Histogram purge_delay_us;
-
-  EdgeFaultStats& operator+=(const EdgeFaultStats& other) {
-    down_rejects += other.down_rejects;
-    purges_dropped += other.purges_dropped;
-    purges_delayed += other.purges_delayed;
-    purge_delay_us.Merge(other.purge_delay_us);
-    return *this;
-  }
-};
-
 class Cdn {
  public:
-  // `edge_capacity_bytes` 0 = unbounded per edge.
+  // Full view over a private map. `num_edges` must be >= 1 (the stack
+  // validates its config before constructing one); `edge_capacity_bytes`
+  // 0 = unbounded per edge.
   Cdn(int num_edges, size_t edge_capacity_bytes);
 
-  int num_edges() const { return static_cast<int>(edges_.size()); }
+  // Shard view: edges owned by `shard` out of `shards` coherence domains
+  // over a shared physical map. Requires 0 <= shard < shards and
+  // map->num_edges() divisible by shards (so every shard views the same
+  // number of edges).
+  Cdn(std::shared_ptr<ShardedEdgeMap> map, int shard, int shards);
 
-  // The edge serving `client_id` (stable hash routing).
+  // Owned (local) edge count.
+  int num_edges() const { return static_cast<int>(owned_.size()); }
+  // Size of the whole physical tier (== num_edges() for a full view).
+  int physical_edges() const { return map_->num_edges(); }
+
+  // The LOCAL index of the edge serving `client_id` (stable hash routing
+  // over the PHYSICAL tier). Only meaningful when OwnsClient(client_id).
   int RouteFor(uint64_t client_id) const;
 
-  HttpCache& edge(int i) { return *edges_[i]; }
-  const HttpCache& edge(int i) const { return *edges_[i]; }
+  // Whether this view's shard owns the edge `client_id` routes to — the
+  // client-to-shard partition function of the fleet engine.
+  bool OwnsClient(uint64_t client_id) const;
+
+  // Local index for a physical edge index, or -1 if another shard owns it.
+  int LocalIndexOf(int physical) const {
+    if (physical < 0 || physical >= map_->num_edges()) return -1;
+    return physical % shards_ == shard_ ? physical / shards_ : -1;
+  }
+
+  HttpCache& edge(int i) { return slot(i).cache; }
+  const HttpCache& edge(int i) const { return slot(i).cache; }
+
+  // Striped lock for one owned edge; the proxy holds it across a request's
+  // edge-cache access, the purge paths take it per delivery. Under the
+  // fleet's ownership discipline it is uncontended — it fences the
+  // shard-disjointness invariant rather than serializing real sharing.
+  std::unique_lock<std::mutex> LockEdge(int i) {
+    return std::unique_lock<std::mutex>(slot(i).mu);
+  }
 
   // Edge-node outage toggles, driven by the stack's fault schedule. A
   // down edge serves nothing and loses purges delivered to it; its cache
   // contents survive the outage (a POP reboot, not a wipe).
-  void SetEdgeDown(int i, bool down) { down_[static_cast<size_t>(i)] = down; }
-  bool EdgeAvailable(int i) const { return !down_[static_cast<size_t>(i)]; }
+  void SetEdgeDown(int i, bool down) {
+    std::lock_guard<std::mutex> lock(slot(i).mu);
+    slot(i).down = down;
+  }
+  bool EdgeAvailable(int i) const { return !slot(i).down; }
 
+  // Fault accounting. Only the owning shard's thread writes these, so the
+  // increments are not locked; cross-shard aggregation happens after the
+  // shard threads join.
+  //
   // Called by the proxy when a request found its edge down.
-  void NoteEdgeReject(int i) { fault_stats_[static_cast<size_t>(i)].down_rejects++; }
+  void NoteEdgeReject(int i) { slot(i).fault_stats.down_rejects++; }
   // Called by the invalidation pipeline when a purge is faulted.
-  void NotePurgeDropped(int i) {
-    fault_stats_[static_cast<size_t>(i)].purges_dropped++;
-  }
-  void NotePurgeDelayed(int i) {
-    fault_stats_[static_cast<size_t>(i)].purges_delayed++;
-  }
+  void NotePurgeDropped(int i) { slot(i).fault_stats.purges_dropped++; }
+  void NotePurgeDelayed(int i) { slot(i).fault_stats.purges_delayed++; }
   // Called by the pipeline for every purge delivery it schedules, with the
   // delivery's final propagation delay (slow-path stretch included).
   void NotePurgeScheduled(int i, Duration delay) {
-    fault_stats_[static_cast<size_t>(i)].purge_delay_us.Add(delay.micros());
+    slot(i).fault_stats.purge_delay_us.Add(delay.micros());
   }
 
   // Purges `key` from one edge; returns true if the edge held it. A purge
   // arriving while the edge is down is lost — the real CDN API would
   // retry; we count it instead so E14 can report delivery loss.
   bool PurgeEdge(int i, std::string_view key) {
-    if (down_[static_cast<size_t>(i)]) {
-      NotePurgeDropped(i);
+    ShardedEdgeMap::EdgeSlot& s = slot(i);
+    std::lock_guard<std::mutex> lock(s.mu);
+    if (s.down) {
+      s.fault_stats.purges_dropped++;
       return false;
     }
-    return edges_[i]->Purge(key);
+    return s.cache.Purge(key);
   }
 
-  // Immediate purge everywhere (used by baselines without a propagation
-  // model). Returns how many edges held the key.
+  // Immediate purge on every OWNED edge (used by baselines without a
+  // propagation model). Returns how many held the key.
   int PurgeAll(std::string_view key);
 
-  // Aggregated stats across edges.
+  // Aggregated stats across owned edges.
   HttpCacheStats TotalStats() const;
   const EdgeFaultStats& edge_fault_stats(int i) const {
-    return fault_stats_[static_cast<size_t>(i)];
+    return slot(i).fault_stats;
   }
   EdgeFaultStats TotalFaultStats() const;
 
  private:
-  std::vector<std::unique_ptr<HttpCache>> edges_;
-  std::vector<bool> down_;
-  std::vector<EdgeFaultStats> fault_stats_;
+  ShardedEdgeMap::EdgeSlot& slot(int local) {
+    return map_->slot(owned_[static_cast<size_t>(local)]);
+  }
+  const ShardedEdgeMap::EdgeSlot& slot(int local) const {
+    return map_->slot(owned_[static_cast<size_t>(local)]);
+  }
+
+  std::shared_ptr<ShardedEdgeMap> map_;
+  int shard_ = 0;
+  int shards_ = 1;
+  // owned_[local] = physical index; dense and sorted, so iteration order
+  // over local indices is deterministic.
+  std::vector<int> owned_;
 };
 
 }  // namespace speedkit::cache

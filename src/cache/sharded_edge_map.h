@@ -1,0 +1,80 @@
+// The physical CDN edge tier, shared across fleet shards.
+//
+// One slot per edge POP: the HTTP cache, the outage flag, the fault
+// accounting, and a striped lock. The sharded execution engine builds ONE
+// of these and hands every shard stack a `Cdn` view onto it; edge e is
+// owned by shard (e % shards), and because clients pin to edges by stable
+// hash, a shard only ever touches its own edges — the locks are a
+// runtime fence for that ownership discipline (and what TSan observes),
+// not a serialization point: disjoint ownership is what makes merged
+// results independent of thread interleaving.
+#ifndef SPEEDKIT_CACHE_SHARDED_EDGE_MAP_H_
+#define SPEEDKIT_CACHE_SHARDED_EDGE_MAP_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "cache/http_cache.h"
+#include "common/histogram.h"
+#include "common/sim_time.h"
+
+namespace speedkit::cache {
+
+// Per-edge degraded-operation accounting (fault injection, E14).
+struct EdgeFaultStats {
+  uint64_t down_rejects = 0;    // requests that found the edge down
+  uint64_t purges_dropped = 0;  // purge deliveries lost (edge down / faulted)
+  uint64_t purges_delayed = 0;  // purge deliveries on the slow path
+  // Propagation delay (us) of every purge delivery scheduled to this edge
+  // — slow-path deliveries included, in-flight losses not (they never get
+  // a delay). Feeds the `edge.purge_delay_us` metric.
+  Histogram purge_delay_us;
+
+  EdgeFaultStats& operator+=(const EdgeFaultStats& other) {
+    down_rejects += other.down_rejects;
+    purges_dropped += other.purges_dropped;
+    purges_delayed += other.purges_delayed;
+    purge_delay_us.Merge(other.purge_delay_us);
+    return *this;
+  }
+};
+
+class ShardedEdgeMap {
+ public:
+  struct EdgeSlot {
+    explicit EdgeSlot(size_t capacity_bytes)
+        : cache(/*shared=*/true, capacity_bytes) {}
+
+    HttpCache cache;
+    bool down = false;
+    EdgeFaultStats fault_stats;
+    // Striped lock for this edge's slot. Held by the owning shard around
+    // every request-path and purge-path access.
+    std::mutex mu;
+  };
+
+  // `edge_capacity_bytes` 0 = unbounded per edge.
+  ShardedEdgeMap(int num_edges, size_t edge_capacity_bytes) {
+    slots_.reserve(static_cast<size_t>(num_edges));
+    for (int i = 0; i < num_edges; ++i) {
+      slots_.push_back(std::make_unique<EdgeSlot>(edge_capacity_bytes));
+    }
+  }
+
+  int num_edges() const { return static_cast<int>(slots_.size()); }
+  EdgeSlot& slot(int physical) { return *slots_[static_cast<size_t>(physical)]; }
+  const EdgeSlot& slot(int physical) const {
+    return *slots_[static_cast<size_t>(physical)];
+  }
+
+ private:
+  // unique_ptr slots: a mutex is neither movable nor copyable, and slot
+  // addresses must stay stable while shards hold references.
+  std::vector<std::unique_ptr<EdgeSlot>> slots_;
+};
+
+}  // namespace speedkit::cache
+
+#endif  // SPEEDKIT_CACHE_SHARDED_EDGE_MAP_H_

@@ -73,6 +73,25 @@ int64_t Histogram::ValueAtQuantile(double q) const {
   return max_;
 }
 
+uint64_t Histogram::Fingerprint() const {
+  // FNV-1a over the raw words. Sum is hashed via its bit pattern: merged
+  // doubles added in a fixed order are bit-identical, which is exactly the
+  // determinism contract the fingerprint exists to check.
+  uint64_t h = 0xcbf29ce484222325ull;
+  auto mix = [&h](uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (8 * i)) & 0xff;
+      h *= 0x100000001b3ull;
+    }
+  };
+  for (uint64_t b : buckets_) mix(b);
+  mix(count_);
+  mix(static_cast<uint64_t>(min_));
+  mix(static_cast<uint64_t>(max_));
+  mix(std::bit_cast<uint64_t>(sum_));
+  return h;
+}
+
 std::string Histogram::Summary() const {
   char buf[160];
   std::snprintf(buf, sizeof(buf),

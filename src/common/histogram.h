@@ -40,6 +40,13 @@ class Histogram {
   // One-line summary: "count=N mean=M p50=.. p90=.. p99=.. max=..".
   std::string Summary() const;
 
+  // Structural fingerprint over every bucket count plus count/min/max and
+  // the sum's bit pattern: two histograms fingerprint equal iff they hold
+  // the identical distribution. This is what the sharded engine's
+  // thread-invariance gate compares — stronger than comparing a few
+  // percentiles, cheaper than exposing the bucket array.
+  uint64_t Fingerprint() const;
+
  private:
   static constexpr int kSubBucketBits = 5;  // 32 sub-buckets per octave.
   static constexpr int kSubBuckets = 1 << kSubBucketBits;

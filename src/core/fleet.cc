@@ -1,0 +1,35 @@
+#include "core/fleet.h"
+
+#include <algorithm>
+
+#include "common/hash.h"
+
+namespace speedkit::core {
+
+int ShardOfClient(uint64_t client_id, int cdn_edges, int shards) {
+  int physical =
+      static_cast<int>(Mix64(client_id) % static_cast<uint64_t>(cdn_edges));
+  return physical % shards;
+}
+
+ShardedFleet::ShardedFleet(const StackConfig& config)
+    : edge_map_(std::make_shared<cache::ShardedEdgeMap>(
+          config.cdn_edges, config.edge_capacity_bytes)) {
+  stacks_.reserve(static_cast<size_t>(std::max(1, config.shards)));
+  for (int s = 0; s < config.shards; ++s) {
+    stacks_.push_back(std::make_unique<SpeedKitStack>(config, edge_map_, s));
+  }
+}
+
+void ForEachShard(int shards, int threads,
+                  const std::function<void(int)>& fn) {
+  auto run = [&fn](size_t s) { fn(static_cast<int>(s)); };
+  if (threads <= 1 || shards <= 1) {
+    ParallelFor(nullptr, static_cast<size_t>(shards), run);
+    return;
+  }
+  ThreadPool pool(static_cast<size_t>(std::min(threads, shards)));
+  ParallelFor(&pool, static_cast<size_t>(shards), run);
+}
+
+}  // namespace speedkit::core

@@ -1,5 +1,8 @@
 #include "core/stack.h"
 
+#include <cstdio>
+#include <cstdlib>
+
 #include "obs/metric_names.h"
 
 namespace speedkit::core {
@@ -18,12 +21,63 @@ std::string_view SystemVariantName(SystemVariant variant) {
   return "unknown";
 }
 
+Status StackConfig::Validate() const {
+  // Real errors at the call site beat silent clamping: a config that used
+  // to be "fixed up" (edge count forced to 1, FPR squeezed into range)
+  // produced runs that quietly measured something other than what was
+  // asked for.
+  if (cdn_edges < 1) {
+    return Status::InvalidArgument("cdn_edges must be >= 1");
+  }
+  if (shards < 1) {
+    return Status::InvalidArgument("shards must be >= 1");
+  }
+  if (cdn_edges % shards != 0) {
+    return Status::InvalidArgument(
+        "shards must divide cdn_edges (every shard owns the same number of "
+        "edges)");
+  }
+  if (!(sketch_fpr > 0.0) || sketch_fpr > 0.5) {
+    return Status::InvalidArgument("sketch_fpr must be in (0, 0.5]");
+  }
+  if (variant == SystemVariant::kSpeedKit && sketch_capacity == 0) {
+    return Status::InvalidArgument(
+        "sketch_capacity must be > 0 for sketch-coherent variants");
+  }
+  if (delta <= Duration::Zero()) {
+    return Status::InvalidArgument("delta (sketch refresh interval) must be "
+                                   "positive");
+  }
+  return Status::Ok();
+}
+
 SpeedKitStack::SpeedKitStack(const StackConfig& config)
+    : SpeedKitStack(config, nullptr, 0) {}
+
+SpeedKitStack::SpeedKitStack(const StackConfig& config,
+                             std::shared_ptr<cache::ShardedEdgeMap> edge_map,
+                             int shard)
     : config_(config),
-      rng_(config.seed, config.seed ^ 0x5eed0001ULL),
+      shard_(shard),
+      // Per-shard stream: golden-ratio stride on the stream id keeps the
+      // shards' PCG sequences disjoint; shard 0 reproduces the legacy
+      // single-domain stream exactly.
+      rng_(config.seed,
+           (config.seed ^ 0x5eed0001ULL) +
+               static_cast<uint64_t>(shard) * 0x9e3779b97f4a7c15ULL),
       events_(&clock_),
       faults_(config.faults),
       network_(config.network, rng_.Fork(1)) {
+  if (Status valid = config_.Validate(); !valid.ok()) {
+    std::fprintf(stderr, "SpeedKitStack: invalid StackConfig: %s\n",
+                 valid.ToString().c_str());
+    std::abort();
+  }
+  if (shard_ < 0 || shard_ >= config_.shards) {
+    std::fprintf(stderr, "SpeedKitStack: shard %d out of range [0, %d)\n",
+                 shard_, config_.shards);
+    std::abort();
+  }
   network_.SetFaultSchedule(&faults_);
   // TTL policy by variant/mode.
   switch (config_.variant) {
@@ -53,8 +107,15 @@ SpeedKitStack::SpeedKitStack(const StackConfig& config)
     sketch_ = std::make_unique<sketch::CacheSketch>(config_.sketch_capacity,
                                                     config_.sketch_fpr);
   }
-  cdn_ = std::make_unique<cache::Cdn>(config_.cdn_edges,
-                                      config_.edge_capacity_bytes);
+  if (edge_map == nullptr) {
+    // Single-domain stack: private full-view tier. config.shards > 1 only
+    // takes effect through ShardedFleet, which passes the shared map.
+    cdn_ = std::make_unique<cache::Cdn>(config_.cdn_edges,
+                                        config_.edge_capacity_bytes);
+  } else {
+    cdn_ = std::make_unique<cache::Cdn>(std::move(edge_map), shard_,
+                                        config_.shards);
+  }
   origin_ = std::make_unique<origin::OriginServer>(
       config_.origin, &clock_, &store_, ttl_policy_.get(), sketch_.get());
 
@@ -93,12 +154,15 @@ SpeedKitStack::SpeedKitStack(const StackConfig& config)
     events_.At(w.start, [this] { origin_->set_available(false); });
     events_.At(w.end, [this] { origin_->set_available(true); });
   }
+  // Edge fault schedules are keyed by PHYSICAL edge index (shard-agnostic
+  // config); each shard mirrors only the windows of edges it owns, in its
+  // local index space.
   for (size_t e = 0; e < config_.faults.edges.size(); ++e) {
-    if (e >= static_cast<size_t>(cdn_->num_edges())) break;
-    int edge = static_cast<int>(e);
+    int local = cdn_->LocalIndexOf(static_cast<int>(e));
+    if (local < 0) continue;  // out of range, or another shard's edge
     for (const sim::FaultWindow& w : config_.faults.edges[e]) {
-      events_.At(w.start, [this, edge] { cdn_->SetEdgeDown(edge, true); });
-      events_.At(w.end, [this, edge] { cdn_->SetEdgeDown(edge, false); });
+      events_.At(w.start, [this, local] { cdn_->SetEdgeDown(local, true); });
+      events_.At(w.end, [this, local] { cdn_->SetEdgeDown(local, false); });
     }
   }
 
@@ -162,11 +226,14 @@ std::unique_ptr<proxy::ClientProxy> SpeedKitStack::MakeClient(
 std::unique_ptr<proxy::ClientProxy> SpeedKitStack::MakeClient(
     const proxy::ProxyConfig& proxy_config, uint64_t client_id,
     personalization::BoundaryAuditor* auditor) {
-  auto client = std::make_unique<proxy::ClientProxy>(
-      proxy_config, client_id, &clock_, &network_, cdn_.get(), origin_.get(),
-      auditor);
-  if (tracer_ != nullptr) client->SetTracer(tracer_.get());
-  return client;
+  proxy::ProxyDeps deps;
+  deps.clock = &clock_;
+  deps.network = &network_;
+  deps.cdn = cdn_.get();
+  deps.origin = origin_.get();
+  deps.auditor = auditor;
+  deps.tracer = tracer_.get();
+  return std::make_unique<proxy::ClientProxy>(proxy_config, client_id, deps);
 }
 
 }  // namespace speedkit::core

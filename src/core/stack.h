@@ -19,7 +19,9 @@
 #include <string_view>
 
 #include "cache/cdn.h"
+#include "cache/sharded_edge_map.h"
 #include "common/random.h"
+#include "common/status.h"
 #include "core/staleness.h"
 #include "invalidation/pipeline.h"
 #include "obs/metrics.h"
@@ -55,6 +57,15 @@ struct StackConfig {
   // Infrastructure.
   int cdn_edges = 4;
   size_t edge_capacity_bytes = 0;  // 0 = unbounded
+  // Coherence domains for the sharded fleet engine (core/fleet.h). Clients
+  // partition by the edge they route to (edge e belongs to shard
+  // e % shards), each shard gets a full stack replica over its slice of a
+  // shared edge tier, and merged results are a pure function of
+  // (seed, shards) — identical for ANY thread count executing the shards.
+  // Must divide cdn_edges. A directly-constructed SpeedKitStack is always
+  // one full-view domain; shards > 1 takes effect through ShardedFleet /
+  // the workload runners.
+  int shards = 1;
   sim::NetworkConfig network;
   origin::OriginConfig origin;
 
@@ -78,11 +89,27 @@ struct StackConfig {
   // Observability (off by default; turning it on never changes results —
   // see docs/METRICS.md and docs/ARCHITECTURE.md).
   obs::ObsConfig obs;
+
+  // Structural sanity of the configuration. The stack constructor calls
+  // this and refuses to build on error — a bad value is a real error at
+  // the call site, not something to silently clamp into range. Checks:
+  // cdn_edges >= 1, shards >= 1, shards divides cdn_edges, sketch_fpr in
+  // (0, 0.5], sketch_capacity > 0 (sketch variants only), delta > 0.
+  Status Validate() const;
 };
 
 class SpeedKitStack {
  public:
+  // A single-domain (full-view) stack. Aborts if config.Validate() fails.
   explicit SpeedKitStack(const StackConfig& config);
+
+  // One shard of a fleet: views only the edges owned by `shard` out of
+  // config.shards domains of the shared physical tier, and derives a
+  // per-shard RNG stream from (config.seed, shard) so shard streams never
+  // collide. Shard 0 of 1 over a fresh map is bit-identical to the plain
+  // constructor.
+  SpeedKitStack(const StackConfig& config,
+                std::shared_ptr<cache::ShardedEdgeMap> edge_map, int shard);
 
   SpeedKitStack(const SpeedKitStack&) = delete;
   SpeedKitStack& operator=(const SpeedKitStack&) = delete;
@@ -102,6 +129,11 @@ class SpeedKitStack {
   void Advance(Duration d) { AdvanceTo(clock_.Now() + d); }
 
   const StackConfig& config() const { return config_; }
+  // Which coherence domain this stack is (0 for a full-view stack).
+  int shard() const { return shard_; }
+  // Whether this stack's shard owns `client_id` (always true for a
+  // full-view stack). Drivers must only MakeClient for owned clients.
+  bool OwnsClient(uint64_t client_id) const { return cdn_->OwnsClient(client_id); }
   sim::SimClock& clock() { return clock_; }
   sim::EventQueue& events() { return events_; }
   sim::Network& network() { return network_; }
@@ -147,6 +179,7 @@ class SpeedKitStack {
   }
 
   StackConfig config_;
+  int shard_ = 0;
   Pcg32 rng_;
   sim::SimClock clock_;
   sim::EventQueue events_;

@@ -54,7 +54,13 @@ TrafficSimulation::TrafficSimulation(SpeedKitStack* stack,
   clients_.reserve(config_.num_clients);
   session_gens_.reserve(config_.num_clients);
   for (size_t i = 0; i < config_.num_clients; ++i) {
-    clients_.push_back(stack_->MakeClient(pc, /*client_id=*/i + 1));
+    // In a sharded fleet each shard simulates only the clients whose edge
+    // it owns; salts stay keyed by the GLOBAL client index so a client's
+    // session stream is a function of (shard stream, id), not of how many
+    // clients happen to share its shard.
+    uint64_t client_id = i + 1;
+    if (!stack_->OwnsClient(client_id)) continue;
+    clients_.push_back(stack_->MakeClient(pc, client_id));
     session_gens_.emplace_back(catalog_, config_.session,
                                stack_->ForkRng(3000 + i));
   }

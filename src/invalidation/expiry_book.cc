@@ -1,26 +1,25 @@
 #include "invalidation/expiry_book.h"
 
+#include <string>
+
 namespace speedkit::invalidation {
 
 void ExpiryBook::RecordServed(std::string_view key, SimTime fresh_until) {
-  auto [it, inserted] = deadlines_.emplace(std::string(key), fresh_until);
-  if (!inserted && fresh_until > it->second) it->second = fresh_until;
+  auto [deadline, inserted] = deadlines_.Upsert(key, fresh_until);
+  if (!inserted && fresh_until > *deadline) *deadline = fresh_until;
 }
 
 SimTime ExpiryBook::LatestExpiry(std::string_view key, SimTime now) const {
-  auto it = deadlines_.find(std::string(key));
-  if (it == deadlines_.end() || it->second <= now) return now;
-  return it->second;
+  const SimTime* deadline = deadlines_.Find(key);
+  if (deadline == nullptr || *deadline <= now) return now;
+  return *deadline;
 }
 
 void ExpiryBook::CompactUntil(SimTime now) {
-  for (auto it = deadlines_.begin(); it != deadlines_.end();) {
-    if (it->second <= now) {
-      it = deadlines_.erase(it);
-    } else {
-      ++it;
-    }
-  }
+  deadlines_.EraseIf(
+      [now](const std::string& /*key*/, SimTime deadline) {
+        return deadline <= now;
+      });
 }
 
 }  // namespace speedkit::invalidation

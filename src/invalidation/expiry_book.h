@@ -5,13 +5,18 @@
 // hits key K, stale copies of K can survive in expiration-based caches until
 // `LatestExpiry(K)` — so K must sit in the sketch exactly that long. The
 // origin records every served (or 304-refreshed) response here.
+//
+// Backed by FlatStringMap: the book is touched once per origin response
+// (RecordServed) and once per write (LatestExpiry), making it one of the
+// hottest maps in the stack — the open-addressing layout probes one cache
+// line per lookup instead of chasing unordered_map buckets, and the
+// string_view interface never allocates on the read path.
 #ifndef SPEEDKIT_INVALIDATION_EXPIRY_BOOK_H_
 #define SPEEDKIT_INVALIDATION_EXPIRY_BOOK_H_
 
-#include <string>
 #include <string_view>
-#include <unordered_map>
 
+#include "common/flat_map.h"
 #include "common/sim_time.h"
 
 namespace speedkit::invalidation {
@@ -31,7 +36,7 @@ class ExpiryBook {
   size_t size() const { return deadlines_.size(); }
 
  private:
-  std::unordered_map<std::string, SimTime> deadlines_;
+  FlatStringMap<SimTime> deadlines_;
 };
 
 }  // namespace speedkit::invalidation

@@ -328,7 +328,7 @@ http::HttpResponse OriginServer::ServeShell(const http::HttpRequest& request,
 http::HttpResponse OriginServer::ServeSketch() {
   http::HttpResponse resp;
   resp.status_code = 200;
-  resp.body = SketchSnapshot();
+  resp.body = *SketchSnapshot();
   http::CacheControl cc;
   cc.no_store = true;  // snapshots must never be cached
   resp.SetCacheControl(cc);
@@ -336,11 +336,16 @@ http::HttpResponse OriginServer::ServeSketch() {
   return resp;
 }
 
-std::string OriginServer::SketchSnapshot() {
+std::shared_ptr<const std::string> OriginServer::SketchSnapshot() {
   if (sketch_ == nullptr) {
-    return sketch::BloomFilter(64, 1).Serialize();  // empty filter
+    // Empty filter, built once: a 64-bit filter is always representable,
+    // so Serialize cannot fail.
+    static const std::shared_ptr<const std::string> kEmpty =
+        std::make_shared<const std::string>(
+            sketch::BloomFilter(64, 1).Serialize().value());
+    return kEmpty;
   }
-  return sketch_->SerializedSnapshot(clock_->Now());
+  return sketch_->PublishedSnapshot(clock_->Now());
 }
 
 http::HttpResponse OriginServer::Finish(const http::HttpRequest& request,

@@ -121,8 +121,11 @@ class OriginServer {
   // Serves one request on the simulated clock.
   http::HttpResponse Handle(const http::HttpRequest& request);
 
-  // Sketch snapshot bytes (what the /sketch route returns).
-  std::string SketchSnapshot();
+  // Sketch snapshot bytes (what the /sketch route returns), published as
+  // an immutable shared string: between sketch mutations every client
+  // refresh receives the same memoized buffer instead of a fresh
+  // serialization (see CacheSketch::PublishedSnapshot).
+  std::shared_ptr<const std::string> SketchSnapshot();
 
   // Fault injection: while unavailable, every request returns 503.
   void set_available(bool available) { available_ = available; }

@@ -30,19 +30,18 @@ std::string_view ServedFromName(ServedFrom source) {
 }
 
 ClientProxy::ClientProxy(const ProxyConfig& config, uint64_t client_id,
-                         sim::SimClock* clock, sim::Network* network,
-                         cache::Cdn* cdn, origin::OriginServer* origin,
-                         personalization::BoundaryAuditor* auditor)
+                         const ProxyDeps& deps)
     : config_(config),
       client_id_(client_id),
-      clock_(clock),
-      network_(network),
-      cdn_(cdn),
-      origin_(origin),
-      auditor_(auditor),
+      clock_(deps.clock),
+      network_(deps.network),
+      cdn_(deps.cdn),
+      origin_(deps.origin),
+      auditor_(deps.auditor),
       browser_cache_(/*shared=*/false, config.browser_cache_bytes),
       client_sketch_(config.sketch_refresh_interval),
-      rng_(Mix64(client_id ^ 0xba0c0ffeeULL), client_id * 2 + 1) {}
+      rng_(Mix64(client_id ^ 0xba0c0ffeeULL), client_id * 2 + 1),
+      tracer_(deps.tracer) {}
 
 FetchResult ClientProxy::Fetch(std::string_view url_text) {
   auto url = http::Url::Parse(url_text);
@@ -198,12 +197,12 @@ Duration ClientProxy::MaybeRefreshSketchLatency() {
     TraceSpan("timeout.wait", obs::kTierNetwork, config_.request_timeout);
     return config_.request_timeout;
   }
-  std::string snapshot = origin_->SketchSnapshot();
-  if (!client_sketch_.Update(snapshot, now).ok()) return Duration::Zero();
+  std::shared_ptr<const std::string> snapshot = origin_->SketchSnapshot();
+  if (!client_sketch_.Update(*snapshot, now).ok()) return Duration::Zero();
   stats_.sketch_refreshes++;
-  stats_.sketch_bytes += snapshot.size();
+  stats_.sketch_bytes += snapshot->size();
   // The sketch service answers from the edge tier.
-  return network_->RequestTime(sim::Link::kClientEdge, snapshot.size(), now);
+  return network_->RequestTime(sim::Link::kClientEdge, snapshot->size(), now);
 }
 
 bool ClientProxy::DeliverWithRetries(sim::Link link, Duration* latency) {
@@ -292,6 +291,10 @@ FetchResult ClientProxy::FetchViaEdge(const http::HttpRequest& request,
                                       bool bypass_shared, int edge_index,
                                       Duration burned) {
   SimTime now = clock_->Now();
+  // Striped edge lock: held across this request's whole edge-cache
+  // interaction (lookup through store). Uncontended under the fleet's
+  // shard-ownership discipline; fences it for TSan.
+  auto edge_guard = cdn_->LockEdge(edge_index);
   cache::HttpCache& edge = cdn_->edge(edge_index);
   if (!bypass_shared) {
     cache::LookupResult el = edge.Lookup(key, request.headers, now);

@@ -223,14 +223,25 @@ struct ProxyStats {
   }
 };
 
+// Everything a proxy needs from the surrounding stack, by name. The stack
+// (or a test fixture) fills one of these once and hands it to every client
+// it creates — adding a dependency grows this struct instead of every
+// constructor call site. `clock`, `network` and `origin` are required;
+// `cdn` may be null when use_cdn is false; `auditor` and `tracer` are
+// optional observers. None are owned.
+struct ProxyDeps {
+  sim::SimClock* clock = nullptr;
+  sim::Network* network = nullptr;
+  cache::Cdn* cdn = nullptr;
+  origin::OriginServer* origin = nullptr;
+  personalization::BoundaryAuditor* auditor = nullptr;
+  obs::Tracer* tracer = nullptr;
+};
+
 class ClientProxy {
  public:
-  // `cdn` may be null when use_cdn is false; `auditor` is optional and
-  // observes every outgoing request.
   ClientProxy(const ProxyConfig& config, uint64_t client_id,
-              sim::SimClock* clock, sim::Network* network, cache::Cdn* cdn,
-              origin::OriginServer* origin,
-              personalization::BoundaryAuditor* auditor = nullptr);
+              const ProxyDeps& deps);
 
   // Fetches one resource through the full decision flow (including the
   // asset-optimization rewrite).

@@ -1,0 +1,95 @@
+// Cache-line blocked Bloom filter (Putze, Sanders & Singler 2007) — the
+// hot-path variant of the sketch membership check.
+//
+// A plain Bloom filter touches k random cache lines per probe; at device
+// scale (one check per intercepted request across the whole client fleet)
+// those dependent misses dominate the check. Here every key hashes to ONE
+// 512-bit block (one cache line) and all k probe bits land inside it, so a
+// probe costs exactly one memory access. Probe bits come from
+// Kirsch-Mitzenmacher double hashing over the same single Murmur3 pass the
+// plain filter uses: bit_i = h2 + i * (h1 | 1) (mod 512), with h1 picking
+// the block — the odd multiplier makes the in-block stride a permutation
+// of the 512 positions.
+//
+// MightContainBatch amortizes further: a hash+prefetch pass issues the
+// block loads for the whole batch, then a probe pass finds the lines in
+// cache — turning serial dependent misses into overlapped ones.
+//
+// The trade: confining k bits to one line skews per-block load, costing
+// roughly 1.5-3x the false-positive rate of a plain filter at equal bits
+// (bounded by tests against BloomFilter at the same sizing). Wire format
+// is byte-compatible — the same [bits][k][words] layout written through
+// BloomFilter::AppendSnapshotHeader — so a blocked filter can ship
+// anywhere a plain snapshot does.
+#ifndef SPEEDKIT_SKETCH_BLOCKED_BLOOM_H_
+#define SPEEDKIT_SKETCH_BLOCKED_BLOOM_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+
+namespace speedkit::sketch {
+
+class BlockedBloomFilter {
+ public:
+  // 512 bits = one x86/ARM cache line = 8 words.
+  static constexpr size_t kBlockBits = 512;
+  static constexpr size_t kBlockWords = kBlockBits / 64;
+
+  // `bits` is rounded up to a whole block (minimum one); `num_hashes` is
+  // clamped to [1, 16] like BloomFilter.
+  BlockedBloomFilter(size_t bits, int num_hashes);
+  BlockedBloomFilter() : BlockedBloomFilter(kBlockBits, 1) {}
+
+  // Sizes for n elements at target fpr using the plain-Bloom optimum
+  // (callers wanting parity with a specific BloomFilter should pass that
+  // filter's bits() and num_hashes() to the constructor instead).
+  static BlockedBloomFilter ForCapacity(size_t n, double fpr);
+
+  void Add(std::string_view key);
+  bool MightContain(std::string_view key) const;
+
+  // Batched probe: out[i] = MightContain(keys[i]). One pass hashes every
+  // key and prefetches its block, a second pass tests the (now cached)
+  // lines. Equivalent to the scalar probe bit-for-bit.
+  void MightContainBatch(const std::string_view* keys, size_t n,
+                         bool* out) const;
+
+  void Clear();
+
+  size_t bits() const { return num_bits_; }
+  int num_hashes() const { return num_hashes_; }
+  size_t num_blocks() const { return num_bits_ / kBlockBits; }
+  size_t SizeBytes() const { return words_.size() * 8; }
+  size_t PopCount() const;
+
+  // Expected false-positive rate from the fill factor, like
+  // BloomFilter::EstimatedFpr (the blocking skew makes this a slight
+  // underestimate).
+  double EstimatedFpr() const;
+
+  // Same wire format as BloomFilter (via AppendSnapshotHeader), so blocked
+  // snapshots interoperate with every existing reader; a blocked filter's
+  // bit count is additionally a multiple of kBlockBits, which Deserialize
+  // checks.
+  Result<std::string> Serialize() const;
+  static Result<BlockedBloomFilter> Deserialize(std::string_view data);
+
+  friend bool operator==(const BlockedBloomFilter& a,
+                         const BlockedBloomFilter& b) {
+    return a.num_bits_ == b.num_bits_ && a.num_hashes_ == b.num_hashes_ &&
+           a.words_ == b.words_;
+  }
+
+ private:
+  size_t num_bits_;
+  int num_hashes_;
+  std::vector<uint64_t> words_;
+};
+
+}  // namespace speedkit::sketch
+
+#endif  // SPEEDKIT_SKETCH_BLOCKED_BLOOM_H_

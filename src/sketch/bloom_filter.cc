@@ -84,11 +84,11 @@ bool BloomFilter::AppendSnapshotHeader(std::string* out, size_t bits, int k) {
   return true;
 }
 
-std::string BloomFilter::Serialize() const {
+Result<std::string> BloomFilter::Serialize() const {
   std::string out;
   out.reserve(8 + words_.size() * 8);
   if (!AppendSnapshotHeader(&out, num_bits_, num_hashes_)) {
-    return std::string();
+    return Status::OutOfRange("bloom filter bit count exceeds 48-bit header");
   }
   auto put_le = [&out](uint64_t v, int bytes) {
     for (int i = 0; i < bytes; ++i) out.push_back(static_cast<char>(v >> (8 * i)));

@@ -52,9 +52,11 @@ class BloomFilter {
   // Wire format: [u32 bits_lo][u16 k][u16 bits_hi][words little-endian];
   // the bit count is 48 bits (bits_hi was a zero "reserved" field before,
   // so snapshots from filters under 2^32 bits are byte-identical to the
-  // old format). Returns an empty string for a filter whose bit count
-  // cannot be represented (>= 2^48).
-  std::string Serialize() const;
+  // old format). Returns OutOfRange for a filter whose bit count cannot
+  // be represented (>= 2^48) — matching Deserialize's error surface; the
+  // empty-string sentinel this used to return was indistinguishable from
+  // a (corrupt) zero-byte snapshot at the call site.
+  Result<std::string> Serialize() const;
   static Result<BloomFilter> Deserialize(std::string_view data);
 
   // Appends the snapshot header for a filter of `bits` bits and `k`

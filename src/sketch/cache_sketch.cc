@@ -18,6 +18,7 @@ void CacheSketch::ReportInvalidation(std::string_view key, SimTime stale_until,
   auto [it, inserted] = horizon_.emplace(std::string(key), stale_until);
   if (inserted) {
     filter_.Add(key);
+    published_dirty_ = true;
     stats_.inserts++;
     stats_.current_entries = horizon_.size();
     expiry_.push(HeapItem{stale_until, it->first});
@@ -39,6 +40,7 @@ void CacheSketch::ExpireUntil(SimTime now) {
     if (it->second > now) continue;      // horizon was extended; later entry covers it
     filter_.Remove(item.key);
     horizon_.erase(it);
+    published_dirty_ = true;
     stats_.expirations++;
   }
   stats_.current_entries = horizon_.size();
@@ -67,7 +69,25 @@ BloomFilter CacheSketch::CompactSnapshot(SimTime now, double target_fpr) {
 }
 
 std::string CacheSketch::SerializedSnapshot(SimTime now) {
-  return CompactSnapshot(now).Serialize();
+  return *PublishedSnapshot(now);
+}
+
+std::shared_ptr<const std::string> CacheSketch::PublishedSnapshot(SimTime now) {
+  ExpireUntil(now);
+  stats_.snapshots++;
+  if (published_ == nullptr || published_dirty_) {
+    BloomFilter compact =
+        BloomFilter::ForCapacity(std::max<size_t>(1, horizon_.size()), 0.02);
+    for (const auto& [key, until] : horizon_) {
+      compact.Add(key);
+    }
+    // A compact snapshot is always far under the 48-bit header limit, so
+    // Serialize cannot fail here.
+    published_ = std::make_shared<const std::string>(compact.Serialize().value());
+    published_dirty_ = false;
+    stats_.serializations++;
+  }
+  return published_;
 }
 
 }  // namespace speedkit::sketch

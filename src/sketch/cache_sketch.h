@@ -18,6 +18,7 @@
 #define SPEEDKIT_SKETCH_CACHE_SKETCH_H_
 
 #include <cstdint>
+#include <memory>
 #include <queue>
 #include <string>
 #include <string_view>
@@ -36,6 +37,7 @@ struct CacheSketchStats {
   uint64_t extensions = 0;    // stale_until pushed out for tracked keys
   uint64_t expirations = 0;   // keys removed on expiry
   uint64_t snapshots = 0;
+  uint64_t serializations = 0;  // published snapshots actually re-encoded
   size_t current_entries = 0;
 };
 
@@ -72,6 +74,18 @@ class CacheSketch {
   // Serialized compact snapshot (what actually travels to clients).
   std::string SerializedSnapshot(SimTime now);
 
+  // The published form of the serialized compact snapshot: an immutable
+  // string behind a shared_ptr, re-encoded only when the tracked key set
+  // changed since the last publication (insert or expiry — horizon
+  // extensions don't alter the bit pattern, which is a pure function of
+  // the key set and its size). Every client refresh hits this, so the
+  // memo turns O(entries x k) per refresh into O(1) between mutations;
+  // the sharded engine additionally relies on the shared_ptr being
+  // immutable once handed out. Bytes are identical to re-serializing
+  // from scratch — CompactSnapshot's bit pattern is insertion-order
+  // insensitive — so published and fresh snapshots are interchangeable.
+  std::shared_ptr<const std::string> PublishedSnapshot(SimTime now);
+
   const CacheSketchStats& stats() const { return stats_; }
   // The backing counting filter — exposed so tests can assert lifecycle
   // invariants (e.g. the add/remove discipline never underflows a counter).
@@ -95,6 +109,9 @@ class CacheSketch {
   std::unordered_map<std::string, SimTime> horizon_;  // key -> stale_until
   std::priority_queue<HeapItem, std::vector<HeapItem>, Later> expiry_;
   CacheSketchStats stats_;
+  // Publication memo: valid while the key set is unchanged.
+  std::shared_ptr<const std::string> published_;
+  bool published_dirty_ = true;
 };
 
 }  // namespace speedkit::sketch

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
+
 namespace speedkit::cache {
 namespace {
 
@@ -37,10 +39,65 @@ TEST(CdnTest, RoutingSpreadsClients) {
   for (int c : counts) EXPECT_NEAR(c, 1000, 150);
 }
 
-TEST(CdnTest, AtLeastOneEdge) {
-  Cdn cdn(0, 0);
-  EXPECT_EQ(cdn.num_edges(), 1);
-  EXPECT_EQ(cdn.RouteFor(123), 0);
+// The old ctor silently clamped num_edges to 1; an edge count < 1 is now
+// rejected up front by StackConfig::Validate (tests/core/stack_test.cc) —
+// constructing a Cdn directly requires a positive count.
+TEST(CdnTest, ShardViewsPartitionThePhysicalTier) {
+  auto map = std::make_shared<ShardedEdgeMap>(4, 0);
+  Cdn shard0(map, 0, 2);  // owns physical edges 0, 2
+  Cdn shard1(map, 1, 2);  // owns physical edges 1, 3
+  EXPECT_EQ(shard0.num_edges(), 2);
+  EXPECT_EQ(shard1.num_edges(), 2);
+  EXPECT_EQ(shard0.physical_edges(), 4);
+
+  // Physical->local translation: each physical edge is owned by exactly
+  // one shard.
+  EXPECT_EQ(shard0.LocalIndexOf(0), 0);
+  EXPECT_EQ(shard0.LocalIndexOf(1), -1);
+  EXPECT_EQ(shard0.LocalIndexOf(2), 1);
+  EXPECT_EQ(shard1.LocalIndexOf(1), 0);
+  EXPECT_EQ(shard1.LocalIndexOf(3), 1);
+  EXPECT_EQ(shard1.LocalIndexOf(4), -1);  // out of range
+
+  // Shard views alias the shared slots: a store through one view is
+  // visible through the full-view translation of the same physical edge.
+  shard0.edge(1).Store("k", CacheableResponse(), At(0));  // physical edge 2
+  EXPECT_EQ(map->slot(2).cache.Lookup("k", At(1)).outcome,
+            LookupOutcome::kFreshHit);
+
+  // Every client is owned by exactly one shard, and routing agrees with
+  // the ownership partition.
+  for (uint64_t client = 1; client <= 200; ++client) {
+    EXPECT_NE(shard0.OwnsClient(client), shard1.OwnsClient(client));
+    Cdn& owner = shard0.OwnsClient(client) ? shard0 : shard1;
+    int local = owner.RouteFor(client);
+    EXPECT_GE(local, 0);
+    EXPECT_LT(local, owner.num_edges());
+  }
+}
+
+TEST(CdnTest, FullViewOwnsEveryClient) {
+  Cdn cdn(3, 0);
+  EXPECT_EQ(cdn.physical_edges(), 3);
+  for (uint64_t client = 1; client <= 50; ++client) {
+    EXPECT_TRUE(cdn.OwnsClient(client));
+    EXPECT_EQ(cdn.LocalIndexOf(cdn.RouteFor(client)), cdn.RouteFor(client));
+  }
+}
+
+TEST(CdnTest, ShardFaultAccountingStaysLocal) {
+  auto map = std::make_shared<ShardedEdgeMap>(2, 0);
+  Cdn shard0(map, 0, 2);
+  Cdn shard1(map, 1, 2);
+  shard0.SetEdgeDown(0, true);
+  EXPECT_FALSE(shard0.EdgeAvailable(0));
+  EXPECT_TRUE(shard1.EdgeAvailable(0));  // shard1's edge 0 = physical 1
+  shard0.NoteEdgeReject(0);
+  EXPECT_FALSE(shard0.PurgeEdge(0, "k"));  // down edge loses the purge
+  EXPECT_EQ(shard0.TotalFaultStats().down_rejects, 1u);
+  EXPECT_EQ(shard0.TotalFaultStats().purges_dropped, 1u);
+  EXPECT_EQ(shard1.TotalFaultStats().down_rejects, 0u);
+  EXPECT_EQ(shard1.TotalFaultStats().purges_dropped, 0u);
 }
 
 TEST(CdnTest, EdgesAreIndependentCaches) {

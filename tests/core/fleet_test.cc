@@ -1,0 +1,102 @@
+#include "core/fleet.h"
+
+#include <gtest/gtest.h>
+
+#include "core/stack.h"
+
+namespace speedkit::core {
+namespace {
+
+TEST(StackConfigValidateTest, DefaultConfigIsValid) {
+  StackConfig config;
+  EXPECT_TRUE(config.Validate().ok());
+}
+
+TEST(StackConfigValidateTest, RejectsNonPositiveEdgeCount) {
+  StackConfig config;
+  config.cdn_edges = 0;
+  Status s = config.Validate();
+  EXPECT_TRUE(s.IsInvalidArgument()) << s.ToString();
+}
+
+TEST(StackConfigValidateTest, RejectsNonPositiveShards) {
+  StackConfig config;
+  config.shards = 0;
+  EXPECT_TRUE(config.Validate().IsInvalidArgument());
+}
+
+TEST(StackConfigValidateTest, RejectsShardsNotDividingEdges) {
+  StackConfig config;
+  config.cdn_edges = 4;
+  config.shards = 3;
+  EXPECT_TRUE(config.Validate().IsInvalidArgument());
+  config.shards = 4;
+  EXPECT_TRUE(config.Validate().ok());
+  config.shards = 2;
+  EXPECT_TRUE(config.Validate().ok());
+}
+
+TEST(StackConfigValidateTest, RejectsSketchFprOutOfRange) {
+  StackConfig config;
+  config.sketch_fpr = 0.0;
+  EXPECT_TRUE(config.Validate().IsInvalidArgument());
+  config.sketch_fpr = 0.6;
+  EXPECT_TRUE(config.Validate().IsInvalidArgument());
+  config.sketch_fpr = 0.5;
+  EXPECT_TRUE(config.Validate().ok());
+}
+
+TEST(StackConfigValidateTest, RejectsZeroSketchCapacityForSpeedKit) {
+  StackConfig config;
+  config.sketch_capacity = 0;
+  EXPECT_TRUE(config.Validate().IsInvalidArgument());
+  // Variants without a sketch don't need a capacity.
+  config.variant = SystemVariant::kFixedTtlCdn;
+  EXPECT_TRUE(config.Validate().ok());
+}
+
+TEST(StackConfigValidateTest, RejectsNonPositiveDelta) {
+  StackConfig config;
+  config.delta = Duration::Zero();
+  EXPECT_TRUE(config.Validate().IsInvalidArgument());
+}
+
+TEST(ShardOfClientTest, PartitionMatchesFleetOwnership) {
+  StackConfig config;
+  config.cdn_edges = 8;
+  config.shards = 4;
+  ShardedFleet fleet(config);
+  ASSERT_EQ(fleet.shards(), 4);
+  for (uint64_t client = 1; client <= 500; ++client) {
+    int owner = ShardOfClient(client, config.cdn_edges, config.shards);
+    ASSERT_GE(owner, 0);
+    ASSERT_LT(owner, 4);
+    // Exactly the owning shard claims the client, and nobody else.
+    for (int s = 0; s < fleet.shards(); ++s) {
+      EXPECT_EQ(fleet.shard(s).OwnsClient(client), s == owner)
+          << "client " << client << " shard " << s;
+    }
+  }
+}
+
+TEST(ShardOfClientTest, SingleShardOwnsEverything) {
+  for (uint64_t client = 1; client <= 100; ++client) {
+    EXPECT_EQ(ShardOfClient(client, 4, 1), 0);
+  }
+}
+
+TEST(ShardedFleetTest, ShardsShareOnePhysicalEdgeTier) {
+  StackConfig config;
+  config.cdn_edges = 6;
+  config.shards = 3;
+  ShardedFleet fleet(config);
+  EXPECT_EQ(fleet.edge_map()->num_edges(), 6);
+  for (int s = 0; s < fleet.shards(); ++s) {
+    EXPECT_EQ(fleet.shard(s).shard(), s);
+    EXPECT_EQ(fleet.shard(s).cdn().num_edges(), 2);
+    EXPECT_EQ(fleet.shard(s).cdn().physical_edges(), 6);
+  }
+}
+
+}  // namespace
+}  // namespace speedkit::core

@@ -48,7 +48,12 @@ class ClientProxyTest : public ::testing::Test {
   }
 
   ClientProxy MakeProxy(const ProxyConfig& pc, uint64_t id = 1) {
-    return ClientProxy(pc, id, &clock_, &network_, &cdn_, &origin_, nullptr);
+    ProxyDeps deps;
+    deps.clock = &clock_;
+    deps.network = &network_;
+    deps.cdn = &cdn_;
+    deps.origin = &origin_;
+    return ClientProxy(pc, id, deps);
   }
 
   void WriteP1(double price) {
@@ -253,7 +258,12 @@ TEST_F(ClientProxyTest, LatencyReflectsNetworkDistance) {
   net_config.edge_origin = sim::LinkSpec{Duration::Millis(80), 0.0, 0.0};
   sim::Network net(net_config, Pcg32(1));
   ProxyConfig pc = SpeedKitConfig();
-  ClientProxy proxy(pc, 1, &clock_, &net, &cdn_, &origin_, nullptr);
+  ProxyDeps deps;
+  deps.clock = &clock_;
+  deps.network = &net;
+  deps.cdn = &cdn_;
+  deps.origin = &origin_;
+  ClientProxy proxy(pc, 1, deps);
 
   // Miss: client->edge->origin = 20 + 80 ms plus the origin's record
   // render time (8 ms); the due sketch refresh (20 ms to the edge)
@@ -269,7 +279,7 @@ TEST_F(ClientProxyTest, LatencyReflectsNetworkDistance) {
   // 20 ms) overlaps it.
   uint64_t same_edge_id = 2;
   while (cdn_.RouteFor(same_edge_id) != cdn_.RouteFor(1)) ++same_edge_id;
-  ClientProxy b(pc, same_edge_id, &clock_, &net, &cdn_, &origin_, nullptr);
+  ClientProxy b(pc, same_edge_id, deps);
   FetchResult edge_hit = b.Fetch(kRecordUrl);
   EXPECT_EQ(edge_hit.source, ServedFrom::kEdgeCache);
   EXPECT_EQ(edge_hit.latency, Duration::Millis(20));
@@ -283,7 +293,13 @@ TEST_F(ClientProxyTest, GdprBlockRendersOnDevice) {
   auditor.RegisterVault(vault);
 
   ProxyConfig pc = SpeedKitConfig();
-  ClientProxy proxy(pc, 777, &clock_, &network_, &cdn_, &origin_, &auditor);
+  ProxyDeps deps;
+  deps.clock = &clock_;
+  deps.network = &network_;
+  deps.cdn = &cdn_;
+  deps.origin = &origin_;
+  deps.auditor = &auditor;
+  ClientProxy proxy(pc, 777, deps);
   proxy.AttachVault(&vault);
 
   personalization::PageTemplate page;
@@ -304,7 +320,13 @@ TEST_F(ClientProxyTest, LegacyBlockLeaksIdentity) {
 
   ProxyConfig pc = SpeedKitConfig();
   pc.gdpr_mode = false;
-  ClientProxy proxy(pc, 777, &clock_, &network_, &cdn_, &origin_, &auditor);
+  ProxyDeps deps;
+  deps.clock = &clock_;
+  deps.network = &network_;
+  deps.cdn = &cdn_;
+  deps.origin = &origin_;
+  deps.auditor = &auditor;
+  ClientProxy proxy(pc, 777, deps);
   proxy.AttachVault(&vault);
 
   personalization::PageTemplate page;

@@ -50,7 +50,12 @@ class DegradedModeTest : public ::testing::Test {
   }
 
   ClientProxy MakeProxy(const ProxyConfig& pc, uint64_t id = 1) {
-    return ClientProxy(pc, id, &clock_, &network_, &cdn_, &origin_, nullptr);
+    ProxyDeps deps;
+    deps.clock = &clock_;
+    deps.network = &network_;
+    deps.cdn = &cdn_;
+    deps.origin = &origin_;
+    return ClientProxy(pc, id, deps);
   }
 
   void AttachFaults(const sim::FaultScheduleConfig& config) {

@@ -44,7 +44,12 @@ class SwrTest : public ::testing::Test {
   }
 
   ClientProxy MakeProxy(const ProxyConfig& pc, uint64_t id = 1) {
-    return ClientProxy(pc, id, &clock_, &network_, &cdn_, &origin_, nullptr);
+    ProxyDeps deps;
+    deps.clock = &clock_;
+    deps.network = &network_;
+    deps.cdn = &cdn_;
+    deps.origin = &origin_;
+    return ClientProxy(pc, id, deps);
   }
 
   void Advance(Duration d) { events_.RunUntil(clock_.Now() + d); }

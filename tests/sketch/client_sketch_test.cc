@@ -24,7 +24,7 @@ TEST(ClientSketchTest, UpdateInstallsSnapshot) {
   ClientSketch client(Duration::Seconds(30));
   BloomFilter filter(1024, 4);
   filter.Add("stale-key");
-  ASSERT_TRUE(client.Update(filter.Serialize(), At(5)).ok());
+  ASSERT_TRUE(client.Update(filter.Serialize().value(), At(5)).ok());
   EXPECT_TRUE(client.HasSnapshot());
   EXPECT_TRUE(client.MightBeStale("stale-key"));
   EXPECT_FALSE(client.MightBeStale("fresh-key"));
@@ -33,14 +33,14 @@ TEST(ClientSketchTest, UpdateInstallsSnapshot) {
 
 TEST(ClientSketchTest, RefreshDueExactlyAtDelta) {
   ClientSketch client(Duration::Seconds(30));
-  ASSERT_TRUE(client.Update(BloomFilter(64, 1).Serialize(), At(0)).ok());
+  ASSERT_TRUE(client.Update(BloomFilter(64, 1).Serialize().value(), At(0)).ok());
   EXPECT_FALSE(client.NeedsRefresh(At(29.999)));
   EXPECT_TRUE(client.NeedsRefresh(At(30)));
 }
 
 TEST(ClientSketchTest, AgeTracksSnapshot) {
   ClientSketch client(Duration::Seconds(30));
-  ASSERT_TRUE(client.Update(BloomFilter(64, 1).Serialize(), At(10)).ok());
+  ASSERT_TRUE(client.Update(BloomFilter(64, 1).Serialize().value(), At(10)).ok());
   EXPECT_EQ(client.Age(At(25)), Duration::Seconds(15));
 }
 
@@ -48,7 +48,7 @@ TEST(ClientSketchTest, CorruptSnapshotRejectedKeepsOld) {
   ClientSketch client(Duration::Seconds(30));
   BloomFilter filter(1024, 4);
   filter.Add("k");
-  ASSERT_TRUE(client.Update(filter.Serialize(), At(0)).ok());
+  ASSERT_TRUE(client.Update(filter.Serialize().value(), At(0)).ok());
   EXPECT_FALSE(client.Update("garbage", At(10)).ok());
   // Old snapshot still answers.
   EXPECT_TRUE(client.MightBeStale("k"));
@@ -59,7 +59,7 @@ TEST(ClientSketchTest, StatsCountChecksAndPositives) {
   ClientSketch client(Duration::Seconds(30));
   BloomFilter filter(1024, 4);
   filter.Add("hit");
-  ASSERT_TRUE(client.Update(filter.Serialize(), At(0)).ok());
+  ASSERT_TRUE(client.Update(filter.Serialize().value(), At(0)).ok());
   client.MightBeStale("hit");
   client.MightBeStale("miss");
   client.MightBeStale("miss2");

@@ -129,7 +129,7 @@ TEST(CountingBloomTest, MaterializeRoundTripsAtThe32BitCellCountBoundary) {
   EXPECT_GE(snapshot.PopCount(), 4u);
   EXPECT_LE(snapshot.PopCount(), 8u);
 
-  auto restored = BloomFilter::Deserialize(snapshot.Serialize());
+  auto restored = BloomFilter::Deserialize(snapshot.Serialize().value());
   ASSERT_TRUE(restored.ok());
   EXPECT_EQ(restored->bits(), kCells);
   EXPECT_EQ(restored->PopCount(), snapshot.PopCount());
@@ -139,7 +139,7 @@ TEST(CountingBloomTest, MaterializeRoundTripsAtThe32BitCellCountBoundary) {
 TEST(CountingBloomTest, MaterializedSnapshotSerializes) {
   CountingBloomFilter cbf(2048, 5);
   cbf.Add("x");
-  std::string bytes = cbf.Materialize().Serialize();
+  std::string bytes = cbf.Materialize().Serialize().value();
   auto restored = BloomFilter::Deserialize(bytes);
   ASSERT_TRUE(restored.ok());
   EXPECT_TRUE(restored->MightContain("x"));

@@ -16,7 +16,7 @@ namespace {
 std::string ValidSnapshot() {
   BloomFilter filter(2048, 5);
   for (int i = 0; i < 100; ++i) filter.Add("key" + std::to_string(i));
-  return filter.Serialize();
+  return filter.Serialize().value();
 }
 
 TEST(SerializationFuzzTest, RandomByteFlipsNeverCrash) {
