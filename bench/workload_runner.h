@@ -163,10 +163,19 @@ inline RunOutput MergeShardOutputs(std::vector<RunOutput> parts) {
 inline RunOutput RunShardedWorkload(const RunSpec& spec) {
   workload::Catalog catalog(spec.catalog, Pcg32(spec.catalog_seed));
   core::ShardedFleet fleet(spec.stack);
-  std::vector<RunOutput> parts(static_cast<size_t>(fleet.shards()));
+  // Each shard writes its result into a cache-line-aligned slot of the
+  // grid, so concurrent end-of-run stores never share a line; the merge
+  // itself happens on the calling thread after the workers join.
+  struct alignas(cache::kCacheLineBytes) ShardResult {
+    RunOutput out;
+  };
+  std::vector<ShardResult> grid(static_cast<size_t>(fleet.shards()));
   core::ForEachShard(fleet.shards(), spec.run_threads, [&](int s) {
-    parts[static_cast<size_t>(s)] = RunOneStack(fleet.shard(s), catalog, spec);
+    grid[static_cast<size_t>(s)].out = RunOneStack(fleet.shard(s), catalog, spec);
   });
+  std::vector<RunOutput> parts;
+  parts.reserve(grid.size());
+  for (ShardResult& slot : grid) parts.push_back(std::move(slot.out));
   return MergeShardOutputs(std::move(parts));
 }
 

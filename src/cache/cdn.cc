@@ -1,25 +1,34 @@
 #include "cache/cdn.h"
 
 #include <cassert>
+#include <utility>
 
 #include "common/hash.h"
 
 namespace speedkit::cache {
 
 Cdn::Cdn(int num_edges, size_t edge_capacity_bytes)
-    : map_(std::make_shared<ShardedEdgeMap>(num_edges, edge_capacity_bytes)) {
+    : map_(std::make_shared<ShardedEdgeMap>(num_edges, edge_capacity_bytes)),
+      faults_(std::make_unique<ShardLocalStats>()) {
   assert(num_edges >= 1 && "Cdn requires at least one edge");
+  map_->BindOwnership(1);
   owned_.reserve(static_cast<size_t>(num_edges));
   for (int i = 0; i < num_edges; ++i) owned_.push_back(i);
+  faults_->per_edge.resize(owned_.size());
 }
 
 Cdn::Cdn(std::shared_ptr<ShardedEdgeMap> map, int shard, int shards)
-    : map_(std::move(map)), shard_(shard), shards_(shards) {
+    : map_(std::move(map)),
+      shard_(shard),
+      shards_(shards),
+      faults_(std::make_unique<ShardLocalStats>()) {
   assert(shards >= 1 && shard >= 0 && shard < shards);
   assert(map_->num_edges() % shards == 0 &&
          "edge count must divide evenly across shards");
+  map_->BindOwnership(shards);
   owned_.reserve(static_cast<size_t>(map_->num_edges() / shards));
   for (int e = shard; e < map_->num_edges(); e += shards) owned_.push_back(e);
+  faults_->per_edge.resize(owned_.size());
 }
 
 int Cdn::RouteFor(uint64_t client_id) const {
@@ -39,16 +48,30 @@ bool Cdn::OwnsClient(uint64_t client_id) const {
 int Cdn::PurgeAll(std::string_view key) {
   int purged = 0;
   for (int i = 0; i < num_edges(); ++i) {
-    ShardedEdgeMap::EdgeSlot& s = slot(i);
-    std::lock_guard<std::mutex> lock(s.mu);
-    if (s.cache.Purge(key)) ++purged;
+    if (slot(i).cache.Purge(key)) ++purged;
   }
   return purged;
 }
 
+void Cdn::PostRemotePurge(int physical, std::string key, SimTime now) {
+  assert(physical >= 0 && physical < map_->num_edges());
+  faults_->posted++;
+  map_->mailboxes().Post(shard_, map_->OwnerOf(physical),
+                         PurgeNote{physical, now, std::move(key)});
+}
+
+size_t Cdn::DrainRemotePurges(SimTime /*now*/) {
+  return map_->mailboxes().Drain(shard_, [this](const PurgeNote& note) {
+    int local = LocalIndexOf(note.edge);
+    assert(local >= 0 && "mailbox delivered a note for an unowned edge");
+    faults_->drained++;
+    if (PurgeEdge(local, note.key)) faults_->effective++;
+  });
+}
+
 EdgeFaultStats Cdn::TotalFaultStats() const {
   EdgeFaultStats total;
-  for (int i = 0; i < num_edges(); ++i) total += slot(i).fault_stats;
+  for (const EdgeFaultStats& s : faults_->per_edge) total += s;
   return total;
 }
 

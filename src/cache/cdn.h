@@ -17,16 +17,28 @@
 //    physical slots is internal, and LocalIndexOf() converts a physical
 //    index from shard-agnostic config (fault schedules) into the local
 //    space.
+//
+// Concurrency model: edge ownership is shard-private, so every owned-edge
+// accessor here is LOCK-FREE — the only thread that may call it is the
+// owning shard's, a discipline debug builds assert on each access
+// (ShardedEdgeMap::owned_slot). Per-edge fault counters/histograms live in
+// a cache-line-aligned accumulator inside this view (one per shard), never
+// in the shared map, and are merged only after the shard threads join.
+// Purges aimed at edges another shard owns go through the SPSC mailbox
+// grid (PostRemotePurge) and take effect when the owner drains at its next
+// coherence boundary (DrainRemotePurges) — cross-shard coordination is
+// batched at consistency boundaries, never taken per operation.
 #ifndef SPEEDKIT_CACHE_CDN_H_
 #define SPEEDKIT_CACHE_CDN_H_
 
 #include <cstdint>
 #include <memory>
-#include <mutex>
+#include <string>
 #include <string_view>
 #include <vector>
 
 #include "cache/http_cache.h"
+#include "cache/purge_mailbox.h"
 #include "cache/sharded_edge_map.h"
 #include "common/sim_time.h"
 
@@ -63,50 +75,46 @@ class Cdn {
     if (physical < 0 || physical >= map_->num_edges()) return -1;
     return physical % shards_ == shard_ ? physical / shards_ : -1;
   }
+  // Physical index of an owned local edge.
+  int PhysicalIndexOf(int local) const {
+    return owned_[static_cast<size_t>(local)];
+  }
 
+  // Lock-free owned access: only the owning shard's thread may touch an
+  // edge, which debug builds assert per access.
   HttpCache& edge(int i) { return slot(i).cache; }
   const HttpCache& edge(int i) const { return slot(i).cache; }
 
-  // Striped lock for one owned edge; the proxy holds it across a request's
-  // edge-cache access, the purge paths take it per delivery. Under the
-  // fleet's ownership discipline it is uncontended — it fences the
-  // shard-disjointness invariant rather than serializing real sharing.
-  std::unique_lock<std::mutex> LockEdge(int i) {
-    return std::unique_lock<std::mutex>(slot(i).mu);
-  }
-
-  // Edge-node outage toggles, driven by the stack's fault schedule. A
-  // down edge serves nothing and loses purges delivered to it; its cache
-  // contents survive the outage (a POP reboot, not a wipe).
-  void SetEdgeDown(int i, bool down) {
-    std::lock_guard<std::mutex> lock(slot(i).mu);
-    slot(i).down = down;
-  }
+  // Edge-node outage toggles, driven by the stack's fault schedule (each
+  // shard mirrors only its own edges' windows into its own event queue, so
+  // the flag is owner-written and owner-read). A down edge serves nothing
+  // and loses purges delivered to it; its cache contents survive the
+  // outage (a POP reboot, not a wipe).
+  void SetEdgeDown(int i, bool down) { slot(i).down = down; }
   bool EdgeAvailable(int i) const { return !slot(i).down; }
 
-  // Fault accounting. Only the owning shard's thread writes these, so the
-  // increments are not locked; cross-shard aggregation happens after the
-  // shard threads join.
+  // Fault accounting: increments go to this view's shard-local aligned
+  // accumulator, never into the shared map — no cross-shard cache-line
+  // traffic; aggregation happens after the shard threads join.
   //
   // Called by the proxy when a request found its edge down.
-  void NoteEdgeReject(int i) { slot(i).fault_stats.down_rejects++; }
+  void NoteEdgeReject(int i) { fault_acc(i).down_rejects++; }
   // Called by the invalidation pipeline when a purge is faulted.
-  void NotePurgeDropped(int i) { slot(i).fault_stats.purges_dropped++; }
-  void NotePurgeDelayed(int i) { slot(i).fault_stats.purges_delayed++; }
+  void NotePurgeDropped(int i) { fault_acc(i).purges_dropped++; }
+  void NotePurgeDelayed(int i) { fault_acc(i).purges_delayed++; }
   // Called by the pipeline for every purge delivery it schedules, with the
   // delivery's final propagation delay (slow-path stretch included).
   void NotePurgeScheduled(int i, Duration delay) {
-    slot(i).fault_stats.purge_delay_us.Add(delay.micros());
+    fault_acc(i).purge_delay_us.Add(delay.micros());
   }
 
-  // Purges `key` from one edge; returns true if the edge held it. A purge
-  // arriving while the edge is down is lost — the real CDN API would
+  // Purges `key` from one OWNED edge; returns true if the edge held it. A
+  // purge arriving while the edge is down is lost — the real CDN API would
   // retry; we count it instead so E14 can report delivery loss.
   bool PurgeEdge(int i, std::string_view key) {
     ShardedEdgeMap::EdgeSlot& s = slot(i);
-    std::lock_guard<std::mutex> lock(s.mu);
     if (s.down) {
-      s.fault_stats.purges_dropped++;
+      fault_acc(i).purges_dropped++;
       return false;
     }
     return s.cache.Purge(key);
@@ -116,19 +124,50 @@ class Cdn {
   // propagation model). Returns how many held the key.
   int PurgeAll(std::string_view key);
 
+  // -- cross-shard purges (the mailbox path) ---------------------------
+  // Posts a purge for ANY physical edge: the note lands in the owning
+  // shard's SPSC mailbox and takes effect when that shard drains at its
+  // next coherence boundary. Callable for owned edges too (self lane) —
+  // useful for drivers that don't want to resolve ownership.
+  void PostRemotePurge(int physical, std::string key, SimTime now);
+
+  // Drains every purge note addressed to this shard, applying each to its
+  // owned slot (a down edge loses the purge, counted as dropped). Called
+  // by the stack at each Δ coherence boundary; deterministic order —
+  // ascending producer shard, FIFO within one. Returns notes applied.
+  size_t DrainRemotePurges(SimTime now);
+
+  // Mailbox-path accounting (shard-local, like the fault stats).
+  uint64_t remote_purges_posted() const { return faults_->posted; }
+  uint64_t remote_purges_drained() const { return faults_->drained; }
+  uint64_t remote_purges_effective() const { return faults_->effective; }
+
   // Aggregated stats across owned edges.
   HttpCacheStats TotalStats() const;
   const EdgeFaultStats& edge_fault_stats(int i) const {
-    return slot(i).fault_stats;
+    return faults_->per_edge[static_cast<size_t>(i)];
   }
   EdgeFaultStats TotalFaultStats() const;
 
  private:
+  // This shard's fault/mailbox counters, on their own cache lines: the
+  // struct head is 64-aligned via aligned new, so two shards' accumulators
+  // never share a line the way slot-resident counters used to.
+  struct alignas(kCacheLineBytes) ShardLocalStats {
+    std::vector<EdgeFaultStats> per_edge;  // local index
+    uint64_t posted = 0;
+    uint64_t drained = 0;
+    uint64_t effective = 0;
+  };
+
   ShardedEdgeMap::EdgeSlot& slot(int local) {
-    return map_->slot(owned_[static_cast<size_t>(local)]);
+    return map_->owned_slot(owned_[static_cast<size_t>(local)], shard_);
   }
   const ShardedEdgeMap::EdgeSlot& slot(int local) const {
-    return map_->slot(owned_[static_cast<size_t>(local)]);
+    return map_->owned_slot(owned_[static_cast<size_t>(local)], shard_);
+  }
+  EdgeFaultStats& fault_acc(int local) {
+    return faults_->per_edge[static_cast<size_t>(local)];
   }
 
   std::shared_ptr<ShardedEdgeMap> map_;
@@ -137,6 +176,7 @@ class Cdn {
   // owned_[local] = physical index; dense and sorted, so iteration order
   // over local indices is deterministic.
   std::vector<int> owned_;
+  std::unique_ptr<ShardLocalStats> faults_;
 };
 
 }  // namespace speedkit::cache

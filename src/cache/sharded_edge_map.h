@@ -1,28 +1,37 @@
 // The physical CDN edge tier, shared across fleet shards.
 //
-// One slot per edge POP: the HTTP cache, the outage flag, the fault
-// accounting, and a striped lock. The sharded execution engine builds ONE
-// of these and hands every shard stack a `Cdn` view onto it; edge e is
-// owned by shard (e % shards), and because clients pin to edges by stable
-// hash, a shard only ever touches its own edges — the locks are a
-// runtime fence for that ownership discipline (and what TSan observes),
-// not a serialization point: disjoint ownership is what makes merged
-// results independent of thread interleaving.
+// One slot per edge POP: the HTTP cache and the outage flag. The sharded
+// execution engine builds ONE of these and hands every shard stack a `Cdn`
+// view onto it; edge e is owned by shard (e % shards), and because clients
+// pin to edges by stable hash, a shard only ever touches its own slots on
+// the request path. Ownership is shard-PRIVATE: owned access takes no lock
+// (there is nothing to serialize — accesses are disjoint by construction),
+// and debug builds assert the discipline on every owned-path access via
+// `owned_slot()`. Each slot is cache-line aligned so adjacent slots —
+// which belong to DIFFERENT shards under the e % shards interleaving —
+// never false-share a line.
+//
+// The one real cross-shard flow, purges aimed at another shard's edges,
+// rides the SPSC mailbox grid (cache/purge_mailbox.h) and is drained in
+// batches at coherence boundaries instead of locking remote slots inline.
 #ifndef SPEEDKIT_CACHE_SHARDED_EDGE_MAP_H_
 #define SPEEDKIT_CACHE_SHARDED_EDGE_MAP_H_
 
+#include <cassert>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <vector>
 
 #include "cache/http_cache.h"
+#include "cache/purge_mailbox.h"
 #include "common/histogram.h"
 #include "common/sim_time.h"
 
 namespace speedkit::cache {
 
-// Per-edge degraded-operation accounting (fault injection, E14).
+// Per-edge degraded-operation accounting (fault injection, E14). Lives in
+// the owning shard's Cdn view (cache-line-aligned, shard-local — never in
+// the shared map), merged across shards only after the shard threads join.
 struct EdgeFaultStats {
   uint64_t down_rejects = 0;    // requests that found the edge down
   uint64_t purges_dropped = 0;  // purge deliveries lost (edge down / faulted)
@@ -43,16 +52,18 @@ struct EdgeFaultStats {
 
 class ShardedEdgeMap {
  public:
-  struct EdgeSlot {
+  // Cache-line aligned so a slot never straddles a line with its neighbor
+  // (owned by a different shard). No mutex: owned access is lock-free; the
+  // ownership discipline is asserted in debug builds, and cross-shard
+  // purge traffic goes through the mailbox grid instead of this slot.
+  struct alignas(kCacheLineBytes) EdgeSlot {
     explicit EdgeSlot(size_t capacity_bytes)
         : cache(/*shared=*/true, capacity_bytes) {}
 
     HttpCache cache;
+    // Outage flag, toggled and read only by the owning shard (fault
+    // windows are mirrored per shard in the shard's own event queue).
     bool down = false;
-    EdgeFaultStats fault_stats;
-    // Striped lock for this edge's slot. Held by the owning shard around
-    // every request-path and purge-path access.
-    std::mutex mu;
   };
 
   // `edge_capacity_bytes` 0 = unbounded per edge.
@@ -64,15 +75,60 @@ class ShardedEdgeMap {
   }
 
   int num_edges() const { return static_cast<int>(slots_.size()); }
+
+  // Undiscriminated access — construction, post-join aggregation, tests.
+  // Request paths go through owned_slot() so debug builds can catch a
+  // cross-shard access.
   EdgeSlot& slot(int physical) { return *slots_[static_cast<size_t>(physical)]; }
   const EdgeSlot& slot(int physical) const {
     return *slots_[static_cast<size_t>(physical)];
   }
 
+  // Declares the ownership partition (edge e belongs to shard e % shards)
+  // and sizes the mailbox grid. Idempotent; every view of one map must
+  // declare the same partition. Called by Cdn construction before any
+  // shard thread starts, so the plain int needs no synchronization.
+  void BindOwnership(int shards) {
+    assert(shards >= 1);
+    assert((owner_shards_ == 1 || owner_shards_ == shards) &&
+           "conflicting ownership partitions over one edge map");
+    owner_shards_ = shards;
+    if (mail_ == nullptr || mail_->shards() != shards) {
+      mail_ = std::make_unique<PurgeMailboxGrid>(shards);
+    }
+  }
+  int ownership_shards() const { return owner_shards_; }
+  int OwnerOf(int physical) const { return physical % owner_shards_; }
+
+  // Owned access: the lock-free request path. In debug builds, aborts when
+  // `shard` is not the owner of `physical` under the bound partition —
+  // the runtime fence that replaced the per-slot striped locks.
+  EdgeSlot& owned_slot(int physical, int shard) {
+    assert(OwnerOf(physical) == shard &&
+           "cross-shard edge access: slot is owned by another shard");
+    (void)shard;
+    return *slots_[static_cast<size_t>(physical)];
+  }
+  const EdgeSlot& owned_slot(int physical, int shard) const {
+    assert(OwnerOf(physical) == shard &&
+           "cross-shard edge access: slot is owned by another shard");
+    (void)shard;
+    return *slots_[static_cast<size_t>(physical)];
+  }
+
+  // The cross-shard purge mailboxes (created by BindOwnership; a fresh map
+  // starts with the trivial single-owner grid).
+  PurgeMailboxGrid& mailboxes() {
+    if (mail_ == nullptr) mail_ = std::make_unique<PurgeMailboxGrid>(1);
+    return *mail_;
+  }
+
  private:
-  // unique_ptr slots: a mutex is neither movable nor copyable, and slot
-  // addresses must stay stable while shards hold references.
+  // unique_ptr slots: slot addresses must stay stable while shards hold
+  // references, and aligned new gives each alignas(64) slot its own lines.
   std::vector<std::unique_ptr<EdgeSlot>> slots_;
+  int owner_shards_ = 1;
+  std::unique_ptr<PurgeMailboxGrid> mail_;
 };
 
 }  // namespace speedkit::cache

@@ -3,7 +3,25 @@
 #include <algorithm>
 #include <utility>
 
+#ifdef __linux__
+#include <sched.h>
+#endif
+
 namespace speedkit {
+
+size_t ThreadPool::AvailableCpus() {
+  unsigned hw = std::thread::hardware_concurrency();
+  size_t n = hw == 0 ? 1 : hw;
+#ifdef __linux__
+  cpu_set_t mask;
+  CPU_ZERO(&mask);
+  if (sched_getaffinity(0, sizeof(mask), &mask) == 0) {
+    int allowed = CPU_COUNT(&mask);
+    if (allowed > 0) n = std::min(n, static_cast<size_t>(allowed));
+  }
+#endif
+  return n;
+}
 
 ThreadPool::ThreadPool(size_t num_threads) {
   num_threads = std::max<size_t>(1, num_threads);

@@ -39,11 +39,17 @@ class ThreadPool {
 
   size_t num_threads() const { return workers_.size(); }
 
-  // A sensible default for CPU-bound fan-out on this machine.
-  static size_t DefaultThreads() {
-    unsigned n = std::thread::hardware_concurrency();
-    return n == 0 ? 1 : n;
-  }
+  // CPUs this process may actually run on. hardware_concurrency() reports
+  // the machine's core count and ignores the CPU affinity mask, so inside
+  // a container/cgroup-pinned CI runner it overcounts — on Linux this is
+  // clamped by sched_getaffinity (CPU_COUNT), elsewhere it falls back to
+  // hardware_concurrency. Never returns 0.
+  static size_t AvailableCpus();
+
+  // A sensible default for CPU-bound fan-out on this machine: the number
+  // of CPUs the process is allowed to use, so benches never oversubscribe
+  // a masked runner (which would skew speedup numbers).
+  static size_t DefaultThreads() { return AvailableCpus(); }
 
  private:
   void WorkerLoop();

@@ -166,6 +166,16 @@ SpeedKitStack::SpeedKitStack(const StackConfig& config,
     }
   }
 
+  // Cross-shard purge mailboxes drain at every Δ coherence boundary — the
+  // same interval that bounds client staleness bounds how long a purge
+  // posted by another shard can sit unapplied, so batching remote purges
+  // at the boundary adds no new staleness class. Single-domain stacks
+  // (shards == 1) have no cross-shard traffic and skip the drain events
+  // entirely, keeping the legacy event stream byte-identical.
+  if (config_.shards > 1) {
+    ScheduleMailboxDrain();
+  }
+
   // Staleness instrumentation: date every record version and every
   // materialized-query result version.
   store_.AddWriteListener([this](const storage::Record* /*before*/,
@@ -177,6 +187,16 @@ SpeedKitStack::SpeedKitStack(const StackConfig& config,
       [this](const std::string& cache_key, uint64_t version) {
         staleness_.RecordWrite(cache_key, version, clock_.Now());
       });
+}
+
+void SpeedKitStack::ScheduleMailboxDrain() {
+  // A drain with an empty mailbox is a strict no-op on results, so the
+  // recurring event never perturbs runs that post nothing — the engine's
+  // (seed, shards) purity survives with the events in place.
+  events_.After(config_.delta, [this] {
+    cdn_->DrainRemotePurges(clock_.Now());
+    ScheduleMailboxDrain();
+  });
 }
 
 proxy::ProxyConfig SpeedKitStack::DefaultProxyConfig() const {

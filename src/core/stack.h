@@ -170,6 +170,10 @@ class SpeedKitStack {
   void CollectMetrics(const proxy::ProxyStats* merged_proxies);
 
  private:
+  // Self-rescheduling Δ-boundary event applying cross-shard purge notes
+  // (sharded stacks only; see stack.cc).
+  void ScheduleMailboxDrain();
+
   bool UsesSketch() const {
     return config_.variant == SystemVariant::kSpeedKit;
   }

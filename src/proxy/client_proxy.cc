@@ -291,10 +291,10 @@ FetchResult ClientProxy::FetchViaEdge(const http::HttpRequest& request,
                                       bool bypass_shared, int edge_index,
                                       Duration burned) {
   SimTime now = clock_->Now();
-  // Striped edge lock: held across this request's whole edge-cache
-  // interaction (lookup through store). Uncontended under the fleet's
-  // shard-ownership discipline; fences it for TSan.
-  auto edge_guard = cdn_->LockEdge(edge_index);
+  // Lock-free owned access: this client's edge is owned by this proxy's
+  // shard (clients pin to edges, edges to shards), so the whole edge-cache
+  // interaction below runs unsynchronized; debug builds assert the
+  // ownership discipline inside cdn_->edge().
   cache::HttpCache& edge = cdn_->edge(edge_index);
   if (!bypass_shared) {
     cache::LookupResult el = edge.Lookup(key, request.headers, now);

@@ -2,7 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <memory>
+#include <utility>
 
 namespace speedkit::cache {
 namespace {
@@ -143,6 +145,157 @@ TEST(CdnTest, EdgesAreSharedCaches) {
   priv.headers.Set("Cache-Control", "private, max-age=60");
   EXPECT_FALSE(cdn.edge(0).Store("k", priv, At(0)));
 }
+
+TEST(CdnTest, EdgeSlotsAreCacheLineAligned) {
+  // Adjacent physical edges belong to DIFFERENT shards under the
+  // e % shards interleaving, so slots must never share a cache line.
+  static_assert(alignof(ShardedEdgeMap::EdgeSlot) == kCacheLineBytes,
+                "EdgeSlot must be cache-line aligned");
+  ShardedEdgeMap map(4, 0);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(reinterpret_cast<uintptr_t>(&map.slot(i)) % kCacheLineBytes, 0u);
+  }
+}
+
+TEST(CdnTest, RemotePurgeTakesEffectAtDrainNotAtPost) {
+  auto map = std::make_shared<ShardedEdgeMap>(4, 0);
+  Cdn shard0(map, 0, 2);  // owns physical 0, 2
+  Cdn shard1(map, 1, 2);  // owns physical 1, 3
+
+  // Owner stores the key on physical edge 1 (shard1's local 0).
+  shard1.edge(0).Store("k", CacheableResponse(), At(0));
+
+  // A non-owner purges it via the mailbox: nothing happens until the
+  // OWNER drains at its coherence boundary.
+  shard0.PostRemotePurge(/*physical=*/1, "k", At(1));
+  EXPECT_EQ(shard0.remote_purges_posted(), 1u);
+  EXPECT_EQ(shard1.edge(0).Lookup("k", At(2)).outcome,
+            LookupOutcome::kFreshHit);
+
+  // The sender draining its OWN mailbox is a no-op for this note.
+  EXPECT_EQ(shard0.DrainRemotePurges(At(3)), 0u);
+  EXPECT_EQ(shard1.edge(0).Lookup("k", At(3)).outcome,
+            LookupOutcome::kFreshHit);
+
+  // The owner's drain applies it.
+  EXPECT_EQ(shard1.DrainRemotePurges(At(4)), 1u);
+  EXPECT_EQ(shard1.remote_purges_drained(), 1u);
+  EXPECT_EQ(shard1.remote_purges_effective(), 1u);
+  EXPECT_EQ(shard1.edge(0).Lookup("k", At(5)).outcome, LookupOutcome::kMiss);
+}
+
+TEST(CdnTest, RemotePurgeToDownEdgeIsCountedDropped) {
+  auto map = std::make_shared<ShardedEdgeMap>(2, 0);
+  Cdn shard0(map, 0, 2);
+  Cdn shard1(map, 1, 2);
+  shard1.edge(0).Store("k", CacheableResponse(), At(0));  // physical 1
+  shard1.SetEdgeDown(0, true);
+  shard0.PostRemotePurge(1, "k", At(1));
+  // The note is drained (it left the mailbox) but the down edge loses the
+  // purge — same accounting as a local purge against a down edge.
+  EXPECT_EQ(shard1.DrainRemotePurges(At(2)), 1u);
+  EXPECT_EQ(shard1.remote_purges_drained(), 1u);
+  EXPECT_EQ(shard1.remote_purges_effective(), 0u);
+  EXPECT_EQ(shard1.TotalFaultStats().purges_dropped, 1u);
+  shard1.SetEdgeDown(0, false);
+  EXPECT_EQ(shard1.edge(0).Lookup("k", At(3)).outcome,
+            LookupOutcome::kFreshHit);  // contents survived the outage
+}
+
+TEST(CdnTest, SelfLaneRemotePurgeWorks) {
+  // PostRemotePurge resolves ownership itself: a shard may post a purge
+  // for an edge it owns and pick it up at its own next drain.
+  auto map = std::make_shared<ShardedEdgeMap>(2, 0);
+  Cdn shard0(map, 0, 2);
+  Cdn shard1(map, 1, 2);
+  (void)shard1;
+  shard0.edge(0).Store("k", CacheableResponse(), At(0));  // physical 0
+  shard0.PostRemotePurge(0, "k", At(1));
+  EXPECT_EQ(shard0.DrainRemotePurges(At(2)), 1u);
+  EXPECT_EQ(shard0.edge(0).Lookup("k", At(3)).outcome, LookupOutcome::kMiss);
+}
+
+uint64_t FaultStatsFingerprint(const EdgeFaultStats& s) {
+  uint64_t h = 0xcbf29ce484222325ull;
+  auto mix = [&h](uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (8 * i)) & 0xff;
+      h *= 0x100000001b3ull;
+    }
+  };
+  mix(s.down_rejects);
+  mix(s.purges_dropped);
+  mix(s.purges_delayed);
+  mix(s.purge_delay_us.Fingerprint());
+  return h;
+}
+
+TEST(CdnTest, ShardLocalAccumulatorsMergeLikeAFullView) {
+  // The refactor moved fault counters from shared, mutex-guarded slots
+  // into per-shard aligned accumulators. The merge contract is unchanged:
+  // summing the shard views' TotalFaultStats must equal — bit for bit,
+  // histogram fingerprints included — a full view fed the identical
+  // per-physical-edge event sequence.
+  auto note_events = [](auto&& reject, auto&& dropped, auto&& delayed,
+                        auto&& scheduled) {
+    // A fixed script over PHYSICAL edges 0..3.
+    reject(0); reject(0); reject(3);
+    dropped(1); dropped(2);
+    delayed(2); delayed(2); delayed(3);
+    scheduled(0, Duration::Millis(5));
+    scheduled(1, Duration::Millis(70));
+    scheduled(2, Duration::Millis(70));
+    scheduled(3, Duration::Millis(250));
+  };
+
+  // Full (legacy, single-domain) view.
+  Cdn full(4, 0);
+  note_events([&](int e) { full.NoteEdgeReject(e); },
+              [&](int e) { full.NotePurgeDropped(e); },
+              [&](int e) { full.NotePurgeDelayed(e); },
+              [&](int e, Duration d) { full.NotePurgeScheduled(e, d); });
+
+  // Two shard views over one map; each receives only its owned edges'
+  // events, translated to local indices — exactly how the fault schedule
+  // mirrors events per shard.
+  auto map = std::make_shared<ShardedEdgeMap>(4, 0);
+  Cdn s0(map, 0, 2);
+  Cdn s1(map, 1, 2);
+  auto route = [&](int physical) -> std::pair<Cdn*, int> {
+    Cdn* owner = physical % 2 == 0 ? &s0 : &s1;
+    return {owner, owner->LocalIndexOf(physical)};
+  };
+  note_events(
+      [&](int e) { auto [c, l] = route(e); c->NoteEdgeReject(l); },
+      [&](int e) { auto [c, l] = route(e); c->NotePurgeDropped(l); },
+      [&](int e) { auto [c, l] = route(e); c->NotePurgeDelayed(l); },
+      [&](int e, Duration d) {
+        auto [c, l] = route(e);
+        c->NotePurgeScheduled(l, d);
+      });
+
+  EdgeFaultStats merged = s0.TotalFaultStats();
+  merged += s1.TotalFaultStats();
+  EdgeFaultStats legacy = full.TotalFaultStats();
+  EXPECT_EQ(merged.down_rejects, legacy.down_rejects);
+  EXPECT_EQ(merged.purges_dropped, legacy.purges_dropped);
+  EXPECT_EQ(merged.purges_delayed, legacy.purges_delayed);
+  EXPECT_EQ(FaultStatsFingerprint(merged), FaultStatsFingerprint(legacy));
+}
+
+#if GTEST_HAS_DEATH_TEST && !defined(NDEBUG)
+TEST(CdnDeathTest, OwnershipAssertionFiresOnCrossShardAccess) {
+  // The runtime fence that replaced the striped locks: in debug builds,
+  // touching a slot another shard owns aborts with the ownership message.
+  auto map = std::make_shared<ShardedEdgeMap>(4, 0);
+  Cdn shard0(map, 0, 2);
+  Cdn shard1(map, 1, 2);
+  (void)shard0;
+  (void)shard1;
+  EXPECT_DEATH(map->owned_slot(/*physical=*/1, /*shard=*/0),
+               "cross-shard edge access");
+}
+#endif
 
 }  // namespace
 }  // namespace speedkit::cache

@@ -85,6 +85,50 @@ TEST(ShardOfClientTest, SingleShardOwnsEverything) {
   }
 }
 
+http::HttpResponse CacheableResponse() {
+  http::HttpResponse resp;
+  resp.status_code = 200;
+  resp.body = "x";
+  resp.headers.Set("Cache-Control", "public, max-age=600");
+  resp.generated_at = SimTime::Origin();
+  return resp;
+}
+
+TEST(ShardedFleetTest, RemotePurgeAppliesAtOwnersNextCoherenceBoundary) {
+  StackConfig config;
+  config.cdn_edges = 4;
+  config.shards = 2;
+  config.delta = Duration::Seconds(30);
+  ShardedFleet fleet(config);
+  SpeedKitStack& s0 = fleet.shard(0);
+  SpeedKitStack& s1 = fleet.shard(1);
+
+  // The owner (shard 1) caches a key on physical edge 1 (its local 0).
+  s1.cdn().edge(0).Store("k", CacheableResponse(), s1.clock().Now());
+
+  // A non-owner posts the purge through the mailbox grid.
+  s0.cdn().PostRemotePurge(/*physical=*/1, "k", s0.clock().Now());
+  EXPECT_EQ(s0.cdn().remote_purges_posted(), 1u);
+
+  // The SENDER crossing its own boundaries never applies the note...
+  s0.Advance(Duration::Seconds(90));
+  EXPECT_EQ(s1.cdn().edge(0).Lookup("k", s1.clock().Now()).outcome,
+            cache::LookupOutcome::kFreshHit);
+
+  // ...and neither does the owner BEFORE its boundary...
+  s1.Advance(Duration::Seconds(10));
+  EXPECT_EQ(s1.cdn().edge(0).Lookup("k", s1.clock().Now()).outcome,
+            cache::LookupOutcome::kFreshHit);
+  EXPECT_EQ(s1.cdn().remote_purges_drained(), 0u);
+
+  // ...but the owner's first Δ boundary (t = 30s) drains the batch.
+  s1.Advance(Duration::Seconds(25));
+  EXPECT_EQ(s1.cdn().remote_purges_drained(), 1u);
+  EXPECT_EQ(s1.cdn().remote_purges_effective(), 1u);
+  EXPECT_EQ(s1.cdn().edge(0).Lookup("k", s1.clock().Now()).outcome,
+            cache::LookupOutcome::kMiss);
+}
+
 TEST(ShardedFleetTest, ShardsShareOnePhysicalEdgeTier) {
   StackConfig config;
   config.cdn_edges = 6;
