@@ -125,6 +125,11 @@ ArmResult RunArm(const Profile& profile, bool speed_kit_on, bool mobile) {
   personalization::Segmenter segmenter(32);
 
   constexpr size_t kClients = 15;
+  // One popularity CDF for the whole fleet; per-generator copies are an
+  // O(catalog) duplication that the million-client benches cannot afford.
+  workload::ZipfGenerator popularity(
+      static_cast<size_t>(catalog.num_products()),
+      workload::SessionConfig{}.product_skew);
   std::vector<std::unique_ptr<personalization::PiiVault>> vaults;
   std::vector<std::unique_ptr<personalization::BoundaryAuditor>> auditors;
   std::vector<std::unique_ptr<proxy::ClientProxy>> clients;
@@ -139,7 +144,7 @@ ArmResult RunArm(const Profile& profile, bool speed_kit_on, bool mobile) {
     clients.push_back(
         stack.MakeClient(proxy_config, user_id, auditors.back().get()));
     clients.back()->AttachVault(vaults.back().get());
-    session_gens.emplace_back(&catalog, workload::SessionConfig{},
+    session_gens.emplace_back(&catalog, workload::SessionConfig{}, &popularity,
                               stack.ForkRng(500 + i));
   }
 

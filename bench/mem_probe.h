@@ -1,0 +1,54 @@
+// Process-memory probes for the memory-scaling benchmark (E16).
+//
+// Two complementary views:
+//   - HeapBytesInUse(): live heap bytes per glibc's mallinfo2 — the
+//     delta across a fleet construction is the fleet's heap footprint,
+//     unaffected by pages the allocator has not returned to the OS;
+//   - PeakRssBytes(): the process high-water mark (getrusage ru_maxrss),
+//     the number an operator actually provisions for.
+//
+// Heap deltas are the gating quantity (deterministic up to allocator
+// bookkeeping); peak RSS is reported for context only — it is monotone
+// across sweep points in one process, so only the largest point's value
+// is meaningful.
+#ifndef SPEEDKIT_BENCH_MEM_PROBE_H_
+#define SPEEDKIT_BENCH_MEM_PROBE_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#if defined(__GLIBC__)
+#include <malloc.h>
+#endif
+#include <sys/resource.h>
+
+namespace speedkit::bench {
+
+inline uint64_t HeapBytesInUse() {
+#if defined(__GLIBC__) && __GLIBC_PREREQ(2, 33)
+  struct mallinfo2 mi = mallinfo2();
+  return static_cast<uint64_t>(mi.uordblks) +
+         static_cast<uint64_t>(mi.hblkhd);
+#else
+  return 0;  // probe unavailable; callers must skip heap-based gating
+#endif
+}
+
+inline bool HeapProbeAvailable() {
+#if defined(__GLIBC__) && __GLIBC_PREREQ(2, 33)
+  return true;
+#else
+  return false;
+#endif
+}
+
+inline uint64_t PeakRssBytes() {
+  struct rusage ru;
+  if (getrusage(RUSAGE_SELF, &ru) != 0) return 0;
+  // ru_maxrss is in kilobytes on Linux.
+  return static_cast<uint64_t>(ru.ru_maxrss) * 1024;
+}
+
+}  // namespace speedkit::bench
+
+#endif  // SPEEDKIT_BENCH_MEM_PROBE_H_

@@ -1,7 +1,9 @@
 #include "cache/http_cache.h"
 
 #include <utility>
+#include <vector>
 
+#include "cache/freeze_codec.h"
 #include "common/strings.h"
 #include "http/headers.h"
 
@@ -125,7 +127,14 @@ bool HttpCache::Store(std::string_view key,
   entry.ttl = freshness.value_or(Duration::Zero());
   entry.swr = cc.stale_while_revalidate.value_or(Duration::Zero());
   entry.requires_revalidation = cc.no_cache;
-  entries_.Put(storage_key, std::move(entry));
+  if (entries_.Put(storage_key, std::move(entry)) ==
+      PutOutcome::kRejectedOversized) {
+    // Larger than the whole cache budget: dropped (and any stale resident
+    // evicted). Surface it — a silent "stored" here inflates hit-rate
+    // expectations for exactly the responses that can never hit.
+    stats_.store_rejects++;
+    return false;
+  }
   stats_.stores++;
   return true;
 }
@@ -177,6 +186,113 @@ bool HttpCache::Purge(std::string_view key) {
 void HttpCache::Clear() {
   entries_.Clear();
   vary_names_.clear();
+}
+
+namespace {
+constexpr uint32_t kFreezeMagic = 0x534b4643;  // "SKFC": SpeedKit FreezeCache
+}  // namespace
+
+std::string HttpCache::Freeze() const {
+  ByteWriter w;
+  w.U32(kFreezeMagic);
+  w.U8(shared_ ? 1 : 0);
+  w.U64(entries_.capacity_bytes());
+  w.U64(stats_.fresh_hits);
+  w.U64(stats_.stale_hits);
+  w.U64(stats_.misses);
+  w.U64(stats_.stores);
+  w.U64(stats_.store_rejects);
+  w.U64(stats_.refreshes);
+  w.U64(stats_.purges);
+  w.U64(entries_.evictions());
+  w.U64(entries_.oversized_rejections());
+  w.U32(static_cast<uint32_t>(vary_names_.size()));
+  for (const auto& [key, names] : vary_names_) {
+    w.Str(key);
+    w.U32(static_cast<uint32_t>(names.size()));
+    for (const std::string& name : names) w.Str(name);
+  }
+  w.U32(static_cast<uint32_t>(entries_.size()));
+  // Least- to most-recently-used: replaying Put in this order rebuilds the
+  // exact recency chain, so post-thaw eviction order is unchanged.
+  entries_.ForEachLruToMru([&w](const std::string& key,
+                                const CacheEntry& e) {
+    w.Str(key);
+    w.I64(e.stored_at.micros());
+    w.I64(e.ttl.micros());
+    w.I64(e.swr.micros());
+    w.U8(e.requires_revalidation ? 1 : 0);
+    const http::HttpResponse& r = e.response;
+    w.U32(static_cast<uint32_t>(r.status_code));
+    w.U64(r.object_version);
+    w.I64(r.generated_at.micros());
+    w.I64(r.server_time.micros());
+    w.Str(r.body);
+    w.U32(static_cast<uint32_t>(r.headers.size()));
+    for (const auto& [name, value] : r.headers) {
+      w.Str(name);
+      w.Str(value);
+    }
+  });
+  return w.Take();
+}
+
+bool HttpCache::Thaw(std::string_view blob) {
+  Clear();
+  ByteReader r(blob);
+  if (r.U32() != kFreezeMagic || r.U8() != (shared_ ? 1 : 0) ||
+      r.U64() != entries_.capacity_bytes()) {
+    return false;
+  }
+  HttpCacheStats stats;
+  stats.fresh_hits = r.U64();
+  stats.stale_hits = r.U64();
+  stats.misses = r.U64();
+  stats.stores = r.U64();
+  stats.store_rejects = r.U64();
+  stats.refreshes = r.U64();
+  stats.purges = r.U64();
+  uint64_t evictions = r.U64();
+  uint64_t oversized = r.U64();
+  uint32_t vary_count = r.U32();
+  for (uint32_t i = 0; i < vary_count && r.ok(); ++i) {
+    std::string key(r.Str());
+    uint32_t name_count = r.U32();
+    std::vector<std::string> names;
+    names.reserve(name_count);
+    for (uint32_t j = 0; j < name_count && r.ok(); ++j) {
+      names.emplace_back(r.Str());
+    }
+    vary_names_.emplace(std::move(key), std::move(names));
+  }
+  uint32_t entry_count = r.U32();
+  for (uint32_t i = 0; i < entry_count && r.ok(); ++i) {
+    std::string key(r.Str());
+    CacheEntry e;
+    e.stored_at = SimTime::FromMicros(r.I64());
+    e.ttl = Duration::Micros(r.I64());
+    e.swr = Duration::Micros(r.I64());
+    e.requires_revalidation = r.U8() != 0;
+    e.response.status_code = static_cast<int>(r.U32());
+    e.response.object_version = r.U64();
+    e.response.generated_at = SimTime::FromMicros(r.I64());
+    e.response.server_time = Duration::Micros(r.I64());
+    e.response.body = std::string(r.Str());
+    uint32_t header_count = r.U32();
+    for (uint32_t j = 0; j < header_count && r.ok(); ++j) {
+      std::string_view name = r.Str();
+      std::string_view value = r.Str();
+      e.response.headers.Add(name, value);
+    }
+    if (r.ok()) entries_.Put(key, std::move(e));
+  }
+  if (!r.ok() || !r.AtEnd()) {
+    Clear();
+    return false;
+  }
+  stats_ = stats;
+  entries_.RestoreCounters(evictions, oversized);
+  return true;
 }
 
 }  // namespace speedkit::cache

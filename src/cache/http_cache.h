@@ -99,6 +99,17 @@ class HttpCache {
   bool Purge(std::string_view key);
   void Clear();
 
+  // Cold-client spill: serializes the full cache state — entries in
+  // recency order, Vary mappings, stats, eviction history — into one flat
+  // byte string, and reconstructs it exactly. A freeze/thaw round trip is
+  // behavior-neutral: every subsequent lookup, store and eviction decision
+  // is identical to the never-frozen cache, so fleet results cannot depend
+  // on which clients went cold. Thaw replaces this cache's contents; it
+  // returns false (leaving the cache cleared) on a corrupt or truncated
+  // blob.
+  std::string Freeze() const;
+  bool Thaw(std::string_view blob);
+
   bool shared() const { return shared_; }
   size_t size() const { return entries_.size(); }
   size_t used_bytes() const { return entries_.used_bytes(); }

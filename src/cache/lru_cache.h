@@ -19,6 +19,15 @@
 
 namespace speedkit::cache {
 
+// Result of LruCache::Put. An oversized value (larger than the whole
+// budget) is never admitted — and because storing is also an invalidation
+// signal (the caller has a newer version than whatever is resident), the
+// old resident entry is evicted rather than left to serve stale data.
+enum class PutOutcome {
+  kAdmitted,
+  kRejectedOversized,  // value dropped; any resident entry evicted
+};
+
 template <typename Value>
 class LruCache {
  public:
@@ -31,6 +40,11 @@ class LruCache {
 
   LruCache(const LruCache&) = delete;
   LruCache& operator=(const LruCache&) = delete;
+  // Movable (list iterators survive a list move, so index_ stays valid) —
+  // lets owners swap in a fresh cache to actually release bucket/node
+  // memory, which Clear() does not.
+  LruCache(LruCache&&) = default;
+  LruCache& operator=(LruCache&&) = default;
 
   // Returns the resident value and marks it most-recently-used.
   // Heterogeneous index lookup: the string_view key is hashed and compared
@@ -49,12 +63,15 @@ class LruCache {
   }
 
   // Inserts or replaces; evicts LRU entries until within budget. An entry
-  // larger than the whole budget is not admitted.
-  void Put(std::string_view key, Value value) {
+  // larger than the whole budget is not admitted (see PutOutcome) — the
+  // caller decides whether a rejection needs surfacing (an HTTP cache
+  // counts it as a store reject so hit-rate accounting stays truthful).
+  PutOutcome Put(std::string_view key, Value value) {
     size_t value_bytes = size_fn_(value);
     if (capacity_bytes_ != 0 && value_bytes > capacity_bytes_) {
-      Erase(key);
-      return;
+      if (Erase(key)) ++evictions_;  // capacity pushed out the resident
+      ++oversized_rejections_;
+      return PutOutcome::kRejectedOversized;
     }
     auto it = index_.find(key);
     if (it != index_.end()) {
@@ -68,6 +85,7 @@ class LruCache {
       used_bytes_ += value_bytes;
     }
     EvictToBudget();
+    return PutOutcome::kAdmitted;
   }
 
   bool Erase(std::string_view key) {
@@ -101,10 +119,28 @@ class LruCache {
     return removed;
   }
 
+  // Visits entries from least- to most-recently-used. Re-inserting in
+  // visit order via Put reconstructs the exact recency chain — the
+  // browser-cache freeze/thaw codec depends on this.
+  template <typename Fn>  // Fn(const std::string& key, const Value&)
+  void ForEachLruToMru(Fn fn) const {
+    for (auto it = order_.rbegin(); it != order_.rend(); ++it) {
+      fn(it->key, it->value);
+    }
+  }
+
   size_t size() const { return index_.size(); }
   size_t used_bytes() const { return used_bytes_; }
   size_t capacity_bytes() const { return capacity_bytes_; }
   uint64_t evictions() const { return evictions_; }
+  uint64_t oversized_rejections() const { return oversized_rejections_; }
+
+  // Thaw-codec hook: a rehydrated cache must report the eviction history
+  // of the cache it was frozen from, not a fresh zero.
+  void RestoreCounters(uint64_t evictions, uint64_t oversized_rejections) {
+    evictions_ = evictions;
+    oversized_rejections_ = oversized_rejections;
+  }
 
  private:
   struct Node {
@@ -131,6 +167,7 @@ class LruCache {
       index_;
   size_t used_bytes_ = 0;
   uint64_t evictions_ = 0;
+  uint64_t oversized_rejections_ = 0;
 };
 
 }  // namespace speedkit::cache

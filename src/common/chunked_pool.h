@@ -1,0 +1,74 @@
+// Chunk-allocated object arena with stable addresses.
+//
+// The fleet's per-client state (client proxies, driver bookkeeping) used
+// to be a million tiny unique_ptr heap objects — one allocation each, no
+// locality, and a pointer-chasing destructor storm at teardown. A
+// ChunkedPool constructs objects in place inside large chunks: one
+// allocation per kChunkSize objects, contiguous layout for iteration in
+// index order (which is also construction order — determinism-relevant
+// when iteration has side effects), and O(chunks) teardown. Objects are
+// never moved (addresses are stable for the pool's lifetime) and never
+// individually freed — this is an arena, not a free-list allocator; the
+// fleet's population only grows within a run.
+#ifndef SPEEDKIT_COMMON_CHUNKED_POOL_H_
+#define SPEEDKIT_COMMON_CHUNKED_POOL_H_
+
+#include <cstddef>
+#include <new>
+#include <utility>
+#include <vector>
+
+namespace speedkit {
+
+template <typename T, size_t kChunkSize = 256>
+class ChunkedPool {
+ public:
+  ChunkedPool() = default;
+  ChunkedPool(const ChunkedPool&) = delete;
+  ChunkedPool& operator=(const ChunkedPool&) = delete;
+
+  ~ChunkedPool() {
+    for (size_t i = 0; i < size_; ++i) at(i)->~T();
+    for (T* chunk : chunks_) {
+      ::operator delete(chunk, std::align_val_t{alignof(T)});
+    }
+  }
+
+  template <typename... Args>
+  T* Emplace(Args&&... args) {
+    if (size_ == chunks_.size() * kChunkSize) {
+      chunks_.push_back(static_cast<T*>(::operator new(
+          sizeof(T) * kChunkSize, std::align_val_t{alignof(T)})));
+    }
+    T* slot = chunks_[size_ / kChunkSize] + (size_ % kChunkSize);
+    ::new (static_cast<void*>(slot)) T(std::forward<Args>(args)...);
+    ++size_;
+    return slot;
+  }
+
+  T* at(size_t i) { return chunks_[i / kChunkSize] + (i % kChunkSize); }
+  const T* at(size_t i) const {
+    return chunks_[i / kChunkSize] + (i % kChunkSize);
+  }
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  // Visits objects in construction (index) order.
+  template <typename Fn>
+  void ForEach(Fn fn) {
+    for (size_t i = 0; i < size_; ++i) fn(*at(i));
+  }
+  template <typename Fn>
+  void ForEach(Fn fn) const {
+    for (size_t i = 0; i < size_; ++i) fn(*at(i));
+  }
+
+ private:
+  std::vector<T*> chunks_;
+  size_t size_ = 0;
+};
+
+}  // namespace speedkit
+
+#endif  // SPEEDKIT_COMMON_CHUNKED_POOL_H_

@@ -11,8 +11,6 @@ namespace {
 constexpr int kNumBuckets = 60 * 32;
 }  // namespace
 
-Histogram::Histogram() : buckets_(kNumBuckets, 0) {}
-
 int Histogram::BucketFor(int64_t value) {
   if (value < 0) value = 0;
   if (value < kSubBuckets) return static_cast<int>(value);
@@ -32,6 +30,7 @@ int64_t Histogram::BucketUpperBound(int index) {
 
 void Histogram::Add(int64_t value) {
   if (value < 0) value = 0;
+  if (buckets_.empty()) buckets_.assign(kNumBuckets, 0);
   buckets_[BucketFor(value)]++;
   if (count_ == 0 || value < min_) min_ = value;
   if (value > max_) max_ = value;
@@ -40,7 +39,10 @@ void Histogram::Add(int64_t value) {
 }
 
 void Histogram::Merge(const Histogram& other) {
-  for (int i = 0; i < kNumBuckets; ++i) buckets_[i] += other.buckets_[i];
+  if (!other.buckets_.empty()) {
+    if (buckets_.empty()) buckets_.assign(kNumBuckets, 0);
+    for (int i = 0; i < kNumBuckets; ++i) buckets_[i] += other.buckets_[i];
+  }
   if (other.count_ > 0) {
     if (count_ == 0 || other.min_ < min_) min_ = other.min_;
     max_ = std::max(max_, other.max_);
@@ -50,7 +52,8 @@ void Histogram::Merge(const Histogram& other) {
 }
 
 void Histogram::Reset() {
-  std::fill(buckets_.begin(), buckets_.end(), 0);
+  // Drop the array entirely: a reset histogram is as cheap as a fresh one.
+  buckets_ = std::vector<uint64_t>();
   count_ = 0;
   sum_ = 0;
   min_ = 0;
@@ -84,7 +87,11 @@ uint64_t Histogram::Fingerprint() const {
       h *= 0x100000001b3ull;
     }
   };
-  for (uint64_t b : buckets_) mix(b);
+  // A never-touched histogram has no bucket array; hash it as the all-zero
+  // array so lazy allocation is invisible to stored fingerprints.
+  for (int i = 0; i < kNumBuckets; ++i) {
+    mix(i < static_cast<int>(buckets_.size()) ? buckets_[i] : 0);
+  }
   mix(count_);
   mix(static_cast<uint64_t>(min_));
   mix(static_cast<uint64_t>(max_));

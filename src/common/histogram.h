@@ -16,7 +16,11 @@ namespace speedkit {
 
 class Histogram {
  public:
-  Histogram();
+  // The bucket array (~15 KB) is allocated on first Add/Merge, not at
+  // construction: fleet simulations hold seven histograms per stats block,
+  // and a histogram that never sees a sample must cost nothing at
+  // million-client populations.
+  Histogram() = default;
 
   void Add(int64_t value);
   void Merge(const Histogram& other);

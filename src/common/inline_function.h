@@ -1,0 +1,122 @@
+// A move-only `void()` callable with caller-chosen inline capture storage.
+//
+// std::function's small-buffer optimization tops out at two words on the
+// common ABIs, so almost every simulation event (capturing a this-pointer,
+// a client index and a page view) costs a heap allocation just to exist.
+// InlineFn<N> stores captures up to N bytes in place — the event scheduler
+// sizes N so the hot traffic lambdas always fit — and falls back to the
+// heap only for oversized callables, preserving correctness for arbitrary
+// captures instead of imposing a hard size limit.
+#ifndef SPEEDKIT_COMMON_INLINE_FUNCTION_H_
+#define SPEEDKIT_COMMON_INLINE_FUNCTION_H_
+
+#include <cstddef>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace speedkit {
+
+template <size_t kInlineBytes = 64>
+class InlineFn {
+ public:
+  InlineFn() = default;
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, InlineFn>>>
+  InlineFn(F&& f) {  // NOLINT(google-explicit-constructor): drop-in for
+                     // std::function at every scheduling call site.
+    using Fn = std::decay_t<F>;
+    if constexpr (sizeof(Fn) <= kInlineBytes &&
+                  alignof(Fn) <= alignof(std::max_align_t) &&
+                  std::is_nothrow_move_constructible_v<Fn>) {
+      ::new (static_cast<void*>(storage_)) Fn(std::forward<F>(f));
+      ops_ = &InlineOps<Fn>::kOps;
+    } else {
+      // Oversized/overaligned capture: one heap cell, still move-only.
+      ::new (static_cast<void*>(storage_))
+          std::unique_ptr<Fn>(std::make_unique<Fn>(std::forward<F>(f)));
+      ops_ = &BoxedOps<Fn>::kOps;
+    }
+  }
+
+  InlineFn(InlineFn&& other) noexcept { MoveFrom(other); }
+  InlineFn& operator=(InlineFn&& other) noexcept {
+    if (this != &other) {
+      Reset();
+      MoveFrom(other);
+    }
+    return *this;
+  }
+
+  InlineFn(const InlineFn&) = delete;
+  InlineFn& operator=(const InlineFn&) = delete;
+
+  ~InlineFn() { Reset(); }
+
+  void operator()() { ops_->invoke(storage_); }
+
+  explicit operator bool() const { return ops_ != nullptr; }
+
+ private:
+  struct Ops {
+    void (*invoke)(unsigned char*);
+    void (*move)(unsigned char* dst, unsigned char* src);  // src destroyed
+    void (*destroy)(unsigned char*);
+  };
+
+  template <typename Fn>
+  struct InlineOps {
+    static void Invoke(unsigned char* s) { (*std::launder(reinterpret_cast<Fn*>(s)))(); }
+    static void Move(unsigned char* dst, unsigned char* src) {
+      Fn* from = std::launder(reinterpret_cast<Fn*>(src));
+      ::new (static_cast<void*>(dst)) Fn(std::move(*from));
+      from->~Fn();
+    }
+    static void Destroy(unsigned char* s) {
+      std::launder(reinterpret_cast<Fn*>(s))->~Fn();
+    }
+    static constexpr Ops kOps{&Invoke, &Move, &Destroy};
+  };
+
+  template <typename Fn>
+  struct BoxedOps {
+    using Box = std::unique_ptr<Fn>;
+    static void Invoke(unsigned char* s) {
+      (**std::launder(reinterpret_cast<Box*>(s)))();
+    }
+    static void Move(unsigned char* dst, unsigned char* src) {
+      Box* from = std::launder(reinterpret_cast<Box*>(src));
+      ::new (static_cast<void*>(dst)) Box(std::move(*from));
+      from->~Box();
+    }
+    static void Destroy(unsigned char* s) {
+      std::launder(reinterpret_cast<Box*>(s))->~Box();
+    }
+    static constexpr Ops kOps{&Invoke, &Move, &Destroy};
+  };
+
+  void MoveFrom(InlineFn& other) {
+    ops_ = other.ops_;
+    if (ops_ != nullptr) {
+      ops_->move(storage_, other.storage_);
+      other.ops_ = nullptr;
+    }
+  }
+
+  void Reset() {
+    if (ops_ != nullptr) {
+      ops_->destroy(storage_);
+      ops_ = nullptr;
+    }
+  }
+
+  alignas(std::max_align_t) unsigned char storage_[kInlineBytes];
+  const Ops* ops_ = nullptr;
+};
+
+}  // namespace speedkit
+
+#endif  // SPEEDKIT_COMMON_INLINE_FUNCTION_H_

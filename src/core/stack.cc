@@ -246,6 +246,12 @@ std::unique_ptr<proxy::ClientProxy> SpeedKitStack::MakeClient(
 std::unique_ptr<proxy::ClientProxy> SpeedKitStack::MakeClient(
     const proxy::ProxyConfig& proxy_config, uint64_t client_id,
     personalization::BoundaryAuditor* auditor) {
+  return std::make_unique<proxy::ClientProxy>(proxy_config, client_id,
+                                              ClientDeps(auditor));
+}
+
+proxy::ProxyDeps SpeedKitStack::ClientDeps(
+    personalization::BoundaryAuditor* auditor) {
   proxy::ProxyDeps deps;
   deps.clock = &clock_;
   deps.network = &network_;
@@ -253,7 +259,13 @@ std::unique_ptr<proxy::ClientProxy> SpeedKitStack::MakeClient(
   deps.origin = origin_.get();
   deps.auditor = auditor;
   deps.tracer = tracer_.get();
-  return std::make_unique<proxy::ClientProxy>(proxy_config, client_id, deps);
+  return deps;
+}
+
+std::unique_ptr<proxy::ClientPool> SpeedKitStack::MakeClientPool(
+    const proxy::ClientPoolConfig& pool_config,
+    personalization::BoundaryAuditor* auditor) {
+  return std::make_unique<proxy::ClientPool>(pool_config, ClientDeps(auditor));
 }
 
 }  // namespace speedkit::core

@@ -28,6 +28,7 @@
 #include "obs/obs_config.h"
 #include "obs/trace.h"
 #include "origin/origin_server.h"
+#include "proxy/client_pool.h"
 #include "proxy/client_proxy.h"
 #include "sim/clock.h"
 #include "sim/event_queue.h"
@@ -122,6 +123,21 @@ class SpeedKitStack {
       uint64_t client_id, personalization::BoundaryAuditor* auditor = nullptr);
   std::unique_ptr<proxy::ClientProxy> MakeClient(
       const proxy::ProxyConfig& proxy_config, uint64_t client_id,
+      personalization::BoundaryAuditor* auditor = nullptr);
+
+  // The dependency set MakeClient hands every proxy — for callers that
+  // construct clients themselves (a proxy::ClientPool fills in its own
+  // stats sink on top). A client built from ClientDeps() is identical to
+  // one from MakeClient with the same config.
+  proxy::ProxyDeps ClientDeps(
+      personalization::BoundaryAuditor* auditor = nullptr);
+
+  // An arena-backed fleet wired against this stack (see
+  // proxy/client_pool.h): pooled allocation, shared stats sink and
+  // optional cold-client spill — the constructor for drivers that create
+  // clients by the thousand.
+  std::unique_ptr<proxy::ClientPool> MakeClientPool(
+      const proxy::ClientPoolConfig& pool_config,
       personalization::BoundaryAuditor* auditor = nullptr);
 
   // Advances simulated time, running due events (CDN purges etc.).

@@ -45,6 +45,8 @@ TrafficSimulation::TrafficSimulation(SpeedKitStack* stack,
       catalog_(catalog),
       config_(config),
       end_(stack->clock().Now() + config.duration),
+      popularity_(catalog->num_products(), config.session.product_skew),
+      pool_(stack->MakeClientPool(config.pool)),
       writes_(catalog->num_products(), config.writes_per_sec,
               config.write_skew, stack->ForkRng(1000 + config.seed_salt)),
       rng_(stack->ForkRng(2000 + config.seed_salt)) {
@@ -60,8 +62,8 @@ TrafficSimulation::TrafficSimulation(SpeedKitStack* stack,
     // clients happen to share its shard.
     uint64_t client_id = i + 1;
     if (!stack_->OwnsClient(client_id)) continue;
-    clients_.push_back(stack_->MakeClient(pc, client_id));
-    session_gens_.emplace_back(catalog_, config_.session,
+    clients_.push_back(pool_->MakeClient(pc, client_id));
+    session_gens_.emplace_back(catalog_, config_.session, &popularity_,
                                stack_->ForkRng(3000 + i));
   }
 }
@@ -74,11 +76,18 @@ TrafficResult TrafficSimulation::Run() {
     ScheduleSession(i, start + Duration::Seconds(rng_.Uniform(0.0, 60.0)));
   }
   ScheduleNextWrite(start);
+  // Cold-client spill sweeps (no-ops unless the pool enables spill for
+  // this fleet size). Scheduled last so the relative order of all real
+  // traffic events is untouched.
+  if (pool_->spill_enabled()) {
+    ScheduleSpillSweep(start + config_.pool.spill_sweep_interval);
+  }
   stack_->AdvanceTo(end_);
 
-  for (const auto& client : clients_) {
-    result_.proxies += client->stats();
-  }
+  // Every pooled client recorded into the shared sink; one add replaces
+  // the old per-client summation (bit-identical: counter increments are
+  // unchanged and integer-valued histogram sums are exact).
+  result_.proxies += pool_->stats();
   return result_;
 }
 
@@ -100,6 +109,14 @@ void TrafficSimulation::ScheduleSession(size_t client_index, SimTime at) {
     Duration gap = Duration::Seconds(
         rng_.Exponential(1.0 / config_.mean_session_gap.seconds()));
     ScheduleSession(client_index, t + gap);
+  });
+}
+
+void TrafficSimulation::ScheduleSpillSweep(SimTime at) {
+  if (at >= end_) return;
+  stack_->events().At(at, [this, at]() {
+    pool_->SpillIdle(stack_->clock().Now());
+    ScheduleSpillSweep(at + config_.pool.spill_sweep_interval);
   });
 }
 

@@ -34,6 +34,11 @@ struct TrafficConfig {
   uint64_t seed_salt = 0;
   // Overrides the stack's variant-derived proxy settings when set.
   const proxy::ProxyConfig* proxy_config = nullptr;
+  // Fleet memory policy: arena pool + idle-cache spill (kAuto turns spill
+  // on only for large fleets, so small experiments are byte-for-byte
+  // unaffected). Spill is behavior-neutral either way — freeze/thaw round
+  // trips are lossless and draw no randomness.
+  proxy::ClientPoolConfig pool;
 };
 
 struct TrafficResult {
@@ -69,9 +74,13 @@ class TrafficSimulation {
   // numbers live in stack->staleness().
   TrafficResult Run();
 
+  // Spill accounting for the run (zeros when spill never engaged).
+  proxy::ClientPoolSpillStats SpillStats() const { return pool_->SpillStats(); }
+
  private:
   void ScheduleSession(size_t client_index, SimTime at);
   void ScheduleNextWrite(SimTime from);
+  void ScheduleSpillSweep(SimTime at);
   void ExecutePageView(size_t client_index, const workload::PageView& view);
 
   SpeedKitStack* stack_;
@@ -79,7 +88,14 @@ class TrafficSimulation {
   TrafficConfig config_;
   SimTime end_;
 
-  std::vector<std::unique_ptr<proxy::ClientProxy>> clients_;
+  // One immutable popularity CDF for the whole fleet (O(catalog) doubles
+  // once, not per client).
+  workload::ZipfGenerator popularity_;
+  // Clients live in the pool's arena and record into its shared stats
+  // sink; clients_ holds the owned subset in creation order, indexed in
+  // lockstep with session_gens_.
+  std::unique_ptr<proxy::ClientPool> pool_;
+  std::vector<proxy::ClientProxy*> clients_;
   std::vector<workload::SessionGenerator> session_gens_;
   workload::WriteProcess writes_;
   Pcg32 rng_;

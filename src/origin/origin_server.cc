@@ -348,6 +348,21 @@ std::shared_ptr<const std::string> OriginServer::SketchSnapshot() {
   return sketch_->PublishedSnapshot(clock_->Now());
 }
 
+sketch::CacheSketch::Publication OriginServer::SketchFilter() {
+  if (sketch_ == nullptr) {
+    // Stackless configs publish a constant empty filter; build the shared
+    // object (and its wire size) once for the whole process.
+    static const sketch::CacheSketch::Publication kEmpty = [] {
+      sketch::BloomFilter empty(64, 1);
+      size_t wire = empty.Serialize().value().size();
+      return sketch::CacheSketch::Publication{
+          std::make_shared<const sketch::BloomFilter>(std::move(empty)), wire};
+    }();
+    return kEmpty;
+  }
+  return sketch_->PublishedFilter(clock_->Now());
+}
+
 http::HttpResponse OriginServer::Finish(const http::HttpRequest& request,
                                         std::string body,
                                         uint64_t body_version, Duration ttl,

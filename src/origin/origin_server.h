@@ -127,6 +127,11 @@ class OriginServer {
   // serialization (see CacheSketch::PublishedSnapshot).
   std::shared_ptr<const std::string> SketchSnapshot();
 
+  // The same publication as a shared in-memory filter plus its wire size —
+  // the fleet-scale refresh path (no per-client deserialization; see
+  // CacheSketch::PublishedFilter).
+  sketch::CacheSketch::Publication SketchFilter();
+
   // Fault injection: while unavailable, every request returns 503.
   void set_available(bool available) { available_ = available; }
   bool available() const { return available_; }

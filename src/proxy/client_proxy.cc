@@ -41,6 +41,9 @@ ClientProxy::ClientProxy(const ProxyConfig& config, uint64_t client_id,
       browser_cache_(/*shared=*/false, config.browser_cache_bytes),
       client_sketch_(config.sketch_refresh_interval),
       rng_(Mix64(client_id ^ 0xba0c0ffeeULL), client_id * 2 + 1),
+      own_stats_(deps.stats_sink ? nullptr : new ProxyStats()),
+      stats_(deps.stats_sink ? deps.stats_sink : own_stats_.get()),
+      last_active_(deps.clock->Now()),
       tracer_(deps.tracer) {}
 
 FetchResult ClientProxy::Fetch(std::string_view url_text) {
@@ -50,8 +53,8 @@ FetchResult ClientProxy::Fetch(std::string_view url_text) {
     // serve-source buckets stop reconciling with `requests`. It also gets
     // a (zero-latency) trace and error-tier histogram entry, so the span
     // count keeps matching ServedTotal().
-    stats_.requests++;
-    stats_.errors++;
+    stats_->requests++;
+    stats_->errors++;
     if (!background_fetch_) {
       trace_.Begin(tracer_, obs::kTraceKindRequest, url_text, clock_->Now());
       request_degraded_ = false;
@@ -80,6 +83,7 @@ FetchResult ClientProxy::Fetch(const http::Url& url) {
 }
 
 FetchResult ClientProxy::FetchResolved(const http::Url& url) {
+  Touch();
   if (!background_fetch_) {
     trace_.Begin(tracer_, obs::kTraceKindRequest, url.CacheKey(),
                  clock_->Now());
@@ -93,15 +97,15 @@ FetchResult ClientProxy::FetchResolved(const http::Url& url) {
 void ClientProxy::RecordRequestOutcome(const FetchResult& result) {
   if (background_fetch_) return;
   const int64_t us = result.latency.micros();
-  stats_.LatencyFor(result.source)->Add(us);
-  (request_degraded_ ? stats_.latency_degraded_us : stats_.latency_ok_us)
+  stats_->LatencyFor(result.source)->Add(us);
+  (request_degraded_ ? stats_->latency_degraded_us : stats_->latency_ok_us)
       .Add(us);
   trace_.Finish(ServedFromName(result.source), result.response.status_code,
                 request_degraded_, result.latency);
 }
 
 FetchResult ClientProxy::FetchDecide(const http::Url& url) {
-  stats_.requests++;
+  stats_->requests++;
   SimTime now = clock_->Now();
   std::string key = url.CacheKey();
   Duration overhead =
@@ -131,7 +135,7 @@ FetchResult ClientProxy::FetchDecide(const http::Url& url) {
   if (lookup.outcome == cache::LookupOutcome::kFreshHit && !flagged) {
     // Serving from the browser cache is gated on the sketch check, so a
     // due refresh is on the critical path here.
-    stats_.browser_hits++;
+    stats_->browser_hits++;
     TraceSpan("browser.hit", obs::kTierBrowser, Duration::Zero());
     return ServeFromEntry(*lookup.entry, ServedFrom::kBrowserCache,
                           overhead + refresh_latency);
@@ -144,7 +148,7 @@ FetchResult ClientProxy::FetchDecide(const http::Url& url) {
     // TTL-expired, not invalidated. Serve it instantly and revalidate in
     // the background (the revalidation's latency is off the critical
     // path; its cache updates happen now).
-    stats_.swr_serves++;
+    stats_->swr_serves++;
     TraceSpan("browser.swr_serve", obs::kTierBrowser, Duration::Zero());
     FetchResult served = ServeFromEntry(*lookup.entry,
                                         ServedFrom::kBrowserCache,
@@ -152,7 +156,7 @@ FetchResult ClientProxy::FetchDecide(const http::Url& url) {
     http::HttpRequest reval = http::HttpRequest::Get(url);
     std::string etag = lookup.entry->response.ETag();
     if (!etag.empty()) reval.headers.Set("If-None-Match", etag);
-    stats_.background_revalidations++;
+    stats_->background_revalidations++;
     background_fetch_ = true;
     (void)FetchOverNetwork(reval, key, /*bypass_shared=*/false);
     background_fetch_ = false;
@@ -172,7 +176,7 @@ FetchResult ClientProxy::FetchDecide(const http::Url& url) {
     // serialize.
     result.latency += overhead + refresh_latency;
     result.sketch_bypass = true;
-    stats_.sketch_bypasses++;
+    stats_->sketch_bypasses++;
   } else {
     // Un-flagged network fetches overlap the snapshot refresh: the request
     // is sent optimistically and the sketch arrives while it is in flight
@@ -192,28 +196,32 @@ Duration ClientProxy::MaybeRefreshSketchLatency() {
     // charge one timeout. Degraded mode — the Δ guarantee rests on the
     // next successful refresh; no retry loop here because the refresh is
     // re-attempted by the very next request anyway.
-    stats_.timeouts++;
+    stats_->timeouts++;
     NoteFaultOnRequest();
     TraceSpan("timeout.wait", obs::kTierNetwork, config_.request_timeout);
     return config_.request_timeout;
   }
-  std::shared_ptr<const std::string> snapshot = origin_->SketchSnapshot();
-  if (!client_sketch_.Update(*snapshot, now).ok()) return Duration::Zero();
-  stats_.sketch_refreshes++;
-  stats_.sketch_bytes += snapshot->size();
+  // The published filter is shared across every client of the fleet; the
+  // wire-byte count still reflects the serialized form so transfer
+  // accounting is unchanged.
+  sketch::CacheSketch::Publication snapshot = origin_->SketchFilter();
+  client_sketch_.Install(snapshot.filter, snapshot.wire_bytes, now);
+  stats_->sketch_refreshes++;
+  stats_->sketch_bytes += snapshot.wire_bytes;
   // The sketch service answers from the edge tier.
-  return network_->RequestTime(sim::Link::kClientEdge, snapshot->size(), now);
+  return network_->RequestTime(sim::Link::kClientEdge, snapshot.wire_bytes,
+                               now);
 }
 
 bool ClientProxy::DeliverWithRetries(sim::Link link, Duration* latency) {
   SimTime now = clock_->Now();
   if (network_->Delivered(link, now)) return true;
-  stats_.timeouts++;
+  stats_->timeouts++;
   NoteFaultOnRequest();
   TraceSpan("timeout.wait", obs::kTierNetwork, config_.request_timeout);
   *latency += config_.request_timeout;
   for (int attempt = 0; attempt < config_.max_retries; ++attempt) {
-    stats_.retries++;
+    stats_->retries++;
     // Exponential backoff with jitter; the jitter draw comes from the
     // proxy's own RNG stream and only happens on this (fault-only) path,
     // so faultless runs keep their exact draw sequences.
@@ -225,7 +233,7 @@ bool ClientProxy::DeliverWithRetries(sim::Link link, Duration* latency) {
     TraceSpan("retry.backoff", obs::kTierProxy, backoff);
     *latency += backoff;
     if (network_->Delivered(link, now)) return true;
-    stats_.timeouts++;
+    stats_->timeouts++;
     TraceSpan("timeout.wait", obs::kTierNetwork, config_.request_timeout);
     *latency += config_.request_timeout;
   }
@@ -256,7 +264,7 @@ FetchResult ClientProxy::FetchOverNetwork(const http::HttpRequest& request,
   }
   if (!edge_reachable) {
     FetchResult result = FetchDirect(request, key, burned);
-    if (result.source != ServedFrom::kError) stats_.fallback_serves++;
+    if (result.source != ServedFrom::kError) stats_->fallback_serves++;
     return result;
   }
   return FetchViaEdge(request, key, bypass_shared, edge_index, burned);
@@ -336,7 +344,7 @@ FetchResult ClientProxy::FetchViaEdge(const http::HttpRequest& request,
         // fail. Safe for sketch-clean keys: they are merely TTL-expired;
         // a genuinely invalidated key is flagged and never takes this
         // branch (it bypasses the edge entirely).
-        stats_.fallback_serves++;
+        stats_->fallback_serves++;
         NoteFaultOnRequest();
         Duration rt = network_->RequestTime(sim::Link::kClientEdge,
                                             el.entry->response.WireSize(), now);
@@ -465,24 +473,24 @@ FetchResult ClientProxy::FinishClientResponse(const http::HttpRequest& request,
     result.latency = latency;
     result.response = resp;
     if (resp.IsNotModified()) {
-      stats_.background_304s++;
-      stats_.background_bytes += kNotModifiedWireBytes;
+      stats_->background_304s++;
+      stats_->background_bytes += kNotModifiedWireBytes;
       browser_cache_.Refresh(key, request.headers, resp, now);
       result.source = source;
       result.revalidated = true;
     } else if (resp.ok()) {
-      stats_.background_200s++;
-      stats_.background_bytes += resp.WireSize();
+      stats_->background_200s++;
+      stats_->background_bytes += resp.WireSize();
       browser_cache_.Store(key, request.headers, resp, now);
       result.source = source;
     } else {
-      stats_.background_errors++;
+      stats_->background_errors++;
     }
     return result;
   }
   if (resp.IsNotModified()) {
-    stats_.revalidations_304++;
-    stats_.bytes_over_network += kNotModifiedWireBytes;
+    stats_->revalidations_304++;
+    stats_->bytes_over_network += kNotModifiedWireBytes;
     browser_cache_.Refresh(key, request.headers, resp, now);
     cache::LookupResult refreshed =
         browser_cache_.Lookup(key, request.headers, now);
@@ -490,9 +498,9 @@ FetchResult ClientProxy::FinishClientResponse(const http::HttpRequest& request,
       // The 304 round trip is what served this request: attribute it to
       // the tier that answered so serve counts reconcile with `requests`.
       if (source == ServedFrom::kEdgeCache) {
-        stats_.edge_hits++;
+        stats_->edge_hits++;
       } else {
-        stats_.origin_fetches++;
+        stats_->origin_fetches++;
       }
       FetchResult result = ServeFromEntry(*refreshed.entry, source, latency);
       result.revalidated = true;
@@ -501,26 +509,26 @@ FetchResult ClientProxy::FinishClientResponse(const http::HttpRequest& request,
     // The entry vanished (eviction) between validation and serve; a real
     // SW would re-issue unconditionally. Model that as an error: it is
     // rare enough not to warrant a second hop here.
-    stats_.errors++;
+    stats_->errors++;
     FetchResult result;
     result.response.status_code = 504;
     result.latency = latency;
     return result;
   }
   if (!resp.ok()) {
-    stats_.errors++;
+    stats_->errors++;
     FetchResult result;
     result.response = resp;
     result.latency = latency;
     return result;
   }
-  if (request.IsConditional()) stats_.revalidations_200++;
+  if (request.IsConditional()) stats_->revalidations_200++;
   if (source == ServedFrom::kEdgeCache) {
-    stats_.edge_hits++;
+    stats_->edge_hits++;
   } else {
-    stats_.origin_fetches++;
+    stats_->origin_fetches++;
   }
-  stats_.bytes_over_network += resp.WireSize();
+  stats_->bytes_over_network += resp.WireSize();
   browser_cache_.Store(key, request.headers, resp, now);
   FetchResult result;
   result.response = resp;
@@ -536,7 +544,7 @@ FetchResult ClientProxy::OfflineFallback(const http::HttpRequest& request,
   if (background_fetch_) {
     // A failed background revalidation: the foreground request was already
     // served from the stale copy, so there is nothing to fall back to.
-    stats_.background_errors++;
+    stats_->background_errors++;
     FetchResult result;
     result.response = http::MakeServiceUnavailable();
     result.latency = attempt_latency;
@@ -547,13 +555,13 @@ FetchResult ClientProxy::OfflineFallback(const http::HttpRequest& request,
     cache::LookupResult lookup =
         browser_cache_.Lookup(key, request.headers, now);
     if (lookup.entry != nullptr) {
-      stats_.offline_serves++;
+      stats_->offline_serves++;
       TraceSpan("offline.serve", obs::kTierOffline, Duration::Zero());
       return ServeFromEntry(*lookup.entry, ServedFrom::kOfflineCache,
                             attempt_latency);
     }
   }
-  stats_.errors++;
+  stats_->errors++;
   FetchResult result;
   result.response = http::MakeServiceUnavailable();
   result.latency = attempt_latency;
@@ -562,7 +570,7 @@ FetchResult ClientProxy::OfflineFallback(const http::HttpRequest& request,
 
 FetchResult ClientProxy::ServeFromEntry(const cache::CacheEntry& entry,
                                         ServedFrom source, Duration latency) {
-  stats_.bytes_from_browser_cache += entry.response.body.size();
+  stats_->bytes_from_browser_cache += entry.response.body.size();
   FetchResult result;
   result.response = entry.response;
   result.latency = latency;
@@ -622,6 +630,42 @@ BlockResult ClientProxy::FetchBlock(
 
 void ClientProxy::Audit(const http::HttpRequest& request) {
   if (auditor_ != nullptr) auditor_->Inspect(request);
+}
+
+void ClientProxy::Touch() {
+  last_active_ = clock_->Now();
+  EnsureThawed();
+}
+
+void ClientProxy::EnsureThawed() {
+  if (!browser_cache_frozen_) return;
+  // Thaw rebuilds contents, recency order and stats exactly; a corrupt
+  // blob (impossible barring memory corruption — we wrote it) degrades to
+  // an empty cache rather than crashing the fleet.
+  browser_cache_.Thaw(frozen_browser_cache_);
+  std::string().swap(frozen_browser_cache_);
+  browser_cache_frozen_ = false;
+  ++thaws_;
+}
+
+void ClientProxy::FreezeBrowserCache() {
+  if (browser_cache_frozen_) return;
+  // An empty live cache is already smaller than any blob — but only if it
+  // has no history to preserve: stats and eviction counters survive a
+  // freeze only via the blob, so a used-but-currently-empty cache still
+  // takes the serialize path.
+  const cache::HttpCacheStats& s = browser_cache_.stats();
+  if (browser_cache_.size() == 0 && s.stores == 0 && s.misses == 0 &&
+      s.store_rejects == 0 && s.purges == 0) {
+    return;
+  }
+  frozen_browser_cache_ = browser_cache_.Freeze();
+  // Replace (not Clear) the live structure so its hash-bucket arrays and
+  // list nodes are actually returned to the allocator.
+  browser_cache_ = cache::HttpCache(/*shared=*/false,
+                                    config_.browser_cache_bytes);
+  browser_cache_frozen_ = true;
+  ++freezes_;
 }
 
 }  // namespace speedkit::proxy

@@ -32,6 +32,7 @@
 #define SPEEDKIT_PROXY_CLIENT_PROXY_H_
 
 #include <cstdint>
+#include <memory>
 #include <string>
 
 #include "cache/cdn.h"
@@ -236,6 +237,14 @@ struct ProxyDeps {
   origin::OriginServer* origin = nullptr;
   personalization::BoundaryAuditor* auditor = nullptr;
   obs::Tracer* tracer = nullptr;
+  // Optional shared accounting sink. When set, the client records into it
+  // directly instead of allocating its own ProxyStats (~600 B + lazy
+  // histograms per client) — the fleet-scale mode, where only the
+  // aggregate is ever read. Counter increments are identical either way,
+  // and integer-valued histogram sums are exact, so an aggregated sink is
+  // bit-identical to summing per-client stats afterwards. Must outlive
+  // the client; per-client stats() is meaningless in sink mode.
+  ProxyStats* stats_sink = nullptr;
 };
 
 class ClientProxy {
@@ -262,11 +271,35 @@ class ClientProxy {
   // computed, so it cannot change behavior (enforced by tests/obs).
   void SetTracer(obs::Tracer* tracer) { tracer_ = tracer; }
 
-  cache::HttpCache& browser_cache() { return browser_cache_; }
+  // Thaws a spilled cache on access: callers always see a live HttpCache.
+  cache::HttpCache& browser_cache() {
+    EnsureThawed();
+    return browser_cache_;
+  }
   sketch::ClientSketch& client_sketch() { return client_sketch_; }
-  const ProxyStats& stats() const { return stats_; }
+  // In sink mode (ProxyDeps::stats_sink set) this is the shared aggregate,
+  // not this client's own traffic.
+  const ProxyStats& stats() const { return *stats_; }
   uint64_t client_id() const { return client_id_; }
   const ProxyConfig& config() const { return config_; }
+
+  // Cold-client spill: serializes the browser cache into a compact blob
+  // and releases the live structure (entries, LRU list, hash table). The
+  // next request — or any browser_cache() access — rehydrates it
+  // losslessly (contents, recency order, stats). A no-op when already
+  // frozen or the cache is empty (an empty live cache is cheaper than a
+  // blob). Safe at any quiescent point: the proxy touches the cache only
+  // synchronously inside Fetch/FetchBlock, never from scheduled events.
+  void FreezeBrowserCache();
+  bool browser_cache_frozen() const { return browser_cache_frozen_; }
+  // Size of the frozen blob (0 while live) — what a spilled client keeps
+  // resident instead of the full cache structure.
+  size_t frozen_bytes() const { return frozen_browser_cache_.size(); }
+  // Simulated time of this client's last foreground activity; idle-spill
+  // sweeps compare against it.
+  SimTime last_active() const { return last_active_; }
+  uint64_t freeze_count() const { return freezes_; }
+  uint64_t thaw_count() const { return thaws_; }
 
  private:
   // Observability wrapper around one foreground request: begins the trace,
@@ -339,6 +372,11 @@ class ClientProxy {
 
   void Audit(const http::HttpRequest& request);
 
+  // Rehydrates a frozen browser cache before any use of browser_cache_.
+  void EnsureThawed();
+  // Stamps foreground activity (thaw + last_active_) on request entry.
+  void Touch();
+
   ProxyConfig config_;
   uint64_t client_id_;
   sim::SimClock* clock_;
@@ -354,7 +392,17 @@ class ClientProxy {
   // stack's stream — so attaching fault handling does not perturb any
   // pre-existing draw sequence (network latencies, traffic).
   Pcg32 rng_;
-  ProxyStats stats_;
+  // Allocated only when no shared sink was provided; stats_ then points at
+  // it. In sink mode the client carries just the pointer.
+  std::unique_ptr<ProxyStats> own_stats_;
+  ProxyStats* stats_;
+
+  // Cold-client spill state (see FreezeBrowserCache).
+  std::string frozen_browser_cache_;
+  bool browser_cache_frozen_ = false;
+  SimTime last_active_;
+  uint64_t freezes_ = 0;
+  uint64_t thaws_ = 0;
   // True while an SWR background revalidation is in flight: its network
   // outcome must land in the background_* counters, not the per-request
   // serve buckets.

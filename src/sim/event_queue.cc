@@ -4,24 +4,24 @@
 
 namespace speedkit::sim {
 
-void EventQueue::At(SimTime at, std::function<void()> fn) {
+void EventQueue::At(SimTime at, EventFn fn) {
   if (at < clock_->Now()) at = clock_->Now();
-  heap_.push(Event{at, next_seq_++, std::move(fn)});
+  wheel_.Schedule(at, next_seq_++, std::move(fn));
 }
 
-void EventQueue::After(Duration delay, std::function<void()> fn) {
+void EventQueue::After(Duration delay, EventFn fn) {
   At(clock_->Now() + delay, std::move(fn));
 }
 
 size_t EventQueue::RunUntil(SimTime until) {
+  // Pending events always lie at or after the clock, so a target in the
+  // past can fire nothing (and the clock never moves backwards).
+  if (until < clock_->Now()) return 0;
   size_t ran = 0;
-  while (!heap_.empty() && heap_.top().at <= until) {
-    // Copy out before pop: the callback may schedule new events and
-    // invalidate the heap top.
-    Event ev = heap_.top();
-    heap_.pop();
-    clock_->AdvanceTo(ev.at);
-    ev.fn();
+  SimTime at;
+  while (wheel_.NextDueTime(until, &at)) {
+    clock_->AdvanceTo(at);
+    wheel_.FireNext();
     ++ran;
   }
   if (until != SimTime::Max()) clock_->AdvanceTo(until);

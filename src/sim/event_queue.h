@@ -1,59 +1,56 @@
 // Discrete-event scheduler.
 //
-// A min-heap of (fire time, sequence, callback). The sequence number breaks
-// ties in insertion order so that runs are deterministic even when many
-// events share a timestamp (common with zero-delay local hops).
+// A hierarchical timing wheel of (fire time, sequence, callback) — see
+// sim/timing_wheel.h. The sequence number breaks ties in insertion order so
+// that runs are deterministic even when many events share a timestamp
+// (common with zero-delay local hops); the wheel fires in exactly the same
+// (time, sequence) total order the earlier binary heap produced, at O(1)
+// per schedule/fire and without a heap allocation per event.
 #ifndef SPEEDKIT_SIM_EVENT_QUEUE_H_
 #define SPEEDKIT_SIM_EVENT_QUEUE_H_
 
 #include <cstdint>
-#include <functional>
-#include <queue>
-#include <vector>
 
 #include "common/sim_time.h"
 #include "sim/clock.h"
+#include "sim/timing_wheel.h"
 
 namespace speedkit::sim {
 
 class EventQueue {
  public:
-  explicit EventQueue(SimClock* clock) : clock_(clock) {}
+  explicit EventQueue(SimClock* clock)
+      : clock_(clock), wheel_(clock->Now()) {}
 
   // Schedules `fn` to run at absolute time `at` (clamped to now if in the
   // past, so callers can schedule "immediately").
-  void At(SimTime at, std::function<void()> fn);
+  void At(SimTime at, EventFn fn);
 
   // Schedules `fn` to run `delay` from now.
-  void After(Duration delay, std::function<void()> fn);
+  void After(Duration delay, EventFn fn);
 
   // Runs events in time order until the queue is empty or `until` is
-  // reached. The clock is advanced to each event's fire time; finally to
-  // `until` if the queue drained early. Returns the number of events run.
+  // reached. The clock is advanced to each event's fire time. When `until`
+  // is finite the clock then advances to `until` even if the queue drained
+  // early; when `until` is SimTime::Max() (the RunAll case) the clock stays
+  // at the last event's fire time — there is no meaningful "end" to advance
+  // to in a drain. Returns the number of events run.
   size_t RunUntil(SimTime until);
 
-  // Drains everything.
+  // Drains everything. The clock ends at the last event's fire time.
   size_t RunAll() { return RunUntil(SimTime::Max()); }
 
-  bool empty() const { return heap_.empty(); }
-  size_t pending() const { return heap_.size(); }
+  bool empty() const { return wheel_.empty(); }
+  size_t pending() const { return wheel_.size(); }
+
+  // Scheduler internals (cascade counts, overflow traffic) for tests and
+  // observability.
+  const TimingWheelStats& wheel_stats() const { return wheel_.stats(); }
 
  private:
-  struct Event {
-    SimTime at;
-    uint64_t seq;
-    std::function<void()> fn;
-  };
-  struct Later {
-    bool operator()(const Event& a, const Event& b) const {
-      if (a.at != b.at) return a.at > b.at;
-      return a.seq > b.seq;
-    }
-  };
-
   SimClock* clock_;
   uint64_t next_seq_ = 0;
-  std::priority_queue<Event, std::vector<Event>, Later> heap_;
+  TimingWheel wheel_;
 };
 
 }  // namespace speedkit::sim

@@ -1,0 +1,216 @@
+#include "sim/timing_wheel.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace speedkit::sim {
+namespace {
+
+constexpr uint64_t kSlotMask = TimingWheel::kSlots - 1;
+
+// Index of the highest byte where two times differ; the caller guarantees
+// diff != 0. This is the level whose slot granularity first separates the
+// two times, i.e. where an event must live so that advancing the lower
+// levels never skips it.
+inline int HighestByte(uint64_t diff) {
+  int msb = 63 - __builtin_clzll(diff);
+  return msb >> 3;
+}
+
+inline int SlotAt(uint64_t t, int level) {
+  return static_cast<int>((t >> (TimingWheel::kSlotBits * level)) & kSlotMask);
+}
+
+}  // namespace
+
+TimingWheel::TimingWheel(SimTime origin)
+    : current_(static_cast<uint64_t>(origin.micros())) {}
+
+TimingWheel::~TimingWheel() = default;
+
+TimingWheel::Node* TimingWheel::AllocNode() {
+  if (free_ == nullptr) {
+    chunks_.push_back(std::make_unique<Node[]>(kChunkNodes));
+    Node* chunk = chunks_.back().get();
+    for (size_t i = 0; i < kChunkNodes; ++i) {
+      chunk[i].next = free_;
+      free_ = &chunk[i];
+    }
+  }
+  Node* node = free_;
+  free_ = node->next;
+  node->next = nullptr;
+  return node;
+}
+
+void TimingWheel::RecycleNode(Node* node) {
+  // The callback was moved out (or never set); make the cell inert before
+  // it rejoins the free list so no capture outlives its event.
+  node->fn = EventFn();
+  node->next = free_;
+  free_ = node;
+}
+
+void TimingWheel::Append(int level, int slot, Node* node) {
+  Slot& s = slots_[level][slot];
+  if (s.head == nullptr) {
+    s.head = s.tail = node;
+    SetBit(level, slot);
+  } else {
+    s.tail->next = node;
+    s.tail = node;
+  }
+  node->next = nullptr;
+}
+
+void TimingWheel::Place(Node* node) {
+  assert(node->at >= current_);
+  uint64_t diff = node->at ^ current_;
+  if ((diff >> kHorizonBits) != 0) {
+    overflow_.push(node);
+    ++stats_.overflow_scheduled;
+    return;
+  }
+  int level = diff == 0 ? 0 : HighestByte(diff);
+  Append(level, SlotAt(node->at, level), node);
+}
+
+void TimingWheel::Schedule(SimTime at, uint64_t seq, EventFn fn) {
+  uint64_t at_us = static_cast<uint64_t>(at.micros());
+  if (at_us < current_) at_us = current_;  // never schedule into the past
+  Node* node = AllocNode();
+  node->at = at_us;
+  node->seq = seq;
+  node->fn = std::move(fn);
+  Place(node);
+  ++size_;
+  ++stats_.scheduled;
+}
+
+int TimingWheel::NextOccupied(int level, int from) const {
+  if (from >= kSlots) return -1;
+  const uint64_t* words = occupied_[level];
+  int word = from >> 6;
+  uint64_t masked = words[word] & (~0ull << (from & 63));
+  while (true) {
+    if (masked != 0) return (word << 6) + __builtin_ctzll(masked);
+    if (++word >= kSlots / 64) return -1;
+    masked = words[word];
+  }
+}
+
+void TimingWheel::Cascade(int level, int slot) {
+  Slot& s = slots_[level][slot];
+  Node* node = s.head;
+  s.head = s.tail = nullptr;
+  ClearBit(level, slot);
+  // Redistribute in list order: same-time events keep their relative
+  // (FIFO == seq) order in the finer slot they land in.
+  while (node != nullptr) {
+    Node* next = node->next;
+    Place(node);
+    ++stats_.cascaded;
+    node = next;
+  }
+}
+
+void TimingWheel::DrainOverflow() {
+  // Pull every overflow event whose time now shares the wheel's top-level
+  // block back into the wheel. The heap pops in (at, seq) order and
+  // Append is FIFO, so drained same-time events line up in seq order —
+  // and because this runs at every horizon crossing, a drained event is
+  // always appended before any same-time event scheduled afterwards.
+  while (!overflow_.empty() &&
+         (overflow_.top()->at >> kHorizonBits) == (current_ >> kHorizonBits)) {
+    Node* node = overflow_.top();
+    overflow_.pop();
+    assert(node->at >= current_);
+    Place(node);
+    ++stats_.overflow_drained;
+  }
+}
+
+void TimingWheel::AdvanceTo(uint64_t t) {
+  assert(t >= current_);
+  uint64_t diff = t ^ current_;
+  if (diff == 0) return;
+  bool horizon_crossed = (diff >> kHorizonBits) != 0;
+  int top = std::min(HighestByte(diff), kLevels - 1);
+  current_ = t;
+  // Entering a new block at each changed level invalidates that level's
+  // slot meanings below it; only the arrival slot can be occupied (all
+  // earlier slots in the new block are in the past or were verified
+  // empty by the caller), so cascading it down is sufficient.
+  for (int level = top; level >= 1; --level) {
+    int slot = SlotAt(t, level);
+    if (slots_[level][slot].head != nullptr) Cascade(level, slot);
+  }
+  if (horizon_crossed) DrainOverflow();
+}
+
+bool TimingWheel::NextDueTime(SimTime limit_t, SimTime* at) {
+  if (size_ == 0) return false;
+  uint64_t limit = static_cast<uint64_t>(limit_t.micros());
+  while (true) {
+    // Level 0 holds the wheel's current 256 us window at exact times; the
+    // first occupied slot from the cursor onward is the global minimum.
+    int slot0 = NextOccupied(0, static_cast<int>(current_ & kSlotMask));
+    if (slot0 >= 0) {
+      uint64_t t = (current_ & ~kSlotMask) + static_cast<uint64_t>(slot0);
+      if (t > limit) {
+        AdvanceTo(limit);
+        return false;
+      }
+      AdvanceTo(t);
+      *at = SimTime::FromMicros(static_cast<int64_t>(t));
+      return true;
+    }
+    // Nothing this window: jump to the next occupied coarse slot. Cursor
+    // slots at levels >= 1 are always empty (cascaded on block entry), so
+    // the scan starts strictly after the cursor.
+    bool jumped = false;
+    for (int level = 1; level < kLevels && !jumped; ++level) {
+      int cursor = SlotAt(current_, level);
+      int slot = NextOccupied(level, cursor + 1);
+      if (slot < 0) continue;
+      uint64_t span = 1ull << (kSlotBits * level);
+      uint64_t window_base = current_ & ~(span * kSlots - 1);
+      uint64_t block_start = window_base + span * static_cast<uint64_t>(slot);
+      if (block_start > limit) {
+        AdvanceTo(limit);
+        return false;
+      }
+      // Arriving at the block cascades its contents into finer levels;
+      // loop back to the level-0 scan.
+      AdvanceTo(block_start);
+      jumped = true;
+    }
+    if (jumped) continue;
+    // Whole wheel empty: the remaining events are past the horizon.
+    assert(!overflow_.empty());
+    uint64_t t = overflow_.top()->at;
+    if (t > limit) {
+      AdvanceTo(limit);
+      return false;
+    }
+    AdvanceTo(t);  // crosses the horizon, draining overflow into the wheel
+  }
+}
+
+void TimingWheel::FireNext() {
+  Slot& s = slots_[0][static_cast<int>(current_ & kSlotMask)];
+  Node* node = s.head;
+  assert(node != nullptr && node->at == current_);
+  s.head = node->next;
+  if (s.head == nullptr) {
+    s.tail = nullptr;
+    ClearBit(0, static_cast<int>(current_ & kSlotMask));
+  }
+  --size_;
+  ++stats_.fired;
+  EventFn fn = std::move(node->fn);
+  RecycleNode(node);
+  fn();  // may schedule; new same-time events append behind this slot's tail
+}
+
+}  // namespace speedkit::sim

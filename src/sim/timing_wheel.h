@@ -1,0 +1,155 @@
+// Hierarchical timing wheel: the event scheduler's O(1) engine.
+//
+// The discrete-event queue used to be a binary heap of std::function cells:
+// O(log n) per schedule/fire and one heap allocation per event — the two
+// costs that dominate simulated time at million-client populations. The
+// wheel replaces both:
+//
+//   * five levels of 256 slots at 1 us, 256 us, ~65 ms, ~16.8 s and ~1.2 h
+//     per tick cover ~12.7 days of future at microsecond exactness;
+//   * scheduling appends to an intrusive slot list (O(1), no allocation —
+//     nodes come from a chunked free-list pool and callbacks live inline in
+//     the node, see common/inline_function.h);
+//   * firing pops the earliest occupied slot, found by bitmap scans that
+//     jump straight over empty regions instead of ticking through them;
+//   * events beyond the 12.7-day horizon overflow into a small binary heap
+//     (the old representation) and are pulled back into the wheel when the
+//     horizon reaches them — correctness never depends on the span.
+//
+// Determinism contract: events fire in exactly (fire time, sequence) order,
+// the same total order the heap produced. Within a 1 us slot the list is
+// FIFO and sequences are assigned monotonically at schedule time, so FIFO
+// equals sequence order; cascades redistribute coarse slots in list order,
+// which preserves the relative order of same-time events; the overflow heap
+// orders by (time, seq) and drains eagerly whenever the horizon moves, so
+// an overflow event can never be appended behind a same-time event that was
+// scheduled later. Every existing experiment fingerprint is therefore
+// bit-identical to the heap scheduler's.
+#ifndef SPEEDKIT_SIM_TIMING_WHEEL_H_
+#define SPEEDKIT_SIM_TIMING_WHEEL_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "common/inline_function.h"
+#include "common/sim_time.h"
+
+namespace speedkit::sim {
+
+// Event callbacks: 64 inline bytes fits every hot scheduling site (the
+// traffic driver's page-view lambdas are the largest at ~48 bytes); larger
+// captures degrade to one heap cell instead of failing.
+using EventFn = InlineFn<64>;
+
+struct TimingWheelStats {
+  uint64_t scheduled = 0;        // total Schedule() calls
+  uint64_t fired = 0;            // total PopNext() calls
+  uint64_t cascaded = 0;         // nodes redistributed from a coarse slot
+  uint64_t overflow_scheduled = 0;  // events past the horizon at schedule
+  uint64_t overflow_drained = 0;    // ... later pulled back into the wheel
+};
+
+class TimingWheel {
+ public:
+  static constexpr int kSlotBits = 8;
+  static constexpr int kSlots = 1 << kSlotBits;         // 256
+  static constexpr int kLevels = 5;                     // 2^40 us ~ 12.7 d
+  static constexpr uint64_t kHorizonBits = kSlotBits * kLevels;
+
+  // `origin` anchors the wheel's clock; events are scheduled at absolute
+  // times >= the wheel's current position (earlier times clamp to it).
+  explicit TimingWheel(SimTime origin = SimTime::Origin());
+  ~TimingWheel();
+
+  TimingWheel(const TimingWheel&) = delete;
+  TimingWheel& operator=(const TimingWheel&) = delete;
+
+  // O(1): appends to the target slot's FIFO list (or the overflow heap).
+  // `seq` must be strictly increasing across calls — it is the total-order
+  // tie-break for same-time events.
+  void Schedule(SimTime at, uint64_t seq, EventFn fn);
+
+  // Advances the wheel to the earlier of `limit` and the next event.
+  // Returns true with `*at` set when an event is due at or before `limit`;
+  // returns false — with the wheel advanced to `limit` iff `limit` is
+  // finite — when nothing is due. Never advances past the next event.
+  bool NextDueTime(SimTime limit, SimTime* at);
+
+  // Pops and runs the next event (valid immediately after NextDueTime
+  // returned true; the event fires at the wheel's current time). The
+  // callback may schedule new events, including at the current time — they
+  // join the tail of the current slot and fire in this same batch.
+  void FireNext();
+
+  bool empty() const { return size_ == 0; }
+  size_t size() const { return size_; }
+  SimTime current() const { return SimTime::FromMicros(static_cast<int64_t>(current_)); }
+  const TimingWheelStats& stats() const { return stats_; }
+
+ private:
+  struct Node {
+    uint64_t at = 0;
+    uint64_t seq = 0;
+    Node* next = nullptr;
+    EventFn fn;
+  };
+  struct Slot {
+    Node* head = nullptr;
+    Node* tail = nullptr;
+  };
+  struct OverflowLater {
+    bool operator()(const Node* a, const Node* b) const {
+      if (a->at != b->at) return a->at > b->at;
+      return a->seq > b->seq;
+    }
+  };
+
+  Node* AllocNode();
+  void RecycleNode(Node* node);
+
+  // Places `node` (at >= current_) into the level/slot derived from the
+  // highest byte where its time differs from the wheel position, or the
+  // overflow heap when past the horizon.
+  void Place(Node* node);
+  void Append(int level, int slot, Node* node);
+
+  // Moves the wheel to `t` (>= current_), redistributing the arrival slot
+  // of every level whose cursor block changed, top level first. Callers
+  // guarantee no event lies in (current_, t).
+  void AdvanceTo(uint64_t t);
+  void Cascade(int level, int slot);
+  void DrainOverflow();
+
+  // First occupied slot index >= `from` at `level`, or -1.
+  int NextOccupied(int level, int from) const;
+
+  void SetBit(int level, int slot) {
+    occupied_[level][slot >> 6] |= 1ull << (slot & 63);
+  }
+  void ClearBit(int level, int slot) {
+    occupied_[level][slot >> 6] &= ~(1ull << (slot & 63));
+  }
+
+  uint64_t current_;  // absolute microseconds
+  size_t size_ = 0;   // pending events, overflow included
+
+  Slot slots_[kLevels][kSlots];
+  uint64_t occupied_[kLevels][kSlots / 64] = {};
+
+  std::priority_queue<Node*, std::vector<Node*>, OverflowLater> overflow_;
+
+  // Chunked node pool: stable addresses, one allocation per 256 events of
+  // peak concurrency, recycled through an intrusive free list.
+  static constexpr size_t kChunkNodes = 256;
+  std::vector<std::unique_ptr<Node[]>> chunks_;
+  Node* free_ = nullptr;
+
+  TimingWheelStats stats_;
+};
+
+}  // namespace speedkit::sim
+
+#endif  // SPEEDKIT_SIM_TIMING_WHEEL_H_

@@ -75,19 +75,32 @@ std::string CacheSketch::SerializedSnapshot(SimTime now) {
 std::shared_ptr<const std::string> CacheSketch::PublishedSnapshot(SimTime now) {
   ExpireUntil(now);
   stats_.snapshots++;
-  if (published_ == nullptr || published_dirty_) {
-    BloomFilter compact =
-        BloomFilter::ForCapacity(std::max<size_t>(1, horizon_.size()), 0.02);
-    for (const auto& [key, until] : horizon_) {
-      compact.Add(key);
-    }
-    // A compact snapshot is always far under the 48-bit header limit, so
-    // Serialize cannot fail here.
-    published_ = std::make_shared<const std::string>(compact.Serialize().value());
-    published_dirty_ = false;
-    stats_.serializations++;
-  }
+  if (published_ == nullptr || published_dirty_) Republish();
   return published_;
+}
+
+CacheSketch::Publication CacheSketch::PublishedFilter(SimTime now) {
+  ExpireUntil(now);
+  stats_.snapshots++;
+  if (published_ == nullptr || published_dirty_) Republish();
+  return Publication{published_filter_, published_->size()};
+}
+
+void CacheSketch::Republish() {
+  BloomFilter compact =
+      BloomFilter::ForCapacity(std::max<size_t>(1, horizon_.size()), 0.02);
+  for (const auto& [key, until] : horizon_) {
+    compact.Add(key);
+  }
+  // A compact snapshot is always far under the 48-bit header limit, so
+  // Serialize cannot fail here.
+  published_ = std::make_shared<const std::string>(compact.Serialize().value());
+  // The filter handed to clients is the one the bytes describe: a client
+  // holding the shared object behaves bit-for-bit like one that
+  // deserialized the string itself.
+  published_filter_ = std::make_shared<const BloomFilter>(std::move(compact));
+  published_dirty_ = false;
+  stats_.serializations++;
 }
 
 }  // namespace speedkit::sketch

@@ -86,6 +86,19 @@ class CacheSketch {
   // insensitive — so published and fresh snapshots are interchangeable.
   std::shared_ptr<const std::string> PublishedSnapshot(SimTime now);
 
+  // The same publication as an immutable in-memory filter, plus the size
+  // the serialized form would occupy on the wire. Simulated clients
+  // install this shared filter directly instead of each deserializing a
+  // private BloomFilter copy from the published string — at a million
+  // clients that is the difference between one filter and a million. The
+  // filter's bit pattern is identical to Deserialize(PublishedSnapshot),
+  // and the memo invalidates with it.
+  struct Publication {
+    std::shared_ptr<const BloomFilter> filter;
+    size_t wire_bytes = 0;
+  };
+  Publication PublishedFilter(SimTime now);
+
   const CacheSketchStats& stats() const { return stats_; }
   // The backing counting filter — exposed so tests can assert lifecycle
   // invariants (e.g. the add/remove discipline never underflows a counter).
@@ -109,8 +122,12 @@ class CacheSketch {
   std::unordered_map<std::string, SimTime> horizon_;  // key -> stale_until
   std::priority_queue<HeapItem, std::vector<HeapItem>, Later> expiry_;
   CacheSketchStats stats_;
-  // Publication memo: valid while the key set is unchanged.
+  void Republish();
+
+  // Publication memo: valid while the key set is unchanged. The string and
+  // filter forms are two views of the same snapshot and refresh together.
   std::shared_ptr<const std::string> published_;
+  std::shared_ptr<const BloomFilter> published_filter_;
   bool published_dirty_ = true;
 };
 

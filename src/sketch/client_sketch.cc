@@ -12,12 +12,18 @@ bool ClientSketch::NeedsRefresh(SimTime now) const {
 Status ClientSketch::Update(std::string_view serialized, SimTime now) {
   auto filter = BloomFilter::Deserialize(serialized);
   if (!filter.ok()) return filter.status();
-  filter_ = std::move(filter).value();
+  Install(std::make_shared<const BloomFilter>(std::move(filter).value()),
+          serialized.size(), now);
+  return Status::Ok();
+}
+
+void ClientSketch::Install(std::shared_ptr<const BloomFilter> filter,
+                           size_t wire_bytes, SimTime now) {
+  filter_ = std::move(filter);
   has_snapshot_ = true;
   fetched_at_ = now;
   stats_.refreshes++;
-  stats_.bytes_fetched += serialized.size();
-  return Status::Ok();
+  stats_.bytes_fetched += wire_bytes;
 }
 
 bool ClientSketch::MightBeStale(std::string_view key) {
@@ -26,7 +32,7 @@ bool ClientSketch::MightBeStale(std::string_view key) {
     stats_.positives++;
     return true;
   }
-  bool positive = filter_.MightContain(key);
+  bool positive = filter_->MightContain(key);
   if (positive) stats_.positives++;
   return positive;
 }

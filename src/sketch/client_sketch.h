@@ -10,6 +10,7 @@
 #define SPEEDKIT_SKETCH_CLIENT_SKETCH_H_
 
 #include <cstdint>
+#include <memory>
 #include <string_view>
 
 #include "common/sim_time.h"
@@ -34,8 +35,14 @@ class ClientSketch {
   // re-fetched before the next cache read.
   bool NeedsRefresh(SimTime now) const;
 
-  // Installs a snapshot received from the server.
+  // Installs a snapshot received from the server (wire form).
   Status Update(std::string_view serialized, SimTime now);
+
+  // Installs a pre-deserialized snapshot shared across the whole fleet
+  // (see CacheSketch::PublishedFilter). `wire_bytes` is what the serialized
+  // form would have cost, so transfer accounting matches Update exactly.
+  void Install(std::shared_ptr<const BloomFilter> filter, size_t wire_bytes,
+               SimTime now);
 
   // Membership check against the last snapshot. `true` means the cached
   // copy must be revalidated; `false` means it is safe to serve (up to the
@@ -53,7 +60,9 @@ class ClientSketch {
 
  private:
   Duration refresh_interval_;
-  BloomFilter filter_;
+  // Shared and immutable: a million clients refreshed inside the same Δ
+  // window all point at one filter object.
+  std::shared_ptr<const BloomFilter> filter_;
   bool has_snapshot_ = false;
   SimTime fetched_at_;
   ClientSketchStats stats_;

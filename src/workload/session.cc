@@ -6,7 +6,17 @@ SessionGenerator::SessionGenerator(const Catalog* catalog,
                                    const SessionConfig& config, Pcg32 rng)
     : catalog_(catalog),
       config_(config),
-      product_popularity_(catalog->num_products(), config.product_skew),
+      owned_popularity_(std::make_unique<ZipfGenerator>(
+          catalog->num_products(), config.product_skew)),
+      product_popularity_(owned_popularity_.get()),
+      rng_(rng) {}
+
+SessionGenerator::SessionGenerator(const Catalog* catalog,
+                                   const SessionConfig& config,
+                                   const ZipfGenerator* popularity, Pcg32 rng)
+    : catalog_(catalog),
+      config_(config),
+      product_popularity_(popularity),
       rng_(rng) {}
 
 std::vector<PageView> SessionGenerator::NextSession() {
@@ -18,7 +28,7 @@ std::vector<PageView> SessionGenerator::NextSession() {
     current.type = PageType::kHome;
   } else {
     current.type = PageType::kProduct;
-    current.product_rank = product_popularity_.Sample(rng_);
+    current.product_rank = product_popularity_->Sample(rng_);
     current.category = catalog_->CategoryOf(current.product_rank);
   }
   current.think_time_before = Duration::Zero();
@@ -46,7 +56,7 @@ PageView SessionGenerator::NextPage(const PageView& current) {
             static_cast<int>(rng_.NextBounded(catalog_->num_categories()));
       } else {
         next.type = PageType::kProduct;
-        next.product_rank = product_popularity_.Sample(rng_);
+        next.product_rank = product_popularity_->Sample(rng_);
         next.category = catalog_->CategoryOf(next.product_rank);
       }
       break;
@@ -55,11 +65,11 @@ PageView SessionGenerator::NextPage(const PageView& current) {
         // Pick within the current category: resample until the category
         // matches (bounded tries keep determinism cheap).
         next.type = PageType::kProduct;
-        next.product_rank = product_popularity_.Sample(rng_);
+        next.product_rank = product_popularity_->Sample(rng_);
         for (int tries = 0;
              tries < 8 && catalog_->CategoryOf(next.product_rank) != current.category;
              ++tries) {
-          next.product_rank = product_popularity_.Sample(rng_);
+          next.product_rank = product_popularity_->Sample(rng_);
         }
         next.category = catalog_->CategoryOf(next.product_rank);
       } else {
@@ -71,7 +81,7 @@ PageView SessionGenerator::NextPage(const PageView& current) {
     case PageType::kProduct:
       if (u < 0.45) {
         next.type = PageType::kProduct;  // related product
-        next.product_rank = product_popularity_.Sample(rng_);
+        next.product_rank = product_popularity_->Sample(rng_);
         next.category = catalog_->CategoryOf(next.product_rank);
       } else if (u < 0.75) {
         next.type = PageType::kCategory;  // back to the listing

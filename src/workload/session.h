@@ -9,6 +9,7 @@
 #define SPEEDKIT_WORKLOAD_SESSION_H_
 
 #include <cstddef>
+#include <memory>
 #include <vector>
 
 #include "common/random.h"
@@ -36,8 +37,18 @@ struct SessionConfig {
 
 class SessionGenerator {
  public:
+  // Builds and owns a private popularity CDF — fine for one-off use, but
+  // the table is O(catalog) doubles; fleets must not pay it per client.
   SessionGenerator(const Catalog* catalog, const SessionConfig& config,
                    Pcg32 rng);
+
+  // Shares one immutable CDF across all generators of a run (the fleet
+  // path: a million clients, one 16 KB table). `popularity` must outlive
+  // the generator and be built with config.product_skew — sampling draws
+  // are identical to the owning constructor's, so runs fingerprint the
+  // same either way.
+  SessionGenerator(const Catalog* catalog, const SessionConfig& config,
+                   const ZipfGenerator* popularity, Pcg32 rng);
 
   // One full session for one (anonymous) visitor.
   std::vector<PageView> NextSession();
@@ -47,7 +58,8 @@ class SessionGenerator {
 
   const Catalog* catalog_;
   SessionConfig config_;
-  ZipfGenerator product_popularity_;
+  std::unique_ptr<const ZipfGenerator> owned_popularity_;  // null when shared
+  const ZipfGenerator* product_popularity_;
   Pcg32 rng_;
 };
 

@@ -1,0 +1,156 @@
+// Cold-client spill codec: HttpCache::Freeze/Thaw must be a lossless
+// round trip — contents, Vary variants, stats, eviction history AND the
+// LRU recency order, so a thawed cache makes the exact same decisions as
+// its never-frozen twin forever after. The fleet depends on this being
+// behavior-neutral (fig_memscale gates it end-to-end; these tests pin
+// the codec directly).
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "cache/http_cache.h"
+
+namespace speedkit::cache {
+namespace {
+
+SimTime At(double seconds) {
+  return SimTime::Origin() + Duration::Seconds(seconds);
+}
+
+http::HttpResponse Response(std::string cc_value, double generated_s = 0,
+                            uint64_t version = 1,
+                            std::string body = "payload") {
+  http::HttpResponse resp;
+  resp.status_code = 200;
+  resp.body = std::move(body);
+  resp.headers.Set("Cache-Control", cc_value);
+  resp.SetETag("\"v" + std::to_string(version) + "\"");
+  resp.object_version = version;
+  resp.generated_at = At(generated_s);
+  return resp;
+}
+
+TEST(HttpCacheFreezeTest, RoundTripPreservesContentsAndStats) {
+  HttpCache cache(false, 0);
+  cache.Store("a", Response("max-age=60", 0, 1, "body-a"), At(0));
+  cache.Store("b", Response("max-age=5", 0, 2, "body-b"), At(0));
+  cache.Store("c", Response("no-cache, max-age=60", 0, 3, "body-c"), At(0));
+  cache.Lookup("a", At(1));          // fresh hit
+  cache.Lookup("b", At(10));         // stale hit
+  cache.Lookup("missing", At(1));    // miss
+  const HttpCacheStats before = cache.stats();
+
+  std::string blob = cache.Freeze();
+  HttpCache thawed(false, 0);
+  ASSERT_TRUE(thawed.Thaw(blob));
+
+  EXPECT_EQ(thawed.size(), cache.size());
+  EXPECT_EQ(thawed.used_bytes(), cache.used_bytes());
+  EXPECT_EQ(thawed.stats().fresh_hits, before.fresh_hits);
+  EXPECT_EQ(thawed.stats().stale_hits, before.stale_hits);
+  EXPECT_EQ(thawed.stats().misses, before.misses);
+  EXPECT_EQ(thawed.stats().stores, before.stores);
+
+  LookupResult a = thawed.Lookup("a", At(1));
+  ASSERT_EQ(a.outcome, LookupOutcome::kFreshHit);
+  EXPECT_EQ(a.entry->response.body, "body-a");
+  EXPECT_EQ(a.entry->response.object_version, 1u);
+  EXPECT_EQ(thawed.Lookup("b", At(10)).outcome, LookupOutcome::kStaleHit);
+  // no-cache survives: entry present but only usable after revalidation.
+  LookupResult c = thawed.Lookup("c", At(1));
+  EXPECT_EQ(c.outcome, LookupOutcome::kStaleHit);
+}
+
+// The decisive property: after thawing, capacity pressure evicts the same
+// victim in the same order as in a never-frozen twin — the blob encodes
+// recency, not just membership.
+TEST(HttpCacheFreezeTest, RecencyOrderSurvivesSoEvictionsMatchTwin) {
+  // Capacity for exactly three of these (equal-sized) entries, measured
+  // rather than hardcoded so the test tracks the entry-size accounting.
+  size_t capacity = [] {
+    HttpCache probe(false, 0);
+    probe.Store("a", Response("max-age=60", 0, 1, "body-a"), At(0));
+    probe.Store("b", Response("max-age=60", 0, 2, "body-b"), At(0));
+    probe.Store("c", Response("max-age=60", 0, 3, "body-c"), At(0));
+    return probe.used_bytes();
+  }();
+  auto run = [capacity](bool freeze_midway) {
+    HttpCache cache(false, capacity);
+    cache.Store("a", Response("max-age=60", 0, 1, "body-a"), At(0));
+    cache.Store("b", Response("max-age=60", 0, 2, "body-b"), At(0));
+    cache.Store("c", Response("max-age=60", 0, 3, "body-c"), At(0));
+    cache.Lookup("a", At(1));  // a is now MRU; b is LRU
+    if (freeze_midway) {
+      std::string blob = cache.Freeze();
+      cache.Clear();
+      EXPECT_TRUE(cache.Thaw(blob));
+    }
+    cache.Store("d", Response("max-age=60", 0, 4, "body-d"), At(2));
+    std::string surviving;
+    for (const char* key : {"a", "b", "c", "d"}) {
+      if (cache.Lookup(key, At(3)).outcome == LookupOutcome::kFreshHit) {
+        surviving += key;
+      }
+    }
+    return surviving + "/" + std::to_string(cache.evictions());
+  };
+  EXPECT_EQ(run(/*freeze_midway=*/true), run(/*freeze_midway=*/false));
+  EXPECT_EQ(run(/*freeze_midway=*/false), "acd/1");  // b was LRU
+}
+
+TEST(HttpCacheFreezeTest, VaryVariantsSurvive) {
+  HttpCache cache(false, 0);
+  http::HttpResponse seg_a = Response("max-age=60", 0, 1, "segment-a");
+  seg_a.headers.Set("Vary", "X-Segment");
+  http::HttpResponse seg_b = Response("max-age=60", 0, 2, "segment-b");
+  seg_b.headers.Set("Vary", "X-Segment");
+  http::HeaderMap req_a;
+  req_a.Set("X-Segment", "a");
+  http::HeaderMap req_b;
+  req_b.Set("X-Segment", "b");
+  ASSERT_TRUE(cache.Store("k", req_a, seg_a, At(0)));
+  ASSERT_TRUE(cache.Store("k", req_b, seg_b, At(0)));
+
+  HttpCache thawed(false, 0);
+  ASSERT_TRUE(thawed.Thaw(cache.Freeze()));
+  LookupResult a = thawed.Lookup("k", req_a, At(1));
+  ASSERT_EQ(a.outcome, LookupOutcome::kFreshHit);
+  EXPECT_EQ(a.entry->response.body, "segment-a");
+  LookupResult b = thawed.Lookup("k", req_b, At(1));
+  ASSERT_EQ(b.outcome, LookupOutcome::kFreshHit);
+  EXPECT_EQ(b.entry->response.body, "segment-b");
+  // A third variant can still be stored and purged through the thawed
+  // Vary bookkeeping.
+  EXPECT_TRUE(thawed.Purge("k"));
+  EXPECT_EQ(thawed.Lookup("k", req_a, At(1)).outcome, LookupOutcome::kMiss);
+}
+
+TEST(HttpCacheFreezeTest, CorruptBlobFailsClosedToEmpty) {
+  HttpCache cache(false, 0);
+  cache.Store("a", Response("max-age=60"), At(0));
+  std::string blob = cache.Freeze();
+
+  HttpCache victim(false, 0);
+  victim.Store("keep", Response("max-age=60"), At(0));
+  EXPECT_FALSE(victim.Thaw(blob.substr(0, blob.size() / 2)));  // truncated
+  EXPECT_EQ(victim.size(), 0u);  // cleared, not half-restored
+
+  std::string bad_magic = blob;
+  bad_magic[0] = static_cast<char>(bad_magic[0] + 1);
+  EXPECT_FALSE(victim.Thaw(bad_magic));
+  EXPECT_TRUE(victim.Thaw(blob));  // the pristine blob still works
+  EXPECT_EQ(victim.size(), 1u);
+}
+
+TEST(HttpCacheFreezeTest, SharedFlagAndCapacityMismatchRejected) {
+  HttpCache private_cache(false, 1024);
+  private_cache.Store("a", Response("max-age=60"), At(0));
+  std::string blob = private_cache.Freeze();
+  HttpCache shared_cache(true, 1024);
+  EXPECT_FALSE(shared_cache.Thaw(blob));
+  HttpCache other_capacity(false, 2048);
+  EXPECT_FALSE(other_capacity.Thaw(blob));
+}
+
+}  // namespace
+}  // namespace speedkit::cache

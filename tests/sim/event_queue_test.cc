@@ -75,6 +75,45 @@ TEST(EventQueueTest, EventsCanScheduleMoreEvents) {
   EXPECT_EQ(clock.Now().micros(), 50000);
 }
 
+// Locks the documented RunUntil/RunAll clock semantics: a finite `until`
+// advances the clock to the boundary even when the queue drains early; a
+// drain (until == SimTime::Max()) leaves the clock at the last event's
+// fire time — there is no meaningful "end" to advance to.
+TEST(EventQueueTest, FiniteRunUntilAdvancesClockPastADrainedQueue) {
+  SimClock clock;
+  EventQueue q(&clock);
+  q.At(SimTime::FromMicros(100), [] {});
+  EXPECT_EQ(q.RunUntil(SimTime::FromMicros(700)), 1u);
+  EXPECT_EQ(clock.Now().micros(), 700);  // boundary, not the last event
+  // An empty queue still advances to the boundary.
+  EXPECT_EQ(q.RunUntil(SimTime::FromMicros(900)), 0u);
+  EXPECT_EQ(clock.Now().micros(), 900);
+}
+
+TEST(EventQueueTest, RunAllLeavesClockAtLastEvent) {
+  SimClock clock;
+  EventQueue q(&clock);
+  q.At(SimTime::FromMicros(100), [] {});
+  q.At(SimTime::FromMicros(250), [] {});
+  EXPECT_EQ(q.RunAll(), 2u);
+  EXPECT_EQ(clock.Now().micros(), 250);  // not SimTime::Max()
+  // Draining an already-empty queue moves nothing.
+  EXPECT_EQ(q.RunAll(), 0u);
+  EXPECT_EQ(clock.Now().micros(), 250);
+}
+
+TEST(EventQueueTest, RunUntilInThePastIsANoOp) {
+  SimClock clock;
+  clock.Advance(Duration::Seconds(10));
+  EventQueue q(&clock);
+  bool ran = false;
+  q.After(Duration::Seconds(1), [&] { ran = true; });
+  EXPECT_EQ(q.RunUntil(SimTime::FromMicros(5)), 0u);  // before now
+  EXPECT_FALSE(ran);
+  EXPECT_EQ(clock.Now().seconds(), 10.0);  // clock never moves backwards
+  EXPECT_EQ(q.pending(), 1u);
+}
+
 TEST(EventQueueTest, AfterUsesCurrentClock) {
   SimClock clock;
   clock.Advance(Duration::Seconds(100));
