@@ -1,11 +1,21 @@
 #include "cache/cdn.h"
 
 #include <cassert>
+#include <iterator>
 #include <utility>
 
 #include "common/hash.h"
 
 namespace speedkit::cache {
+
+std::string_view OriginFlightModeName(OriginFlightMode mode) {
+  switch (mode) {
+    case OriginFlightMode::kInstant: return "instant";
+    case OriginFlightMode::kHerd: return "herd";
+    case OriginFlightMode::kCoalesce: return "coalesce";
+  }
+  return "unknown";
+}
 
 Cdn::Cdn(int num_edges, size_t edge_capacity_bytes)
     : map_(std::make_shared<ShardedEdgeMap>(num_edges, edge_capacity_bytes)),
@@ -67,6 +77,40 @@ size_t Cdn::DrainRemotePurges(SimTime /*now*/) {
     faults_->drained++;
     if (PurgeEdge(local, note.key)) faults_->effective++;
   });
+}
+
+void Cdn::BeginFlight(int i, const std::string& key, SimTime now,
+                      SimTime ready_at) {
+  if (flights_.empty()) flights_.resize(owned_.size());
+  auto& table = flights_[static_cast<size_t>(i)];
+  // Keys whose flights landed but were never looked up again would pin the
+  // table forever; sweep them wholesale before it gets large.
+  if (table.size() >= 4096) {
+    for (auto it = table.begin(); it != table.end();) {
+      it = it->second <= now ? table.erase(it) : std::next(it);
+    }
+  }
+  auto it = table.find(key);
+  if (it != table.end()) {
+    if (it->second > now) return;  // open flight: herd fetches never extend
+    it->second = ready_at;         // expired: this fetch leads a new flight
+  } else {
+    table.emplace(key, ready_at);
+  }
+  faults_->flights_started++;
+}
+
+std::optional<SimTime> Cdn::OpenFlightReadyAt(int i, const std::string& key,
+                                              SimTime now) {
+  if (flights_.empty()) return std::nullopt;
+  auto& table = flights_[static_cast<size_t>(i)];
+  auto it = table.find(key);
+  if (it == table.end()) return std::nullopt;
+  if (it->second <= now) {
+    table.erase(it);  // lazy reap: the flight landed before this arrival
+    return std::nullopt;
+  }
+  return it->second;
 }
 
 EdgeFaultStats Cdn::TotalFaultStats() const {

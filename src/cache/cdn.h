@@ -33,16 +33,39 @@
 
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <string>
 #include <string_view>
+#include <unordered_map>
 #include <vector>
 
 #include "cache/http_cache.h"
 #include "cache/purge_mailbox.h"
 #include "cache/sharded_edge_map.h"
+#include "common/hash.h"
 #include "common/sim_time.h"
 
 namespace speedkit::cache {
+
+// How the edge tier treats concurrent misses for the same key while an
+// origin fetch is already in flight (the sim-side adoption of
+// net/single_flight.h — one concept, two execution substrates).
+//
+//   kInstant   Legacy model: an origin response is visible at the edge at
+//              fetch-START sim time, so a concurrent miss never exists and
+//              thundering herds are structurally invisible. Default —
+//              every pre-existing fingerprint stays bit-identical.
+//   kHerd      Realistic window, no collapsing: the leader's response
+//              becomes visible only at fetch COMPLETION (start + origin
+//              round trip); arrivals inside the window each go to the
+//              origin themselves. The honest baseline a real edge without
+//              request collapsing would show.
+//   kCoalesce  Window + single-flight: arrivals inside the window join the
+//              leader's flight, paying the remaining window plus their own
+//              client<->edge leg, and the origin sees ONE fetch.
+enum class OriginFlightMode { kInstant, kHerd, kCoalesce };
+
+std::string_view OriginFlightModeName(OriginFlightMode mode);
 
 class Cdn {
  public:
@@ -142,6 +165,30 @@ class Cdn {
   uint64_t remote_purges_drained() const { return faults_->drained; }
   uint64_t remote_purges_effective() const { return faults_->effective; }
 
+  // -- origin flight windows (single-flight coalescing) -----------------
+  // Registers an origin fetch for `key` at owned edge `i`, completing at
+  // `ready_at`. No-op while an unexpired flight for the key is already
+  // open (herd fetches inside the window never extend it; after expiry the
+  // next miss leads a fresh flight). Shard-local like the edge itself.
+  void BeginFlight(int i, const std::string& key, SimTime now,
+                   SimTime ready_at);
+
+  // Completion time of the open flight for `key` at edge `i`, or nullopt
+  // when none is in progress at `now`. Expired entries are reaped lazily
+  // on access (and wholesale once the table grows past a threshold).
+  std::optional<SimTime> OpenFlightReadyAt(int i, const std::string& key,
+                                           SimTime now);
+
+  // Called by the proxy for each arrival inside an open window: a join
+  // (kCoalesce — served the leader's response) or a herd fetch (kHerd —
+  // went to the origin anyway).
+  void NoteFlightJoin() { faults_->flight_joins++; }
+  void NoteHerdFetch() { faults_->herd_fetches++; }
+
+  uint64_t flights_started() const { return faults_->flights_started; }
+  uint64_t flight_joins() const { return faults_->flight_joins; }
+  uint64_t herd_fetches() const { return faults_->herd_fetches; }
+
   // Aggregated stats across owned edges.
   HttpCacheStats TotalStats() const;
   const EdgeFaultStats& edge_fault_stats(int i) const {
@@ -158,6 +205,10 @@ class Cdn {
     uint64_t posted = 0;
     uint64_t drained = 0;
     uint64_t effective = 0;
+    // Origin flight-window accounting (modes kHerd/kCoalesce only).
+    uint64_t flights_started = 0;
+    uint64_t flight_joins = 0;
+    uint64_t herd_fetches = 0;
   };
 
   ShardedEdgeMap::EdgeSlot& slot(int local) {
@@ -177,6 +228,12 @@ class Cdn {
   // over local indices is deterministic.
   std::vector<int> owned_;
   std::unique_ptr<ShardLocalStats> faults_;
+  // Per-owned-edge open flights: key -> completion time. Shard-private
+  // like the slot itself; sized lazily on first BeginFlight so kInstant
+  // stacks carry no allocation. Expired entries are reaped lazily.
+  std::vector<std::unordered_map<std::string, SimTime, StringHash,
+                                 std::equal_to<>>>
+      flights_;
 };
 
 }  // namespace speedkit::cache

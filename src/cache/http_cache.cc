@@ -206,11 +206,17 @@ std::string HttpCache::Freeze() const {
   w.U64(stats_.purges);
   w.U64(entries_.evictions());
   w.U64(entries_.oversized_rejections());
-  w.U32(static_cast<uint32_t>(vary_names_.size()));
-  for (const auto& [key, names] : vary_names_) {
-    w.Str(key);
-    w.U32(static_cast<uint32_t>(names.size()));
-    for (const std::string& name : names) w.Str(name);
+  // Most fleets never see a Vary response, so the variant-name section is
+  // presence-gated rather than written as an empty count: spilled blobs
+  // for never-varying clients carry one byte here, not a dangling section.
+  w.U8(vary_names_.empty() ? 0 : 1);
+  if (!vary_names_.empty()) {
+    w.U32(static_cast<uint32_t>(vary_names_.size()));
+    for (const auto& [key, names] : vary_names_) {
+      w.Str(key);
+      w.U32(static_cast<uint32_t>(names.size()));
+      for (const std::string& name : names) w.Str(name);
+    }
   }
   w.U32(static_cast<uint32_t>(entries_.size()));
   // Least- to most-recently-used: replaying Put in this order rebuilds the
@@ -254,7 +260,7 @@ bool HttpCache::Thaw(std::string_view blob) {
   stats.purges = r.U64();
   uint64_t evictions = r.U64();
   uint64_t oversized = r.U64();
-  uint32_t vary_count = r.U32();
+  uint32_t vary_count = r.U8() != 0 ? r.U32() : 0;
   for (uint32_t i = 0; i < vary_count && r.ok(); ++i) {
     std::string key(r.Str());
     uint32_t name_count = r.U32();

@@ -202,6 +202,7 @@ void SpeedKitStack::ScheduleMailboxDrain() {
 proxy::ProxyConfig SpeedKitStack::DefaultProxyConfig() const {
   proxy::ProxyConfig pc;
   pc.sketch_refresh_interval = config_.delta;
+  pc.origin_flight = config_.origin_flight;
   switch (config_.variant) {
     case SystemVariant::kSpeedKit:
       break;  // everything on

@@ -69,6 +69,14 @@ struct StackConfig {
   int shards = 1;
   sim::NetworkConfig network;
   origin::OriginConfig origin;
+  // Concurrent-miss semantics at the edge while an origin fetch for the
+  // same key is in flight (see cache::OriginFlightMode). kInstant — the
+  // legacy instantaneous-store model — is the default, keeping every
+  // pre-existing fingerprint bit-identical; kHerd models the in-flight
+  // window honestly (arrivals stampede to the origin); kCoalesce adds
+  // single-flight collapsing, the mechanism speedkit_edged runs over real
+  // wall-clock windows.
+  cache::OriginFlightMode origin_flight = cache::OriginFlightMode::kInstant;
 
   // Coherence.
   size_t sketch_capacity = 100000;

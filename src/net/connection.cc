@@ -1,0 +1,120 @@
+#include "net/connection.h"
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+
+#include "net/event_loop.h"
+
+namespace speedkit::net {
+
+Connection::Connection(EventLoop* loop, int fd)
+    : loop_(loop), fd_(fd), last_activity_(std::chrono::steady_clock::now()) {}
+
+Connection::~Connection() { CloseNow(); }
+
+void Connection::Start() {
+  loop_->AddFd(fd_, EventLoop::kReadable,
+               [this](uint32_t events) { HandleEvent(events); });
+}
+
+void Connection::HandleEvent(uint32_t events) {
+  if (events & EventLoop::kClosed) {
+    CloseNow();
+    return;
+  }
+  if (events & EventLoop::kWritable) FlushWrites();
+  if (closed_) return;
+  if (events & EventLoop::kReadable) ReadReady();
+}
+
+void Connection::ReadReady() {
+  char buf[16 * 1024];
+  bool got_data = false;
+  while (true) {
+    ssize_t n = ::read(fd_, buf, sizeof(buf));
+    if (n > 0) {
+      input_.append(buf, static_cast<size_t>(n));
+      bytes_in_ += static_cast<uint64_t>(n);
+      got_data = true;
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+    // n == 0 (peer closed) or a hard error. Deliver what we have first:
+    // a peer may legally send a request and shut down its write side.
+    if (got_data && on_data_) on_data_(this);
+    CloseNow();
+    return;
+  }
+  if (got_data) {
+    last_activity_ = std::chrono::steady_clock::now();
+    if (on_data_) on_data_(this);
+  }
+}
+
+void Connection::Consume(size_t n) {
+  input_.erase(0, n);
+}
+
+void Connection::Send(std::string_view data) {
+  if (closed_ || close_after_flush_) return;
+  output_.append(data);
+  FlushWrites();
+}
+
+void Connection::FlushWrites() {
+  while (!output_.empty()) {
+    ssize_t n = ::send(fd_, output_.data(), output_.size(), MSG_NOSIGNAL);
+    if (n > 0) {
+      output_.erase(0, static_cast<size_t>(n));
+      bytes_out_ += static_cast<uint64_t>(n);
+      last_activity_ = std::chrono::steady_clock::now();
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+    CloseNow();  // peer reset mid-write
+    return;
+  }
+  if (output_.empty() && close_after_flush_) {
+    CloseNow();
+    return;
+  }
+  UpdateInterest();
+}
+
+void Connection::UpdateInterest() {
+  bool want = !output_.empty();
+  if (want == want_write_) return;
+  want_write_ = want;
+  loop_->ModifyFd(fd_, EventLoop::kReadable |
+                           (want ? EventLoop::kWritable : 0u));
+}
+
+void Connection::Close() {
+  if (closed_) return;
+  if (output_.empty()) {
+    CloseNow();
+  } else {
+    close_after_flush_ = true;
+  }
+}
+
+void Connection::CloseNow() {
+  if (closed_) return;
+  closed_ = true;
+  loop_->RemoveFd(fd_);
+  ::close(fd_);
+  fd_ = -1;
+  if (on_close_) {
+    // Deferred via Post so the owner may destroy this connection without
+    // pulling the rug from under the method that triggered the close.
+    CloseCallback cb = std::move(on_close_);
+    Connection* self = this;
+    loop_->Post([cb = std::move(cb), self] { cb(self); });
+  }
+}
+
+}  // namespace speedkit::net

@@ -1,0 +1,88 @@
+// Buffered, loop-affine TCP connection.
+//
+// Owns a nonblocking fd. Reads are drained into an input buffer and handed
+// to on_data (which consumes parsed frames via Consume); writes go through
+// Send, which flushes opportunistically and falls back to an output buffer
+// plus EPOLLOUT when the socket backpressures. Close() is graceful — the
+// output buffer drains first — CloseNow() is not.
+//
+// Lifetime: the owner (EdgedServer) keeps connections in a map keyed by fd
+// and destroys one only from its on_close callback, which fires via
+// EventLoop::Post — never from inside a Connection method — so callbacks
+// can safely Close() the connection they are running on.
+#ifndef SPEEDKIT_NET_CONNECTION_H_
+#define SPEEDKIT_NET_CONNECTION_H_
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+
+namespace speedkit::net {
+
+class EventLoop;
+
+class Connection {
+ public:
+  using DataCallback = std::function<void(Connection*)>;
+  using CloseCallback = std::function<void(Connection*)>;
+
+  Connection(EventLoop* loop, int fd);
+  ~Connection();
+  Connection(const Connection&) = delete;
+  Connection& operator=(const Connection&) = delete;
+
+  void set_on_data(DataCallback cb) { on_data_ = std::move(cb); }
+  void set_on_close(CloseCallback cb) { on_close_ = std::move(cb); }
+
+  // Registers with the loop; call after the callbacks are set.
+  void Start();
+
+  // Unconsumed received bytes. on_data parses frames from the front and
+  // acknowledges them with Consume(n); partial frames stay buffered.
+  std::string_view input() const { return input_; }
+  void Consume(size_t n);
+
+  // Queues data for the peer (flushes inline when the socket allows).
+  void Send(std::string_view data);
+
+  // Graceful: closes once the output buffer drains. CloseNow drops it.
+  void Close();
+  void CloseNow();
+
+  bool closed() const { return closed_; }
+  int fd() const { return fd_; }
+  uint64_t bytes_in() const { return bytes_in_; }
+  uint64_t bytes_out() const { return bytes_out_; }
+
+  // Last socket activity (read or successful write) — the idle-sweep input.
+  std::chrono::steady_clock::time_point last_activity() const {
+    return last_activity_;
+  }
+
+ private:
+  void HandleEvent(uint32_t events);
+  void ReadReady();
+  void FlushWrites();
+  void UpdateInterest();
+
+  EventLoop* loop_;
+  int fd_;
+  bool closed_ = false;
+  bool close_after_flush_ = false;
+  bool want_write_ = false;
+
+  std::string input_;
+  std::string output_;
+  uint64_t bytes_in_ = 0;
+  uint64_t bytes_out_ = 0;
+  std::chrono::steady_clock::time_point last_activity_;
+
+  DataCallback on_data_;
+  CloseCallback on_close_;
+};
+
+}  // namespace speedkit::net
+
+#endif  // SPEEDKIT_NET_CONNECTION_H_

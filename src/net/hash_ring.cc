@@ -1,0 +1,110 @@
+#include "net/hash_ring.h"
+
+#include <algorithm>
+
+#include "common/hash.h"
+
+namespace speedkit::net {
+
+namespace {
+// Fixed hash seed: ring placement must agree across every process that
+// builds the same topology (router, edged, tests).
+constexpr uint64_t kRingSeed = 0x5feedc0de;
+}  // namespace
+
+HashRing::HashRing(int replicas)
+    : default_replicas_(replicas < 1 ? 1 : replicas) {}
+
+void HashRing::AddNode(std::string_view name) {
+  AddNode(name, default_replicas_);
+}
+
+void HashRing::AddNode(std::string_view name, int replicas) {
+  for (const Node& n : nodes_) {
+    if (n.name == name) return;
+  }
+  nodes_.push_back(Node{std::string(name), replicas < 1 ? 1 : replicas});
+  node_names_.emplace_back(name);
+  Rebuild();
+}
+
+bool HashRing::RemoveNode(std::string_view name) {
+  for (size_t i = 0; i < nodes_.size(); ++i) {
+    if (nodes_[i].name == name) {
+      nodes_.erase(nodes_.begin() + static_cast<ptrdiff_t>(i));
+      node_names_.erase(node_names_.begin() + static_cast<ptrdiff_t>(i));
+      Rebuild();
+      return true;
+    }
+  }
+  return false;
+}
+
+void HashRing::Rebuild() {
+  points_.clear();
+  size_t total = 0;
+  for (const Node& n : nodes_) total += static_cast<size_t>(n.replicas);
+  points_.reserve(total);
+  for (uint32_t ni = 0; ni < nodes_.size(); ++ni) {
+    const Node& n = nodes_[ni];
+    std::string label;
+    label.reserve(n.name.size() + 12);
+    for (int r = 0; r < n.replicas; ++r) {
+      label.assign(n.name);
+      label.push_back('#');
+      label.append(std::to_string(r));
+      points_.push_back(Point{Murmur3_64(label, kRingSeed), ni});
+    }
+  }
+  // Ties (two vnode labels hashing identically) are broken by node index so
+  // the winner does not depend on sort implementation details.
+  std::sort(points_.begin(), points_.end(), [](const Point& a, const Point& b) {
+    return a.hash != b.hash ? a.hash < b.hash : a.node < b.node;
+  });
+}
+
+const HashRing::Point* HashRing::OwnerPoint(uint64_t hash) const {
+  if (points_.empty()) return nullptr;
+  // First vnode clockwise (>= the key's hash), wrapping to the start.
+  auto it = std::lower_bound(
+      points_.begin(), points_.end(), hash,
+      [](const Point& p, uint64_t h) { return p.hash < h; });
+  if (it == points_.end()) it = points_.begin();
+  return &*it;
+}
+
+std::string_view HashRing::NodeFor(std::string_view key) const {
+  const Point* p = OwnerPoint(Murmur3_64(key, kRingSeed));
+  if (p == nullptr) return {};
+  return nodes_[p->node].name;
+}
+
+std::vector<std::string_view> HashRing::NodesFor(std::string_view key,
+                                                 size_t n) const {
+  std::vector<std::string_view> out;
+  if (points_.empty() || n == 0) return out;
+  const size_t want = std::min(n, nodes_.size());
+  out.reserve(want);
+  const uint64_t h = Murmur3_64(key, kRingSeed);
+  auto it = std::lower_bound(
+      points_.begin(), points_.end(), h,
+      [](const Point& p, uint64_t hh) { return p.hash < hh; });
+  size_t start = it == points_.end()
+                     ? 0
+                     : static_cast<size_t>(it - points_.begin());
+  for (size_t step = 0; step < points_.size() && out.size() < want; ++step) {
+    const Point& p = points_[(start + step) % points_.size()];
+    std::string_view name = nodes_[p.node].name;
+    bool seen = false;
+    for (std::string_view got : out) {
+      if (got == name) {
+        seen = true;
+        break;
+      }
+    }
+    if (!seen) out.push_back(name);
+  }
+  return out;
+}
+
+}  // namespace speedkit::net

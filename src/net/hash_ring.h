@@ -1,0 +1,77 @@
+// Consistent-hash ring with murmur-hashed virtual nodes — the key→edge
+// placement function of the socketed deployment.
+//
+// Each physical node is mapped onto `replicas` points of a 64-bit hash
+// circle (one Murmur3 hash per "name#i" vnode label); a key is owned by
+// the first vnode clockwise from the key's own hash. Virtual nodes smooth
+// the load split (at 200 vnodes the max/mean edge load stays within ~1.25
+// of uniform, asserted by tests/net/hash_ring_test.cc), and adding or
+// removing one node only moves the keys that hashed into the arcs its
+// vnodes owned — no global reshuffle, which is what makes the edge ring
+// elastically resizable without mass cache invalidation.
+//
+// Placement is a pure function of (node names, replicas): the same ring
+// built in the loadgen's router, in `speedkit_edged --ring`, and in a test
+// places every key identically (Murmur3_64 is platform-stable). Lookup is
+// O(log vnodes) over a sorted array; mutation rebuilds the array — rings
+// mutate on topology changes, not per request.
+#ifndef SPEEDKIT_NET_HASH_RING_H_
+#define SPEEDKIT_NET_HASH_RING_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace speedkit::net {
+
+class HashRing {
+ public:
+  // Every node added later defaults to `replicas` virtual nodes.
+  explicit HashRing(int replicas = 200);
+
+  // Adds `name` with the default (or an explicit) vnode count. Adding an
+  // existing name is a no-op (a node's weight is fixed at add time).
+  void AddNode(std::string_view name);
+  void AddNode(std::string_view name, int replicas);
+
+  // Removes `name` and its vnodes; false if it was never added.
+  bool RemoveNode(std::string_view name);
+
+  // The node owning `key`, or "" on an empty ring.
+  std::string_view NodeFor(std::string_view key) const;
+
+  // The first `n` DISTINCT nodes clockwise from the key's hash — the
+  // replica set for schemes that store a key on more than one edge.
+  // Returns fewer when the ring holds fewer than `n` nodes.
+  std::vector<std::string_view> NodesFor(std::string_view key, size_t n) const;
+
+  bool empty() const { return points_.size() == 0; }
+  size_t num_nodes() const { return nodes_.size(); }
+  size_t num_vnodes() const { return points_.size(); }
+  int default_replicas() const { return default_replicas_; }
+  // Node names in add order (stable iteration for deterministic reports).
+  const std::vector<std::string>& nodes() const { return node_names_; }
+
+ private:
+  struct Node {
+    std::string name;
+    int replicas = 0;
+  };
+  struct Point {
+    uint64_t hash = 0;
+    uint32_t node = 0;  // index into nodes_
+  };
+
+  void Rebuild();
+  const Point* OwnerPoint(uint64_t hash) const;
+
+  int default_replicas_;
+  std::vector<Node> nodes_;             // add order; removed nodes erased
+  std::vector<std::string> node_names_; // mirrors nodes_ (cheap accessor)
+  std::vector<Point> points_;           // sorted by hash
+};
+
+}  // namespace speedkit::net
+
+#endif  // SPEEDKIT_NET_HASH_RING_H_

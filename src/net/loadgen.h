@@ -1,0 +1,74 @@
+// speedkit_loadgen — closed-loop TCP load generator for the edged tier.
+//
+// N workers, each a closed loop over its own keep-alive connections: draw
+// a product rank from the shared Zipf popularity (the same
+// workload::ZipfGenerator every simulation experiment sweeps), route the
+// key through the SAME consistent-hash ring the edge tier runs (client-
+// side routing, like a memcached client), send one HTTP/1.1 GET, block
+// for the response, record wall latency and the X-SpeedKit-* annotations,
+// repeat. Each worker is one client identity (one browser cache + sketch
+// on the edge side), so hit patterns match a fleet of real devices.
+//
+// Deterministic request STREAMS (per-worker Pcg32 forked from the seed);
+// the interleaving across workers is real concurrency and intentionally
+// not deterministic — that is the thing the socketed mode adds over the
+// simulator.
+#ifndef SPEEDKIT_NET_LOADGEN_H_
+#define SPEEDKIT_NET_LOADGEN_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/histogram.h"
+#include "workload/catalog.h"
+
+namespace speedkit::net {
+
+struct LoadGenTarget {
+  std::string node_name;  // ring identity — must match the edged instance
+  std::string host;       // TCP address, e.g. "127.0.0.1"
+  uint16_t port = 0;
+};
+
+struct LoadGenConfig {
+  std::vector<LoadGenTarget> targets;  // the edge ring, one entry per node
+  int ring_replicas = 200;             // must match the edged instances
+  int workers = 4;                     // closed-loop clients (threads)
+  uint64_t requests_per_worker = 1000;
+  uint64_t seed = 42;
+  double zipf_s = 0.95;
+  size_t hot_products = 500;  // Zipf ranks drawn from the first N products
+  workload::CatalogConfig catalog;  // must match the edged instances
+  int connect_timeout_ms = 2000;
+  int response_timeout_ms = 5000;
+};
+
+struct LoadGenReport {
+  uint64_t requests = 0;
+  uint64_t responses = 0;
+  uint64_t errors_2xx_other = 0;  // non-200 2xx/3xx (unexpected but not 5xx)
+  uint64_t errors_4xx = 0;
+  uint64_t errors_5xx = 0;
+  uint64_t transport_errors = 0;  // connect/send/recv/parse failures
+  uint64_t bytes_in = 0;
+  uint64_t bytes_out = 0;
+  // Serve-tier split from X-SpeedKit-Source (browser_cache, edge_cache,
+  // origin, ...). Ordered map for deterministic report output.
+  std::map<std::string, uint64_t> sources;
+  Histogram wall_latency_us;  // measured around each request/response
+  Histogram predicted_us;     // X-SpeedKit-Latency-Us (the sim's model)
+  double wall_seconds = 0;    // whole-run wall time
+
+  // Cache hit rate as the experiments define it: served without an origin
+  // round trip.
+  double HitRate() const;
+};
+
+// Runs the configured load and blocks until every worker finishes.
+LoadGenReport RunLoadGen(const LoadGenConfig& config);
+
+}  // namespace speedkit::net
+
+#endif  // SPEEDKIT_NET_LOADGEN_H_

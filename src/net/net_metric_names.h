@@ -1,0 +1,35 @@
+// Canonical metric names for the socketed edge mode (src/net + the edged
+// front end). Split from obs/metric_names.h so the simulation-only build
+// surface is untouched by networking, but governed by the same contract:
+// every name here MUST be documented in docs/METRICS.md, and CI enforces
+// both directions via tools/check_metrics_docs.py (which parses the quoted
+// literals in BOTH headers — keep one constant per line, nothing else
+// quoted).
+#ifndef SPEEDKIT_NET_NET_METRIC_NAMES_H_
+#define SPEEDKIT_NET_NET_METRIC_NAMES_H_
+
+#include <string_view>
+
+namespace speedkit::net {
+
+// -- connection lifecycle (EdgedServer / EventLoop) ------------------------
+inline constexpr std::string_view kNetAccepts = "net.accepts";
+inline constexpr std::string_view kNetOpenConnections = "net.open_connections";
+inline constexpr std::string_view kNetIdleTimeouts = "net.idle_timeouts";
+inline constexpr std::string_view kNetProtocolErrors = "net.protocol_errors";
+
+// -- request path ----------------------------------------------------------
+inline constexpr std::string_view kNetRequests = "net.requests";
+inline constexpr std::string_view kNetResponses = "net.responses";
+inline constexpr std::string_view kNetBytesIn = "net.bytes_in";
+inline constexpr std::string_view kNetBytesOut = "net.bytes_out";
+inline constexpr std::string_view kNetHandleUs = "net.handle_us";
+
+// -- ring routing + origin coalescing --------------------------------------
+inline constexpr std::string_view kNetRingMisroutes = "net.ring_misroutes";
+inline constexpr std::string_view kNetFlightLeaders = "net.flight_leaders";
+inline constexpr std::string_view kNetFlightJoins = "net.flight_joins";
+
+}  // namespace speedkit::net
+
+#endif  // SPEEDKIT_NET_NET_METRIC_NAMES_H_

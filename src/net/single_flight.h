@@ -1,0 +1,174 @@
+// Single-flight coalescing of duplicate in-flight work.
+//
+// When a cold or just-purged hot key is requested by many clients at once,
+// a naive edge forwards every miss to the origin — the thundering herd the
+// paper's CDN tier avoids by request collapsing. These primitives give the
+// socketed stack (and anything else with duplicate expensive calls) that
+// collapse:
+//
+//   * SingleFlight<V> — thread-safe, blocking. The first caller of
+//     Do(key, fn) becomes the flight's leader and runs fn; concurrent
+//     callers with the same key block until the leader finishes and share
+//     its value (Outcome::shared = true). One fn execution per flight, N
+//     results — asserted by tests/net/single_flight_test.cc with real
+//     threads.
+//
+//   * AsyncSingleFlight<V> — the event-loop variant. Loop-affine (no
+//     locks; one thread), callback-based: Begin() either makes the caller
+//     the leader (who must later Complete(key, value)) or queues the
+//     caller's callback onto the existing flight. speedkit_edged uses this
+//     to hold concurrent requests for a key whose origin fetch is still
+//     outstanding, releasing them all when the response lands.
+//
+// The simulator adopts the same mechanism deterministically through
+// StackConfig::origin_flight (see cache/cdn.h FlightTable) — one concept,
+// three execution substrates.
+#ifndef SPEEDKIT_NET_SINGLE_FLIGHT_H_
+#define SPEEDKIT_NET_SINGLE_FLIGHT_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/hash.h"
+
+namespace speedkit::net {
+
+template <typename V>
+class SingleFlight {
+ public:
+  struct Outcome {
+    V value{};
+    // True when this caller joined another caller's flight instead of
+    // executing fn itself.
+    bool shared = false;
+  };
+
+  // Runs fn under single-flight semantics for `key`. Exactly one of the
+  // concurrent callers for a key executes fn; the rest block and receive
+  // the leader's value. Sequential callers (no overlap) each run their own
+  // flight — this coalesces concurrency, it is not a memoization cache.
+  Outcome Do(const std::string& key, const std::function<V()>& fn) {
+    std::shared_ptr<Call> call;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      auto it = calls_.find(key);
+      if (it != calls_.end()) {
+        call = it->second;
+        ++joins_;
+        call->cv.wait(lock, [&call] { return call->done; });
+        return Outcome{call->value, true};
+      }
+      call = std::make_shared<Call>();
+      calls_.emplace(key, call);
+      ++flights_;
+    }
+    V value = fn();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      call->value = value;
+      call->done = true;
+      calls_.erase(key);
+    }
+    call->cv.notify_all();
+    return Outcome{std::move(value), false};
+  }
+
+  // Flights led / calls absorbed into another caller's flight.
+  uint64_t flights() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return flights_;
+  }
+  uint64_t joins() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return joins_;
+  }
+
+ private:
+  struct Call {
+    std::condition_variable cv;
+    bool done = false;
+    V value{};
+  };
+
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, std::shared_ptr<Call>, StringHash,
+                     std::equal_to<>>
+      calls_;
+  uint64_t flights_ = 0;
+  uint64_t joins_ = 0;
+};
+
+// Event-loop single flight: callbacks instead of blocking. NOT thread-safe
+// by design — it lives on one event loop, where blocking would stall every
+// connection. The leader is responsible for eventually calling Complete
+// (or Abandon on failure) exactly once.
+template <typename V>
+class AsyncSingleFlight {
+ public:
+  using Callback = std::function<void(const V&)>;
+  enum class Role { kLeader, kJoined };
+
+  // Leader: no flight for `key` existed; `on_ready` is NOT retained (the
+  // leader produces the value and already has it when it completes).
+  // Joined: `on_ready` will fire from Complete, in Begin order.
+  Role Begin(const std::string& key, Callback on_ready) {
+    auto it = flights_.find(key);
+    if (it != flights_.end()) {
+      it->second.push_back(std::move(on_ready));
+      ++joins_;
+      return Role::kJoined;
+    }
+    flights_.emplace(key, std::vector<Callback>());
+    ++leaders_;
+    return Role::kLeader;
+  }
+
+  // Ends the flight, invoking every joined callback with `value`. Returns
+  // how many fired. Callbacks are moved out first, so a callback that
+  // re-Begins the same key starts a fresh flight instead of corrupting the
+  // finished one.
+  size_t Complete(const std::string& key, const V& value) {
+    auto it = flights_.find(key);
+    if (it == flights_.end()) return 0;
+    std::vector<Callback> waiters = std::move(it->second);
+    flights_.erase(it);
+    for (Callback& cb : waiters) cb(value);
+    return waiters.size();
+  }
+
+  // Drops the flight without a value (leader failed); returns the waiters
+  // abandoned. Callers that need failure fan-out should Complete with a
+  // sentinel value instead.
+  size_t Abandon(const std::string& key) {
+    auto it = flights_.find(key);
+    if (it == flights_.end()) return 0;
+    size_t n = it->second.size();
+    flights_.erase(it);
+    return n;
+  }
+
+  bool Active(const std::string& key) const {
+    return flights_.find(key) != flights_.end();
+  }
+  size_t active() const { return flights_.size(); }
+  uint64_t leaders() const { return leaders_; }
+  uint64_t joins() const { return joins_; }
+
+ private:
+  std::unordered_map<std::string, std::vector<Callback>, StringHash,
+                     std::equal_to<>>
+      flights_;
+  uint64_t leaders_ = 0;
+  uint64_t joins_ = 0;
+};
+
+}  // namespace speedkit::net
+
+#endif  // SPEEDKIT_NET_SINGLE_FLIGHT_H_

@@ -1,0 +1,52 @@
+// Nonblocking TCP accept socket bound to an EventLoop.
+#ifndef SPEEDKIT_NET_TCP_LISTENER_H_
+#define SPEEDKIT_NET_TCP_LISTENER_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace speedkit::net {
+
+class EventLoop;
+
+class TcpListener {
+ public:
+  // Receives an accepted, nonblocking, TCP_NODELAY connection fd. The
+  // callback owns the fd (typically it wraps it in a Connection).
+  using AcceptCallback = std::function<void(int fd)>;
+
+  explicit TcpListener(EventLoop* loop) : loop_(loop) {}
+  ~TcpListener() { Close(); }
+  TcpListener(const TcpListener&) = delete;
+  TcpListener& operator=(const TcpListener&) = delete;
+
+  void set_on_accept(AcceptCallback cb) { on_accept_ = std::move(cb); }
+
+  // Binds host:port and starts accepting (port 0 picks an ephemeral port —
+  // read it back from port()). Returns false on any socket-layer failure.
+  bool Listen(const std::string& host, uint16_t port);
+
+  void Close();
+
+  bool listening() const { return fd_ >= 0; }
+  uint16_t port() const { return port_; }
+
+ private:
+  void HandleReadable();
+
+  EventLoop* loop_;
+  AcceptCallback on_accept_;
+  int fd_ = -1;
+  uint16_t port_ = 0;
+};
+
+// Client-side helper: nonblocking connect to host:port, returns the fd
+// (>= 0) once the connection is established or -1 on failure. Blocks up to
+// `timeout_ms` — used by the load generator's setup phase and tests, not
+// on the event loop.
+int TcpConnect(const std::string& host, uint16_t port, int timeout_ms);
+
+}  // namespace speedkit::net
+
+#endif  // SPEEDKIT_NET_TCP_LISTENER_H_

@@ -304,9 +304,38 @@ FetchResult ClientProxy::FetchViaEdge(const http::HttpRequest& request,
   // interaction below runs unsynchronized; debug builds assert the
   // ownership discipline inside cdn_->edge().
   cache::HttpCache& edge = cdn_->edge(edge_index);
-  if (!bypass_shared) {
+  // Origin-flight window (kHerd/kCoalesce; kInstant skips in one branch):
+  // while the leader's origin fetch for this key is still in transit, its
+  // stored response is not yet visible at a real edge. kCoalesce joins the
+  // flight — pay the remaining window and serve the leader's response;
+  // kHerd stampedes to the origin like an edge without request collapsing.
+  // Sketch-flagged requests (bypass_shared) never coalesce: sharing a
+  // leader's response would reintroduce the staleness the flag exists to
+  // prevent.
+  bool herd_to_origin = false;
+  Duration flight_wait = Duration::Zero();
+  if (!bypass_shared &&
+      config_.origin_flight != cache::OriginFlightMode::kInstant) {
+    std::optional<SimTime> ready = cdn_->OpenFlightReadyAt(edge_index, key, now);
+    if (ready.has_value()) {
+      if (config_.origin_flight == cache::OriginFlightMode::kCoalesce) {
+        flight_wait = *ready - now;
+      } else {
+        herd_to_origin = true;
+        cdn_->NoteHerdFetch();
+      }
+    }
+  }
+  if (!bypass_shared && !herd_to_origin) {
     cache::LookupResult el = edge.Lookup(key, request.headers, now);
     if (el.outcome == cache::LookupOutcome::kFreshHit) {
+      if (flight_wait > Duration::Zero()) {
+        // Joined the open flight: the response is logically still on the
+        // wire from the origin; the join waits out the remainder.
+        cdn_->NoteFlightJoin();
+        TraceSpan("edge.flight_join", obs::kTierEdge, flight_wait);
+        burned += flight_wait;
+      }
       // A matching client validator gets a cache-minted 304. Its
       // generated_at is the entry's original render time so the browser
       // inherits the remaining freshness, never more.
@@ -454,6 +483,14 @@ FetchResult ClientProxy::FetchViaEdge(const http::HttpRequest& request,
   if (oresp.IsNotModified()) {
     edge.Refresh(key, request.headers, oresp, now);
   } else {
+    if (!bypass_shared &&
+        config_.origin_flight != cache::OriginFlightMode::kInstant) {
+      // This fetch leads a flight: the stored response becomes visible to
+      // other clients only once the origin round trip completes. A no-op
+      // for herd fetches inside an already-open window.
+      cdn_->BeginFlight(edge_index, key, now,
+                        now + rtt_eo + xfer_eo + oresp.server_time);
+    }
     edge.Store(key, request.headers, oresp, now);
   }
   return FinishClientResponse(request, key, oresp, ServedFrom::kOrigin, lat);

@@ -107,6 +107,13 @@ struct ProxyConfig {
   int max_retries = 2;
   Duration retry_backoff = Duration::Millis(200);  // doubles per retry
   double retry_jitter = 0.5;  // uniform extra fraction of the backoff
+
+  // How concurrent misses behave while an origin fetch for the same key is
+  // already in flight at the client's edge (see cache::OriginFlightMode).
+  // kInstant (the legacy instantaneous-store model) is the default and
+  // keeps every pre-existing run bit-identical; kHerd exposes thundering
+  // herds; kCoalesce collapses them single-flight style.
+  cache::OriginFlightMode origin_flight = cache::OriginFlightMode::kInstant;
 };
 
 // Per-client request accounting. Every request the page makes lands in

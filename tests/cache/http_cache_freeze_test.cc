@@ -125,6 +125,26 @@ TEST(HttpCacheFreezeTest, VaryVariantsSurvive) {
   EXPECT_EQ(thawed.Lookup("k", req_a, At(1)).outcome, LookupOutcome::kMiss);
 }
 
+// The variant-name section is presence-gated: a never-varying cache —
+// the overwhelmingly common case in a spilled fleet — spends one byte on
+// it instead of a dangling empty count. Pinned by exact header size so a
+// codec change that reintroduces the empty section fails here.
+TEST(HttpCacheFreezeTest, EmptyVarySectionIsOmittedFromBlob) {
+  HttpCache empty(false, 0);
+  // magic(4) + shared(1) + capacity + 9 stat counters (10 x U64 = 80) +
+  // vary presence byte(1) + entry count(4).
+  EXPECT_EQ(empty.Freeze().size(), 90u);
+
+  // And the lean blob still round-trips losslessly.
+  HttpCache cache(false, 0);
+  cache.Store("a", Response("max-age=60", 0, 1, "body-a"), At(0));
+  HttpCache thawed(false, 0);
+  ASSERT_TRUE(thawed.Thaw(cache.Freeze()));
+  LookupResult a = thawed.Lookup("a", At(1));
+  ASSERT_EQ(a.outcome, LookupOutcome::kFreshHit);
+  EXPECT_EQ(a.entry->response.body, "body-a");
+}
+
 TEST(HttpCacheFreezeTest, CorruptBlobFailsClosedToEmpty) {
   HttpCache cache(false, 0);
   cache.Store("a", Response("max-age=60"), At(0));

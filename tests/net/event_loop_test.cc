@@ -1,0 +1,143 @@
+// The event loop's contract: fd readiness, one-shot timers with lazy
+// cancel, cross-thread Post/Stop wakeups, and safe unregistration from
+// inside a callback — the invariants every Connection and the edged
+// server lean on.
+#include <unistd.h>
+
+#include <chrono>
+#include <string>
+#include <thread>
+
+#include <gtest/gtest.h>
+
+#include "net/event_loop.h"
+
+namespace speedkit::net {
+namespace {
+
+using std::chrono::microseconds;
+using std::chrono::milliseconds;
+
+TEST(EventLoopTest, DispatchesReadableFd) {
+  EventLoop loop;
+  int fds[2];
+  ASSERT_EQ(::pipe(fds), 0);
+  std::string seen;
+  loop.AddFd(fds[0], EventLoop::kReadable, [&](uint32_t events) {
+    EXPECT_TRUE(events & EventLoop::kReadable);
+    char buf[16];
+    ssize_t n = ::read(fds[0], buf, sizeof(buf));
+    ASSERT_GT(n, 0);
+    seen.assign(buf, static_cast<size_t>(n));
+    loop.Stop();
+  });
+  ASSERT_EQ(::write(fds[1], "ping", 4), 4);
+  loop.Run();
+  EXPECT_EQ(seen, "ping");
+  loop.RemoveFd(fds[0]);
+  ::close(fds[0]);
+  ::close(fds[1]);
+}
+
+TEST(EventLoopTest, CallbackMayRemoveItsOwnFd) {
+  // Connections unregister and destroy themselves from inside their own
+  // dispatch; the loop must tolerate the callback pulling the fd out from
+  // under it mid-batch.
+  EventLoop loop;
+  int fds[2];
+  ASSERT_EQ(::pipe(fds), 0);
+  int fired = 0;
+  loop.AddFd(fds[0], EventLoop::kReadable, [&](uint32_t) {
+    ++fired;
+    loop.RemoveFd(fds[0]);
+    ::close(fds[0]);
+    loop.Stop();
+  });
+  ASSERT_EQ(::write(fds[1], "x", 1), 1);
+  loop.Run();
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(loop.num_fds(), 0u);
+  ::close(fds[1]);
+}
+
+TEST(EventLoopTest, TimerFiresOnceAfterItsDelay) {
+  EventLoop loop;
+  int fired = 0;
+  auto t0 = std::chrono::steady_clock::now();
+  loop.AddTimer(microseconds(20000), [&] {
+    ++fired;
+    loop.Stop();
+  });
+  loop.Run();
+  auto elapsed = std::chrono::steady_clock::now() - t0;
+  EXPECT_EQ(fired, 1);
+  EXPECT_GE(elapsed, microseconds(15000));  // fired after, not before
+  EXPECT_EQ(loop.num_timers(), 0u);         // one-shot: gone once fired
+}
+
+TEST(EventLoopTest, TimersFireInDeadlineOrder) {
+  EventLoop loop;
+  std::string order;
+  loop.AddTimer(microseconds(30000), [&] {
+    order += "late";
+    loop.Stop();
+  });
+  loop.AddTimer(microseconds(5000), [&] { order += "early,"; });
+  loop.Run();
+  EXPECT_EQ(order, "early,late");
+}
+
+TEST(EventLoopTest, CancelledTimerNeverFires) {
+  EventLoop loop;
+  bool cancelled_fired = false;
+  EventLoop::TimerId id =
+      loop.AddTimer(microseconds(5000), [&] { cancelled_fired = true; });
+  EXPECT_TRUE(loop.CancelTimer(id));
+  EXPECT_FALSE(loop.CancelTimer(id));  // double-cancel reports failure
+  loop.AddTimer(microseconds(20000), [&] { loop.Stop(); });
+  loop.Run();
+  EXPECT_FALSE(cancelled_fired);
+}
+
+TEST(EventLoopTest, PostRunsOnTheLoopThreadAndWakesIt) {
+  EventLoop loop;
+  std::thread::id loop_thread;
+  std::thread::id posted_from;
+  std::thread runner([&] {
+    loop_thread = std::this_thread::get_id();
+    loop.Run();
+  });
+  // Post from a foreign thread into a loop that is idle in epoll_wait.
+  std::thread::id ran_on;
+  std::thread poster([&] {
+    posted_from = std::this_thread::get_id();
+    loop.Post([&] {
+      ran_on = std::this_thread::get_id();
+      loop.Stop();
+    });
+  });
+  poster.join();
+  runner.join();
+  EXPECT_EQ(ran_on, loop_thread);
+  EXPECT_NE(ran_on, posted_from);
+}
+
+TEST(EventLoopTest, StopFromAnotherThreadBreaksAnIdleLoop) {
+  EventLoop loop;
+  std::thread runner([&] { loop.Run(); });
+  std::this_thread::sleep_for(milliseconds(20));  // let it reach epoll_wait
+  loop.Stop();
+  runner.join();  // would hang forever if Stop's wakeup were lost
+  // Re-runnable after a Stop: RunOnce drains without blocking forever.
+  loop.RunOnce(milliseconds(1));
+}
+
+TEST(EventLoopTest, RunOnceHonorsItsWaitBound) {
+  EventLoop loop;
+  auto t0 = std::chrono::steady_clock::now();
+  loop.RunOnce(milliseconds(10));
+  EXPECT_LT(std::chrono::steady_clock::now() - t0, milliseconds(500));
+}
+
+}  // namespace
+}  // namespace speedkit::net

@@ -1,0 +1,179 @@
+// The wire codec is the trust boundary of the socketed tier: bytes from
+// the network either parse into exactly one well-formed message or the
+// connection dies. Framing (incremental parse, pipelining, Content-Length)
+// and the serialize->parse round trip are pinned here.
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "net/http_codec.h"
+
+namespace speedkit::net {
+namespace {
+
+TEST(HttpCodecTest, ParsesARequestWithHeadersAndBody) {
+  const std::string wire =
+      "POST /api/records/1 HTTP/1.1\r\n"
+      "Host: shop.example.com\r\n"
+      "X-SpeedKit-Client: 7\r\n"
+      "Content-Length: 5\r\n"
+      "\r\n"
+      "hello";
+  WireRequest req;
+  size_t consumed = 0;
+  ASSERT_EQ(ParseRequest(wire, &req, &consumed), ParseStatus::kOk);
+  EXPECT_EQ(consumed, wire.size());
+  EXPECT_EQ(req.method, http::Method::kPost);
+  EXPECT_EQ(req.target, "/api/records/1");
+  EXPECT_EQ(req.headers.Get("Host"), "shop.example.com");
+  EXPECT_EQ(req.headers.Get("X-SpeedKit-Client"), "7");
+  EXPECT_EQ(req.body, "hello");
+  EXPECT_TRUE(req.keep_alive);  // HTTP/1.1 default
+}
+
+TEST(HttpCodecTest, IncrementalFeedReportsNeedMoreUntilComplete) {
+  const std::string wire =
+      "GET /x HTTP/1.1\r\nHost: h\r\nContent-Length: 3\r\n\r\nabc";
+  WireRequest req;
+  size_t consumed = 0;
+  // Every strict prefix is kNeedMore — never kError, never a short parse.
+  for (size_t len = 0; len < wire.size(); ++len) {
+    EXPECT_EQ(ParseRequest(wire.substr(0, len), &req, &consumed),
+              ParseStatus::kNeedMore)
+        << "prefix length " << len;
+  }
+  ASSERT_EQ(ParseRequest(wire, &req, &consumed), ParseStatus::kOk);
+  EXPECT_EQ(req.body, "abc");
+}
+
+TEST(HttpCodecTest, PipelinedRequestsParseInSequence) {
+  const std::string wire =
+      "GET /a HTTP/1.1\r\nHost: h\r\n\r\n"
+      "GET /b HTTP/1.1\r\nHost: h\r\n\r\n";
+  WireRequest req;
+  size_t consumed = 0;
+  ASSERT_EQ(ParseRequest(wire, &req, &consumed), ParseStatus::kOk);
+  EXPECT_EQ(req.target, "/a");
+  std::string_view rest = std::string_view(wire).substr(consumed);
+  ASSERT_EQ(ParseRequest(rest, &req, &consumed), ParseStatus::kOk);
+  EXPECT_EQ(req.target, "/b");
+  EXPECT_EQ(consumed, rest.size());
+}
+
+TEST(HttpCodecTest, ConnectionHeaderControlsKeepAlive) {
+  WireRequest req;
+  size_t consumed = 0;
+  ASSERT_EQ(ParseRequest("GET / HTTP/1.1\r\nConnection: close\r\n\r\n", &req,
+                         &consumed),
+            ParseStatus::kOk);
+  EXPECT_FALSE(req.keep_alive);
+  ASSERT_EQ(ParseRequest("GET / HTTP/1.0\r\n\r\n", &req, &consumed),
+            ParseStatus::kOk);
+  EXPECT_FALSE(req.keep_alive);  // 1.0 defaults to close
+  ASSERT_EQ(ParseRequest(
+                "GET / HTTP/1.0\r\nConnection: keep-alive\r\n\r\n", &req,
+                &consumed),
+            ParseStatus::kOk);
+  EXPECT_TRUE(req.keep_alive);
+}
+
+TEST(HttpCodecTest, MalformedInputIsAnErrorNotAGuess) {
+  WireRequest req;
+  size_t consumed = 0;
+  EXPECT_EQ(ParseRequest("NONSENSE\r\n\r\n", &req, &consumed),
+            ParseStatus::kError);
+  EXPECT_EQ(ParseRequest("GET /x HTTP/2\r\n\r\n", &req, &consumed),
+            ParseStatus::kError);
+  EXPECT_EQ(
+      ParseRequest("GET /x HTTP/1.1\r\nContent-Length: nope\r\n\r\n", &req,
+                   &consumed),
+      ParseStatus::kError);
+  // Chunked transfer is deliberately unsupported: error, never mis-framed.
+  EXPECT_EQ(ParseRequest(
+                "GET /x HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n", &req,
+                &consumed),
+            ParseStatus::kError);
+}
+
+TEST(HttpCodecTest, OversizedHeaderBlockIsRejected) {
+  std::string wire = "GET /x HTTP/1.1\r\nX-Pad: ";
+  wire.append(kMaxHeaderBytes, 'a');
+  WireRequest req;
+  size_t consumed = 0;
+  EXPECT_EQ(ParseRequest(wire, &req, &consumed), ParseStatus::kError);
+}
+
+TEST(HttpCodecTest, OversizedBodyIsRejected) {
+  std::string wire = "GET /x HTTP/1.1\r\nContent-Length: " +
+                     std::to_string(kMaxBodyBytes + 1) + "\r\n\r\n";
+  WireRequest req;
+  size_t consumed = 0;
+  EXPECT_EQ(ParseRequest(wire, &req, &consumed), ParseStatus::kError);
+}
+
+TEST(HttpCodecTest, RequestSerializeParseRoundTrips) {
+  http::HeaderMap headers;
+  headers.Set("Host", "shop.example.com");
+  headers.Set("X-SpeedKit-Client", "3");
+  std::string wire =
+      SerializeRequest(http::Method::kGet, "/api/records/9?v=1", headers);
+
+  WireRequest req;
+  size_t consumed = 0;
+  ASSERT_EQ(ParseRequest(wire, &req, &consumed), ParseStatus::kOk);
+  EXPECT_EQ(consumed, wire.size());
+  EXPECT_EQ(req.method, http::Method::kGet);
+  EXPECT_EQ(req.target, "/api/records/9?v=1");
+  EXPECT_EQ(req.headers.Get("Host"), "shop.example.com");
+  EXPECT_EQ(req.headers.Get("X-SpeedKit-Client"), "3");
+}
+
+TEST(HttpCodecTest, ResponseSerializeParseRoundTrips) {
+  http::HeaderMap headers;
+  headers.Set("Content-Type", "application/json");
+  headers.Set("X-SpeedKit-Source", "edge");
+  std::string wire = SerializeResponse(200, headers, "{\"ok\":true}", true);
+
+  WireResponse resp;
+  size_t consumed = 0;
+  ASSERT_EQ(ParseResponse(wire, &resp, &consumed), ParseStatus::kOk);
+  EXPECT_EQ(consumed, wire.size());
+  EXPECT_EQ(resp.status_code, 200);
+  EXPECT_EQ(resp.body, "{\"ok\":true}");
+  EXPECT_EQ(resp.headers.Get("X-SpeedKit-Source"), "edge");
+  EXPECT_TRUE(resp.keep_alive);
+
+  // keep_alive=false emits Connection: close, and the parser honors it.
+  std::string closing = SerializeResponse(421, headers, "elsewhere", false);
+  ASSERT_EQ(ParseResponse(closing, &resp, &consumed), ParseStatus::kOk);
+  EXPECT_EQ(resp.status_code, 421);
+  EXPECT_FALSE(resp.keep_alive);
+}
+
+TEST(HttpCodecTest, SerializeOwnsFramingHeaders) {
+  // Content-Length/Connection from the caller's map are ignored in favor
+  // of the actual body size and keep-alive argument — a stale framing
+  // header copied from a cached response must not corrupt the stream.
+  http::HeaderMap headers;
+  headers.Set("Content-Length", "9999");
+  headers.Set("Connection", "close");
+  std::string wire = SerializeResponse(200, headers, "four", true);
+
+  WireResponse resp;
+  size_t consumed = 0;
+  ASSERT_EQ(ParseResponse(wire, &resp, &consumed), ParseStatus::kOk);
+  EXPECT_EQ(consumed, wire.size());
+  EXPECT_EQ(resp.body, "four");
+  EXPECT_TRUE(resp.keep_alive);
+}
+
+TEST(HttpCodecTest, StatusTextCoversTheCodesTheTierEmits) {
+  EXPECT_EQ(StatusText(200), "OK");
+  EXPECT_EQ(StatusText(400), "Bad Request");
+  EXPECT_EQ(StatusText(421), "Misdirected Request");
+  EXPECT_EQ(StatusText(405), "Method Not Allowed");
+  EXPECT_EQ(StatusText(599), "Unknown");
+}
+
+}  // namespace
+}  // namespace speedkit::net

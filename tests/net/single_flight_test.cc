@@ -1,0 +1,121 @@
+// Single-flight is the socketed tier's thundering-herd defense: N
+// concurrent callers for one key must produce exactly ONE execution of
+// the expensive fn, with the other N-1 absorbing the leader's value.
+// The blocking variant is exercised with real threads; the event-loop
+// variant with explicit Begin/Complete sequencing.
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "net/single_flight.h"
+
+namespace speedkit::net {
+namespace {
+
+TEST(SingleFlightTest, ConcurrentCallersShareOneExecution) {
+  SingleFlight<int> flight;
+  std::atomic<int> executions{0};
+  std::atomic<int> in_fn{0};
+  std::atomic<bool> release{false};
+
+  constexpr int kThreads = 8;
+  std::vector<SingleFlight<int>::Outcome> outcomes(kThreads);
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      outcomes[t] = flight.Do("hot-key", [&] {
+        in_fn.store(true);
+        // Park the leader until every other thread has had ample time to
+        // arrive and join the flight.
+        while (!release.load()) std::this_thread::yield();
+        return ++executions;
+      });
+    });
+  }
+  // Wait for a leader to be inside fn, give joiners time to pile up, then
+  // let the flight finish.
+  while (!in_fn.load()) std::this_thread::yield();
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  release.store(true);
+  for (std::thread& t : threads) t.join();
+
+  EXPECT_EQ(executions.load(), 1);
+  int leaders = 0;
+  for (const auto& outcome : outcomes) {
+    EXPECT_EQ(outcome.value, 1);  // everyone got the single execution's value
+    if (!outcome.shared) ++leaders;
+  }
+  EXPECT_EQ(leaders, 1);
+  EXPECT_EQ(flight.flights(), 1u);
+  // Every non-leader that arrived while the flight was open joined it.
+  EXPECT_EQ(flight.joins(), static_cast<uint64_t>(kThreads - 1));
+}
+
+TEST(SingleFlightTest, SequentialCallsEachRunTheirOwnFlight) {
+  // Coalescing is about concurrency, not memoization: once a flight
+  // finishes, the next caller leads a fresh one.
+  SingleFlight<int> flight;
+  int executions = 0;
+  auto fn = [&executions] { return ++executions; };
+  EXPECT_EQ(flight.Do("k", fn).value, 1);
+  EXPECT_EQ(flight.Do("k", fn).value, 2);
+  EXPECT_EQ(flight.flights(), 2u);
+  EXPECT_EQ(flight.joins(), 0u);
+}
+
+TEST(SingleFlightTest, DistinctKeysDoNotCoalesce) {
+  SingleFlight<std::string> flight;
+  EXPECT_EQ(flight.Do("a", [] { return std::string("va"); }).value, "va");
+  EXPECT_EQ(flight.Do("b", [] { return std::string("vb"); }).value, "vb");
+  EXPECT_EQ(flight.flights(), 2u);
+  EXPECT_EQ(flight.joins(), 0u);
+}
+
+TEST(AsyncSingleFlightTest, JoinersFireOnCompleteInBeginOrder) {
+  AsyncSingleFlight<int> flight;
+  std::vector<int> fired;
+
+  ASSERT_EQ(flight.Begin("k", {}), AsyncSingleFlight<int>::Role::kLeader);
+  EXPECT_TRUE(flight.Active("k"));
+  EXPECT_EQ(flight.Begin("k", [&](const int& v) { fired.push_back(v * 10); }),
+            AsyncSingleFlight<int>::Role::kJoined);
+  EXPECT_EQ(flight.Begin("k", [&](const int& v) { fired.push_back(v * 20); }),
+            AsyncSingleFlight<int>::Role::kJoined);
+
+  EXPECT_EQ(flight.Complete("k", 7), 2u);
+  EXPECT_EQ(fired, (std::vector<int>{70, 140}));
+  EXPECT_FALSE(flight.Active("k"));
+  EXPECT_EQ(flight.leaders(), 1u);
+  EXPECT_EQ(flight.joins(), 2u);
+  // Completing a finished flight is a harmless no-op.
+  EXPECT_EQ(flight.Complete("k", 9), 0u);
+}
+
+TEST(AsyncSingleFlightTest, CallbackMayStartTheNextFlight) {
+  // A joiner reacting to the value by re-requesting the key must lead a
+  // NEW flight (the finished one is closed before callbacks run).
+  AsyncSingleFlight<int> flight;
+  ASSERT_EQ(flight.Begin("k", {}), AsyncSingleFlight<int>::Role::kLeader);
+  AsyncSingleFlight<int>::Role rejoin_role = AsyncSingleFlight<int>::Role::kJoined;
+  flight.Begin("k", [&](const int&) { rejoin_role = flight.Begin("k", {}); });
+  flight.Complete("k", 1);
+  EXPECT_EQ(rejoin_role, AsyncSingleFlight<int>::Role::kLeader);
+  EXPECT_TRUE(flight.Active("k"));  // the re-begun flight is open
+}
+
+TEST(AsyncSingleFlightTest, AbandonDropsWaitersWithoutFiring) {
+  AsyncSingleFlight<int> flight;
+  bool fired = false;
+  flight.Begin("k", {});
+  flight.Begin("k", [&](const int&) { fired = true; });
+  EXPECT_EQ(flight.Abandon("k"), 1u);
+  EXPECT_FALSE(fired);
+  EXPECT_FALSE(flight.Active("k"));
+}
+
+}  // namespace
+}  // namespace speedkit::net

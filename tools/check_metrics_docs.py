@@ -1,16 +1,17 @@
 #!/usr/bin/env python3
-"""Docs-consistency check: src/obs/metric_names.h <-> docs/METRICS.md.
+"""Docs-consistency check: metric-name headers <-> docs/METRICS.md.
 
 The observability layer's contract is that every metric it can emit is
 documented, and that the docs never describe metrics that do not exist.
 Both directions are checked:
 
-  1. every quoted string literal in src/obs/metric_names.h (the single
-     source of truth for emitted names — see that header's comment) must
-     appear, backticked, somewhere in docs/METRICS.md;
+  1. every quoted string literal in a metric-name header (the single
+     source of truth for emitted names: src/obs/metric_names.h for the
+     simulation, src/net/net_metric_names.h for the socketed edge mode)
+     must appear, backticked, somewhere in docs/METRICS.md;
   2. every metric name documented in a METRICS.md table (the first
      backticked cell of a `| ... |` row that looks like a metric name,
-     i.e. lowercase dotted) must be a literal in metric_names.h.
+     i.e. lowercase dotted) must be a literal in one of those headers.
 
 Exit code 0 when both hold, 1 with a per-name report otherwise. Run from
 anywhere; paths resolve relative to the repo root. CI runs this on every
@@ -22,20 +23,30 @@ import re
 import sys
 
 ROOT = pathlib.Path(__file__).resolve().parent.parent
-NAMES_H = ROOT / "src" / "obs" / "metric_names.h"
+NAME_HEADERS = [
+    ROOT / "src" / "obs" / "metric_names.h",
+    ROOT / "src" / "net" / "net_metric_names.h",
+]
 METRICS_MD = ROOT / "docs" / "METRICS.md"
 
 METRIC_NAME = re.compile(r"^[a-z][a-z0-9_]*\.[a-z0-9_.]+$")
 
 
 def code_names() -> set[str]:
-    text = NAMES_H.read_text()
-    names = {m for m in re.findall(r'"([^"]+)"', text)}
-    bad = sorted(n for n in names if not METRIC_NAME.match(n))
-    if bad:
-        sys.exit(f"ERROR: non-conforming literals in {NAMES_H.name}: {bad} "
-                 "(metric names are lowercase dotted; keep other strings out "
-                 "of this header)")
+    names: set[str] = set()
+    for header in NAME_HEADERS:
+        text = header.read_text()
+        header_names = {m for m in re.findall(r'"([^"]+)"', text)}
+        bad = sorted(n for n in header_names if not METRIC_NAME.match(n))
+        if bad:
+            sys.exit(f"ERROR: non-conforming literals in {header.name}: "
+                     f"{bad} (metric names are lowercase dotted; keep other "
+                     "strings out of this header)")
+        overlap = sorted(names & header_names)
+        if overlap:
+            sys.exit(f"ERROR: names defined in more than one header: "
+                     f"{overlap}")
+        names |= header_names
     return names
 
 
@@ -69,17 +80,19 @@ def main() -> int:
     ok = True
     if undocumented:
         ok = False
-        print(f"ERROR: emitted by src/obs but missing from {METRICS_MD.name}:")
+        print("ERROR: emitted by a metric-name header but missing from "
+              f"{METRICS_MD.name}:")
         for name in undocumented:
             print(f"  - {name}")
     if phantom:
         ok = False
         print(f"ERROR: documented in {METRICS_MD.name} but not emitted "
-              "(no literal in metric_names.h):")
+              "(no literal in any metric-name header):")
         for name in phantom:
             print(f"  - {name}")
     if ok:
-        print(f"OK: {len(emitted)} metric names in {NAMES_H.name}, all "
+        headers = ", ".join(h.name for h in NAME_HEADERS)
+        print(f"OK: {len(emitted)} metric names in {headers}, all "
               f"documented; {len(documented)} table entries, none phantom")
     return 0 if ok else 1
 
