@@ -28,11 +28,14 @@ namespace {
 // count is a model parameter and must divide cdn_edges).
 int g_shards = 1;
 int g_run_threads = 1;
+// --coherence: which protocol the stack runs (delta_atomic default).
+coherence::CoherenceMode g_coherence = coherence::CoherenceMode::kDeltaAtomic;
 
 bench::RunSpec BaseSpec() {
   bench::RunSpec spec = bench::DefaultRunSpec();
   spec.stack.shards = g_shards;
   spec.run_threads = g_run_threads;
+  spec.stack.coherence.mode = g_coherence;
   return spec;
 }
 
@@ -271,6 +274,8 @@ void AblationAssetOptimization(bench::JsonValue* rows) {
 int main(int argc, char** argv) {
   speedkit::tools::Flags flags(argc, argv);
   speedkit::g_shards = static_cast<int>(flags.GetInt("shards", 1));
+  speedkit::g_coherence = speedkit::bench::CoherenceModeFromFlag(
+      flags.GetString("coherence", ""));
   speedkit::g_run_threads = static_cast<int>(flags.GetInt("threads", 1));
   std::string json_path = speedkit::bench::JsonPathFromFlag(
       flags.GetString("json", ""), "ablations");

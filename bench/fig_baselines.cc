@@ -26,6 +26,9 @@
 namespace speedkit {
 namespace {
 
+// --coherence: which protocol the stack runs (delta_atomic default).
+coherence::CoherenceMode g_coherence = coherence::CoherenceMode::kDeltaAtomic;
+
 constexpr core::SystemVariant kVariants[] = {
     core::SystemVariant::kSpeedKit, core::SystemVariant::kFixedTtlCdn,
     core::SystemVariant::kNoCaching, core::SystemVariant::kPureInvalidation};
@@ -47,6 +50,7 @@ void Run(int num_seeds, int threads, int shards, const std::string& json_path,
       configs.push_back(spec);
     }
   }
+  bench::ApplyCoherenceFlag(&configs, g_coherence);
   int sweep_threads =
       bench::ApplyShardAndThreadFlags(&configs, shards, threads, num_seeds);
 
@@ -124,6 +128,8 @@ void Run(int num_seeds, int threads, int shards, const std::string& json_path,
 int main(int argc, char** argv) {
   speedkit::tools::Flags flags(argc, argv);
   int seeds = static_cast<int>(flags.GetInt("seeds", 8));
+  speedkit::g_coherence = speedkit::bench::CoherenceModeFromFlag(
+      flags.GetString("coherence", ""));
   int threads = static_cast<int>(flags.GetInt("threads", 1));
   int shards = static_cast<int>(flags.GetInt("shards", 1));
   std::string json_path = speedkit::bench::JsonPathFromFlag(

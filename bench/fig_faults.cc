@@ -34,6 +34,9 @@
 namespace speedkit {
 namespace {
 
+// --coherence: which protocol the stack runs (delta_atomic default).
+coherence::CoherenceMode g_coherence = coherence::CoherenceMode::kDeltaAtomic;
+
 constexpr double kPurgeLoss[] = {0.0, 0.1, 0.3, 0.6};
 constexpr double kLinkLoss[] = {0.0, 0.05, 0.2};
 // Δ-bound slack for purge propagation (the pipeline's lognormal delivery
@@ -54,7 +57,7 @@ bench::RunSpec BaseSpec(core::SystemVariant variant) {
   spec.stack.variant = variant;
   spec.stack.ttl_mode = core::TtlMode::kFixed;
   spec.stack.fixed_ttl = Duration::Seconds(120);
-  spec.stack.delta = Duration::Seconds(30);
+  spec.stack.coherence.delta = Duration::Seconds(30);
   spec.traffic.writes_per_sec = 3.0;
   spec.delta_bound_margin = Duration::Seconds(kBoundMarginS);
   return spec;
@@ -108,6 +111,7 @@ void Run(int num_seeds, int threads, int shards, const std::string& json_path,
   const size_t flaky_off = configs.size();
   for (double loss : kLinkLoss) configs.push_back(FlakyLinkSpec(loss));
 
+  bench::ApplyCoherenceFlag(&configs, g_coherence);
   int sweep_threads =
       bench::ApplyShardAndThreadFlags(&configs, shards, threads, num_seeds);
 
@@ -251,6 +255,8 @@ void Run(int num_seeds, int threads, int shards, const std::string& json_path,
 int main(int argc, char** argv) {
   speedkit::tools::Flags flags(argc, argv);
   int seeds = static_cast<int>(flags.GetInt("seeds", 3));
+  speedkit::g_coherence = speedkit::bench::CoherenceModeFromFlag(
+      flags.GetString("coherence", ""));
   int threads = static_cast<int>(flags.GetInt("threads", 1));
   int shards = static_cast<int>(flags.GetInt("shards", 1));
   std::string json_path = speedkit::bench::JsonPathFromFlag(

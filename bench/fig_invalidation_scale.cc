@@ -11,6 +11,7 @@
 
 #include "bench/bench_util.h"
 #include "bench/json_writer.h"
+#include "coherence/delta_atomic.h"
 #include "common/histogram.h"
 #include "common/random.h"
 #include "invalidation/pipeline.h"
@@ -111,10 +112,13 @@ void PurgePropagation(bench::JsonValue* rows) {
     sim::SimClock clock;
     sim::EventQueue events(&clock);
     cache::Cdn cdn(edges, 0);
-    sketch::CacheSketch sketch(10000, 0.05);
+    coherence::CoherenceConfig cc;
+    cc.sketch_capacity = 10000;
+    cc.sketch_fpr = 0.05;
+    coherence::DeltaAtomicProtocol protocol(cc);
     invalidation::PipelineConfig config;  // 80ms median, lognormal 0.4
     invalidation::InvalidationPipeline pipeline(config, &clock, &events, &cdn,
-                                                &sketch, Pcg32(3));
+                                                &protocol, Pcg32(3));
     for (int i = 0; i < 2000; ++i) {
       storage::Record r = MakeProduct(static_cast<size_t>(i), 1, 10);
       pipeline.OnWrite(nullptr, r);

@@ -38,6 +38,9 @@
 namespace speedkit {
 namespace {
 
+// --coherence: which protocol the stack runs (delta_atomic default).
+coherence::CoherenceMode g_coherence = coherence::CoherenceMode::kDeltaAtomic;
+
 struct MemPoint {
   size_t clients = 0;
   double wall_seconds = 0;
@@ -57,6 +60,7 @@ bench::RunSpec MemScaleSpec(size_t clients, double duration_minutes,
   spec.traffic.num_clients = clients;
   spec.traffic.duration = Duration::Minutes(duration_minutes);
   spec.traffic.pool.spill = spill;
+  spec.stack.coherence.mode = g_coherence;
   return spec;
 }
 
@@ -196,6 +200,8 @@ int main(int argc, char** argv) {
   std::vector<size_t> client_counts =
       ParseClientList(flags.GetString("clients", "1000,10000,100000"));
   double duration_min = flags.GetDouble("duration", 2.0);
+  speedkit::g_coherence = speedkit::bench::CoherenceModeFromFlag(
+      flags.GetString("coherence", ""));
   double budget = flags.GetDouble("max-bytes-per-client", EnvBytesBudget());
   std::string json_path = bench::JsonPathFromFlag(
       flags.GetString("json", ""), "memscale");

@@ -21,6 +21,9 @@
 namespace speedkit {
 namespace {
 
+// --coherence: which protocol the stack runs (delta_atomic default).
+coherence::CoherenceMode g_coherence = coherence::CoherenceMode::kDeltaAtomic;
+
 constexpr int kDeltas[] = {5, 10, 30, 60, 120};
 constexpr int kBaselineTtls[] = {30, 120, 600};
 constexpr double kWriteRates[] = {0.5, 2.0, 8.0};
@@ -29,7 +32,7 @@ bench::RunSpec DeltaSpec(int delta_s) {
   bench::RunSpec spec = bench::DefaultRunSpec();
   spec.stack.ttl_mode = core::TtlMode::kFixed;
   spec.stack.fixed_ttl = Duration::Seconds(120);
-  spec.stack.delta = Duration::Seconds(delta_s);
+  spec.stack.coherence.delta = Duration::Seconds(delta_s);
   spec.traffic.writes_per_sec = 3.0;
   return spec;
 }
@@ -46,7 +49,7 @@ bench::RunSpec WriteRateSpec(double rate) {
   bench::RunSpec spec = bench::DefaultRunSpec();
   spec.stack.ttl_mode = core::TtlMode::kFixed;
   spec.stack.fixed_ttl = Duration::Seconds(120);
-  spec.stack.delta = Duration::Seconds(30);
+  spec.stack.coherence.delta = Duration::Seconds(30);
   spec.traffic.writes_per_sec = rate;
   return spec;
 }
@@ -62,6 +65,7 @@ void Run(int num_seeds, int threads, int shards, const std::string& json_path,
   const size_t rate_off = configs.size();
   for (double rate : kWriteRates) configs.push_back(WriteRateSpec(rate));
 
+  bench::ApplyCoherenceFlag(&configs, g_coherence);
   int sweep_threads =
       bench::ApplyShardAndThreadFlags(&configs, shards, threads, num_seeds);
 
@@ -162,6 +166,8 @@ void Run(int num_seeds, int threads, int shards, const std::string& json_path,
 int main(int argc, char** argv) {
   speedkit::tools::Flags flags(argc, argv);
   int seeds = static_cast<int>(flags.GetInt("seeds", 4));
+  speedkit::g_coherence = speedkit::bench::CoherenceModeFromFlag(
+      flags.GetString("coherence", ""));
   int threads = static_cast<int>(flags.GetInt("threads", 1));
   int shards = static_cast<int>(flags.GetInt("shards", 1));
   std::string json_path = speedkit::bench::JsonPathFromFlag(

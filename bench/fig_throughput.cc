@@ -37,6 +37,9 @@
 namespace speedkit {
 namespace {
 
+// --coherence: which protocol the stack runs (delta_atomic default).
+coherence::CoherenceMode g_coherence = coherence::CoherenceMode::kDeltaAtomic;
+
 struct ThroughputPoint {
   int threads = 1;
   double wall_seconds = 0;
@@ -56,6 +59,7 @@ bench::RunSpec ThroughputSpec(int shards, int num_clients,
   }
   spec.traffic.num_clients = static_cast<size_t>(num_clients);
   spec.traffic.duration = Duration::Minutes(duration_minutes);
+  spec.stack.coherence.mode = g_coherence;
   return spec;
 }
 
@@ -204,6 +208,8 @@ double EnvSpeedupFloor() {
 int main(int argc, char** argv) {
   speedkit::tools::Flags flags(argc, argv);
   int shards = static_cast<int>(flags.GetInt("shards", 8));
+  speedkit::g_coherence = speedkit::bench::CoherenceModeFromFlag(
+      flags.GetString("coherence", ""));
   int max_threads = static_cast<int>(flags.GetInt("threads", 8));
   int num_clients = static_cast<int>(flags.GetInt("num-clients", 256));
   double duration_min = flags.GetDouble("duration", 90.0);

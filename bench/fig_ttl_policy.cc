@@ -22,6 +22,9 @@
 namespace speedkit {
 namespace {
 
+// --coherence: which protocol the stack runs (delta_atomic default).
+coherence::CoherenceMode g_coherence = coherence::CoherenceMode::kDeltaAtomic;
+
 struct PolicyPoint {
   std::string name;
   core::TtlMode mode = core::TtlMode::kFixed;
@@ -77,6 +80,7 @@ void Run(int num_seeds, int threads, int shards, const std::string& json_path,
       configs.push_back(SpecFor(workload, policy));
     }
   }
+  bench::ApplyCoherenceFlag(&configs, g_coherence);
   int sweep_threads =
       bench::ApplyShardAndThreadFlags(&configs, shards, threads, num_seeds);
 
@@ -149,6 +153,8 @@ void Run(int num_seeds, int threads, int shards, const std::string& json_path,
 int main(int argc, char** argv) {
   speedkit::tools::Flags flags(argc, argv);
   int seeds = static_cast<int>(flags.GetInt("seeds", 4));
+  speedkit::g_coherence = speedkit::bench::CoherenceModeFromFlag(
+      flags.GetString("coherence", ""));
   int threads = static_cast<int>(flags.GetInt("threads", 1));
   int shards = static_cast<int>(flags.GetInt("shards", 1));
   std::string json_path = speedkit::bench::JsonPathFromFlag(

@@ -19,11 +19,14 @@ namespace {
 // the thread count; shards is a model parameter).
 int g_shards = 1;
 int g_run_threads = 1;
+// --coherence: which protocol the stack runs (delta_atomic default).
+coherence::CoherenceMode g_coherence = coherence::CoherenceMode::kDeltaAtomic;
 
 bench::RunSpec TimelineSpec(core::SystemVariant variant) {
   bench::RunSpec spec = bench::DefaultRunSpec();
   spec.stack.shards = g_shards;
   spec.run_threads = g_run_threads;
+  spec.stack.coherence.mode = g_coherence;
   spec.stack.variant = variant;
   spec.stack.fixed_ttl = Duration::Seconds(60);  // conservative baseline
   spec.traffic.duration = Duration::Minutes(30);
@@ -42,6 +45,8 @@ core::TrafficResult RunTimeline(core::SystemVariant variant) {
 int main(int argc, char** argv) {
   speedkit::tools::Flags flags(argc, argv);
   speedkit::g_shards = static_cast<int>(flags.GetInt("shards", 1));
+  speedkit::g_coherence = speedkit::bench::CoherenceModeFromFlag(
+      flags.GetString("coherence", ""));
   speedkit::g_run_threads = static_cast<int>(flags.GetInt("threads", 1));
   std::string json_path = speedkit::bench::JsonPathFromFlag(
       flags.GetString("json", ""), "warmup");

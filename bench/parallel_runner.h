@@ -22,6 +22,7 @@
 #include <chrono>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <ctime>
 #include <functional>
 #include <string>
@@ -44,6 +45,13 @@ inline RunSpec SpecForSeed(const RunSpec& base, int i) {
   spec.catalog_seed = base.catalog_seed + n * 7919ull;
   spec.traffic.seed_salt = base.traffic.seed_salt + n * 131ull;
   return spec;
+}
+
+// Stamps the shared --coherence mode (see CoherenceModeFromFlag) into
+// every sweep config.
+inline void ApplyCoherenceFlag(std::vector<RunSpec>* configs,
+                               coherence::CoherenceMode mode) {
+  for (RunSpec& spec : *configs) spec.stack.coherence.mode = mode;
 }
 
 // Applies a harness's --shards/--threads flag pair to its sweep configs:

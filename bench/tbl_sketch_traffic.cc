@@ -22,11 +22,14 @@ namespace {
 // count is a model parameter and must divide cdn_edges).
 int g_shards = 1;
 int g_run_threads = 1;
+// --coherence: which protocol the stack runs (delta_atomic default).
+coherence::CoherenceMode g_coherence = coherence::CoherenceMode::kDeltaAtomic;
 
 bench::RunSpec BaseSpec() {
   bench::RunSpec spec = bench::DefaultRunSpec();
   spec.stack.shards = g_shards;
   spec.run_threads = g_run_threads;
+  spec.stack.coherence.mode = g_coherence;
   return spec;
 }
 
@@ -40,7 +43,7 @@ void DeltaTrafficSweep(bench::JsonValue* rows) {
     bench::RunSpec spec = BaseSpec();
     spec.stack.ttl_mode = core::TtlMode::kFixed;
     spec.stack.fixed_ttl = Duration::Seconds(120);
-    spec.stack.delta = Duration::Seconds(delta_s);
+    spec.stack.coherence.delta = Duration::Seconds(delta_s);
     bench::RunOutput out = bench::RunWorkload(spec);
     double client_minutes = static_cast<double>(spec.traffic.num_clients) *
                             spec.traffic.duration.seconds() / 60.0;
@@ -74,7 +77,7 @@ void WriteRateSweep(bench::JsonValue* rows) {
     bench::RunSpec spec = BaseSpec();
     spec.stack.ttl_mode = core::TtlMode::kFixed;
     spec.stack.fixed_ttl = Duration::Seconds(120);
-    spec.stack.delta = Duration::Seconds(30);
+    spec.stack.coherence.delta = Duration::Seconds(30);
     spec.traffic.writes_per_sec = rate;
     bench::RunOutput out = bench::RunWorkload(spec);
     bench::Row("%12.1f %14zu %14llu %14llu %14llu", rate, out.sketch_entries,
@@ -101,6 +104,8 @@ void WriteRateSweep(bench::JsonValue* rows) {
 int main(int argc, char** argv) {
   speedkit::tools::Flags flags(argc, argv);
   speedkit::g_shards = static_cast<int>(flags.GetInt("shards", 1));
+  speedkit::g_coherence = speedkit::bench::CoherenceModeFromFlag(
+      flags.GetString("coherence", ""));
   speedkit::g_run_threads = static_cast<int>(flags.GetInt("threads", 1));
   std::string json_path = speedkit::bench::JsonPathFromFlag(
       flags.GetString("json", ""), "sketch_traffic");
@@ -124,7 +129,7 @@ int main(int argc, char** argv) {
   speedkit::bench::RunSpec trace_spec = speedkit::bench::DefaultRunSpec();
   trace_spec.stack.ttl_mode = speedkit::core::TtlMode::kFixed;
   trace_spec.stack.fixed_ttl = speedkit::Duration::Seconds(120);
-  trace_spec.stack.delta = speedkit::Duration::Seconds(30);
+  trace_spec.stack.coherence.delta = speedkit::Duration::Seconds(30);
   speedkit::bench::MaybeTraceRun(trace_spec, "sketch_traffic", trace_path);
   return 0;
 }

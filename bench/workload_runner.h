@@ -14,7 +14,10 @@
 #define SPEEDKIT_BENCH_WORKLOAD_RUNNER_H_
 
 #include <algorithm>
+#include <cstdio>
+#include <cstdlib>
 #include <memory>
+#include <string>
 #include <utility>
 #include <vector>
 
@@ -58,6 +61,22 @@ struct RunOutput {
   std::shared_ptr<obs::InMemoryTraceSink> traces;
 };
 
+// Resolves the shared --coherence flag every harness accepts: the mode
+// names are exactly CoherenceModeName's ("delta_atomic", "serializable",
+// "fixed_ttl"); an empty value keeps the paper-faithful Δ-atomic default.
+// An unknown name is a hard error — the run would otherwise silently
+// measure the wrong protocol.
+inline coherence::CoherenceMode CoherenceModeFromFlag(
+    const std::string& text) {
+  coherence::CoherenceMode mode = coherence::CoherenceMode::kDeltaAtomic;
+  if (text.empty()) return mode;
+  if (Status s = coherence::ParseCoherenceMode(text, &mode); !s.ok()) {
+    std::fprintf(stderr, "--coherence: %s\n", s.ToString().c_str());
+    std::exit(2);
+  }
+  return mode;
+}
+
 inline RunSpec DefaultRunSpec() {
   RunSpec spec;
   spec.catalog.num_products = 2000;
@@ -98,7 +117,8 @@ inline RunOutput RunOneStack(core::SpeedKitStack& stack,
                              const workload::Catalog& catalog,
                              const RunSpec& spec) {
   if (spec.delta_bound_margin != Duration::Max()) {
-    stack.staleness().SetDeltaBound(spec.stack.delta + spec.delta_bound_margin);
+    stack.staleness().SetDeltaBound(spec.stack.coherence.delta +
+                                   spec.delta_bound_margin);
   }
   catalog.Populate(&stack.store(), stack.clock().Now());
   for (int c = 0; c < catalog.num_categories(); ++c) {

@@ -18,7 +18,7 @@ int main() {
 
   core::StackConfig config;
   config.cdn_edges = 4;
-  config.delta = Duration::Seconds(30);
+  config.coherence.delta = Duration::Seconds(30);
   core::SpeedKitStack stack(config);
 
   workload::CatalogConfig catalog_config;
@@ -77,7 +77,7 @@ int main() {
               static_cast<unsigned long long>(s.stale_reads),
               100 * s.StaleFraction());
   std::printf("max staleness         %.2f s (bound: delta=%.0f s + purge)\n",
-              s.max_staleness.seconds(), config.delta.seconds());
+              s.max_staleness.seconds(), config.coherence.delta.seconds());
   std::printf("sketch entries        %zu (snapshot %zu bytes)\n",
               stack.sketch()->entries(),
               stack.sketch()->SerializedSnapshot(stack.clock().Now()).size());

@@ -27,7 +27,7 @@ int main() {
   // 1. One fully wired deployment: origin store, TTL estimator, Cache
   //    Sketch, 4-edge CDN, invalidation pipeline, simulated WAN.
   core::StackConfig config;
-  config.delta = Duration::Seconds(30);  // client sketch refresh interval
+  config.coherence.delta = Duration::Seconds(30);  // client sketch refresh interval
   core::SpeedKitStack stack(config);
 
   // 2. Put a product into the origin store.
@@ -57,7 +57,7 @@ int main() {
   // 5. Within delta, the client may briefly still see the old value (the
   //    bound); after its next sketch refresh it must revalidate.
   Show("immediately after the write", client->Fetch(url));
-  stack.Advance(config.delta + Duration::Seconds(1));
+  stack.Advance(config.coherence.delta + Duration::Seconds(1));
   Show("after the next sketch refresh", client->Fetch(url));
   Show("and once more (cheap 304 path)", client->Fetch(url));
 

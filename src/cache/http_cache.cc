@@ -1,5 +1,8 @@
 #include "cache/http_cache.h"
 
+#include <algorithm>
+#include <string_view>
+#include <unordered_set>
 #include <utility>
 #include <vector>
 
@@ -209,13 +212,33 @@ std::string HttpCache::Freeze() const {
   // Most fleets never see a Vary response, so the variant-name section is
   // presence-gated rather than written as an empty count: spilled blobs
   // for never-varying clients carry one byte here, not a dangling section.
-  w.U8(vary_names_.empty() ? 0 : 1);
-  if (!vary_names_.empty()) {
-    w.U32(static_cast<uint32_t>(vary_names_.size()));
-    for (const auto& [key, names] : vary_names_) {
-      w.Str(key);
-      w.U32(static_cast<uint32_t>(names.size()));
-      for (const std::string& name : names) w.Str(name);
+  // Mappings whose variant entries were all evicted are dead weight and
+  // are dropped the same way — a no-longer-varying client spills the one
+  // presence byte, not its Vary history. Live mappings are written in
+  // sorted key order so equal cache contents freeze to identical bytes.
+  std::unordered_set<std::string_view> live_primaries;
+  entries_.ForEachLruToMru(
+      [&live_primaries](const std::string& key, const CacheEntry&) {
+        size_t sep = key.find(kVariantSep);
+        if (sep != std::string::npos) {
+          live_primaries.insert(std::string_view(key).substr(0, sep));
+        }
+      });
+  std::vector<const std::pair<const std::string,
+                              std::vector<std::string>>*> live;
+  live.reserve(vary_names_.size());
+  for (const auto& mapping : vary_names_) {
+    if (live_primaries.count(mapping.first) != 0) live.push_back(&mapping);
+  }
+  std::sort(live.begin(), live.end(),
+            [](const auto* a, const auto* b) { return a->first < b->first; });
+  w.U8(live.empty() ? 0 : 1);
+  if (!live.empty()) {
+    w.U32(static_cast<uint32_t>(live.size()));
+    for (const auto* mapping : live) {
+      w.Str(mapping->first);
+      w.U32(static_cast<uint32_t>(mapping->second.size()));
+      for (const std::string& name : mapping->second) w.Str(name);
     }
   }
   w.U32(static_cast<uint32_t>(entries_.size()));

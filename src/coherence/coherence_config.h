@@ -1,0 +1,71 @@
+// Typed configuration for the pluggable coherence tier.
+//
+// One struct collects every knob that used to live loose on StackConfig
+// (sketch capacity/FPR, Δ) plus the mode selector and the serializable
+// mode's retry budget. Validation returns real errors — a bad value is a
+// bug at the call site, never something to silently clamp.
+#ifndef SPEEDKIT_COHERENCE_COHERENCE_CONFIG_H_
+#define SPEEDKIT_COHERENCE_COHERENCE_CONFIG_H_
+
+#include <cstddef>
+#include <string_view>
+
+#include "common/sim_time.h"
+#include "common/status.h"
+
+namespace speedkit::coherence {
+
+// The three client-visible coherence protocols a stack can run. The mode
+// governs how clients decide whether a cached copy is safe to serve; the
+// server-side invalidation pipeline remains a property of the system
+// variant (baselines hard-wire their own coherence and ignore the mode).
+enum class CoherenceMode {
+  // Paper-faithful Cache Sketch: clients refresh a Bloom snapshot of
+  // possibly-stale keys every Δ and bypass all shared caches for flagged
+  // keys. Staleness is bounded by Δ + purge propagation.
+  kDeltaAtomic,
+  // Version-validated multi-key read-only transactions: reads serve from
+  // caches optimistically, then one validation round trip compares the
+  // read version vector against the authority; mismatched keys re-fetch
+  // bypassing shared caches, and the transaction aborts after the retry
+  // budget. Committed transactions see a consistent snapshot.
+  kSerializable,
+  // Plain expiration: no sketch, no validation — the lower baseline.
+  kFixedTtl,
+};
+
+// Stable names used by --coherence flags and JSON output:
+// "delta_atomic", "serializable", "fixed_ttl".
+std::string_view CoherenceModeName(CoherenceMode mode);
+
+// Parses a mode name (as printed by CoherenceModeName). On success writes
+// `*out`; unknown names return InvalidArgument listing the valid set.
+Status ParseCoherenceMode(std::string_view text, CoherenceMode* out);
+
+struct CoherenceConfig {
+  CoherenceMode mode = CoherenceMode::kDeltaAtomic;
+
+  // Cache Sketch sizing (Δ-atomic mode on sketch-coherent variants only).
+  size_t sketch_capacity = 100000;
+  double sketch_fpr = 0.05;
+
+  // The coherence boundary interval: client sketch refresh cadence in
+  // Δ-atomic mode, and the cross-shard purge-mailbox drain cadence in
+  // every mode.
+  Duration delta = Duration::Seconds(30);
+
+  // Serializable mode: validation rounds that may re-fetch mismatched
+  // keys before the transaction aborts.
+  int max_txn_retries = 2;
+
+  // Structural sanity. `sketch_variant` is true when the enclosing system
+  // variant actually runs sketch coherence (SpeedKit) — baselines don't
+  // need a sketch capacity. Checks: sketch_fpr in (0, 0.5],
+  // sketch_capacity > 0 (Δ-atomic on sketch variants), delta > 0,
+  // max_txn_retries >= 0.
+  Status Validate(bool sketch_variant) const;
+};
+
+}  // namespace speedkit::coherence
+
+#endif  // SPEEDKIT_COHERENCE_COHERENCE_CONFIG_H_

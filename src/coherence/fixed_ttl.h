@@ -1,0 +1,27 @@
+// Plain fixed-TTL coherence — the lower baseline, and the degenerate
+// protocol object baselines without any client-side coherence run.
+//
+// Caches serve until expiry; nothing warns a client that a key changed.
+// The protocol object still carries the staleness tracker (so anomaly and
+// staleness accounting keep working — that is the whole point of running
+// this baseline) and an empty publication (so the /sketch route and any
+// refresh path degrade to the constant empty filter).
+#ifndef SPEEDKIT_COHERENCE_FIXED_TTL_H_
+#define SPEEDKIT_COHERENCE_FIXED_TTL_H_
+
+#include "coherence/protocol.h"
+
+namespace speedkit::coherence {
+
+class FixedTtlProtocol : public CoherenceProtocol {
+ public:
+  explicit FixedTtlProtocol(const CoherenceConfig& config)
+      : CoherenceProtocol(config, nullptr) {}
+
+  // Without a change signal, SWR would stretch staleness past the TTL.
+  bool AdmitStaleWhileRevalidate() const override { return false; }
+};
+
+}  // namespace speedkit::coherence
+
+#endif  // SPEEDKIT_COHERENCE_FIXED_TTL_H_

@@ -1,0 +1,35 @@
+#include "coherence/protocol.h"
+
+#include "coherence/delta_atomic.h"
+#include "coherence/fixed_ttl.h"
+#include "coherence/serializable.h"
+
+namespace speedkit::coherence {
+
+std::unique_ptr<ClientCoherence> CoherenceProtocol::NewClient(
+    Duration /*refresh_interval*/) {
+  return std::make_unique<ClientCoherence>();
+}
+
+std::unique_ptr<CoherenceProtocol> MakeCoherenceProtocol(
+    const CoherenceConfig& config, bool sketch_variant) {
+  if (!sketch_variant) {
+    // Baselines hard-wire their coherence (fixed TTLs, purge-only, none):
+    // the protocol object degrades to staleness bookkeeping plus an empty
+    // publication. Normalize the mode so mode() tells the truth.
+    CoherenceConfig normalized = config;
+    normalized.mode = CoherenceMode::kFixedTtl;
+    return std::make_unique<FixedTtlProtocol>(normalized);
+  }
+  switch (config.mode) {
+    case CoherenceMode::kDeltaAtomic:
+      return std::make_unique<DeltaAtomicProtocol>(config);
+    case CoherenceMode::kSerializable:
+      return std::make_unique<SerializableProtocol>(config);
+    case CoherenceMode::kFixedTtl:
+      return std::make_unique<FixedTtlProtocol>(config);
+  }
+  return std::make_unique<DeltaAtomicProtocol>(config);
+}
+
+}  // namespace speedkit::coherence

@@ -1,0 +1,38 @@
+// Version-vector serializable reads (after Eyal, Birman & van Renesse:
+// edge caches can offer serializable read-only transactions cheaply).
+//
+// Reads serve from whatever cache tier answers first — no sketch, no
+// per-read freshness check. At commit, the client sends its read version
+// vector on one validation round trip; the protocol compares every read
+// against the staleness tracker's head version (the tracker dates every
+// write, making it the version authority the origin would consult).
+// Mismatched keys are re-fetched bypassing all shared caches and the
+// vector re-validated, up to the configured retry budget; a vector that
+// never converges aborts the transaction. A committed transaction's reads
+// all matched head versions at one instant — a consistent snapshot.
+#ifndef SPEEDKIT_COHERENCE_SERIALIZABLE_H_
+#define SPEEDKIT_COHERENCE_SERIALIZABLE_H_
+
+#include <vector>
+
+#include "coherence/protocol.h"
+
+namespace speedkit::coherence {
+
+class SerializableProtocol : public CoherenceProtocol {
+ public:
+  explicit SerializableProtocol(const CoherenceConfig& config)
+      : CoherenceProtocol(config, nullptr) {}
+
+  // No sketch to flag changed keys: serving expired copies while
+  // revalidating later would push anomalies into the commit check's blind
+  // spot between serve and validation.
+  bool AdmitStaleWhileRevalidate() const override { return false; }
+
+  std::vector<size_t> StaleReadIndexes(
+      const std::vector<ReadVersion>& reads) const override;
+};
+
+}  // namespace speedkit::coherence
+
+#endif  // SPEEDKIT_COHERENCE_SERIALIZABLE_H_

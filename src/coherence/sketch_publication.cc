@@ -1,0 +1,41 @@
+#include "coherence/sketch_publication.h"
+
+namespace speedkit::coherence {
+
+namespace {
+
+// Null-sketch fallbacks, built once per process: a 64-bit empty filter is
+// always representable, so Serialize cannot fail.
+const std::shared_ptr<const std::string>& EmptySerialized() {
+  static const std::shared_ptr<const std::string> kEmpty =
+      std::make_shared<const std::string>(
+          sketch::BloomFilter(64, 1).Serialize().value());
+  return kEmpty;
+}
+
+const sketch::CacheSketch::Publication& EmptyPublication() {
+  static const sketch::CacheSketch::Publication kEmpty = [] {
+    sketch::BloomFilter empty(64, 1);
+    size_t wire = empty.Serialize().value().size();
+    return sketch::CacheSketch::Publication{
+        std::make_shared<const sketch::BloomFilter>(std::move(empty)), wire};
+  }();
+  return kEmpty;
+}
+
+}  // namespace
+
+std::shared_ptr<const std::string> SketchPublication::Serialized(SimTime now) {
+  if (sketch_ == nullptr) return EmptySerialized();
+  return sketch_->PublishedSnapshot(now);
+}
+
+size_t SketchPublication::InstallInto(sketch::ClientSketch* client,
+                                      SimTime now) {
+  sketch::CacheSketch::Publication pub =
+      sketch_ == nullptr ? EmptyPublication() : sketch_->PublishedFilter(now);
+  client->Install(pub.filter, pub.wire_bytes, now);
+  return pub.wire_bytes;
+}
+
+}  // namespace speedkit::coherence

@@ -37,16 +37,10 @@ Status StackConfig::Validate() const {
         "shards must divide cdn_edges (every shard owns the same number of "
         "edges)");
   }
-  if (!(sketch_fpr > 0.0) || sketch_fpr > 0.5) {
-    return Status::InvalidArgument("sketch_fpr must be in (0, 0.5]");
-  }
-  if (variant == SystemVariant::kSpeedKit && sketch_capacity == 0) {
-    return Status::InvalidArgument(
-        "sketch_capacity must be > 0 for sketch-coherent variants");
-  }
-  if (delta <= Duration::Zero()) {
-    return Status::InvalidArgument("delta (sketch refresh interval) must be "
-                                   "positive");
+  if (Status s = coherence.Validate(
+          /*sketch_variant=*/variant == SystemVariant::kSpeedKit);
+      !s.ok()) {
+    return s;
   }
   return Status::Ok();
 }
@@ -103,10 +97,12 @@ SpeedKitStack::SpeedKitStack(const StackConfig& config,
       break;
   }
 
-  if (UsesSketch()) {
-    sketch_ = std::make_unique<sketch::CacheSketch>(config_.sketch_capacity,
-                                                    config_.sketch_fpr);
-  }
+  // The coherence tier. Baselines (non-sketch variants) always get the
+  // fixed-TTL protocol regardless of the configured mode — their coherence
+  // story is the TTL policy itself, and mode() stays truthful for them.
+  protocol_ = coherence::MakeCoherenceProtocol(
+      config_.coherence,
+      /*sketch_variant=*/config_.variant == SystemVariant::kSpeedKit);
   if (edge_map == nullptr) {
     // Single-domain stack: private full-view tier. config.shards > 1 only
     // takes effect through ShardedFleet, which passes the shared map.
@@ -117,11 +113,12 @@ SpeedKitStack::SpeedKitStack(const StackConfig& config,
                                         config_.shards);
   }
   origin_ = std::make_unique<origin::OriginServer>(
-      config_.origin, &clock_, &store_, ttl_policy_.get(), sketch_.get());
+      config_.origin, &clock_, &store_, ttl_policy_.get(),
+      &protocol_->publication());
 
   if (UsesPipeline()) {
     pipeline_ = std::make_unique<invalidation::InvalidationPipeline>(
-        config_.pipeline, &clock_, &events_, cdn_.get(), sketch_.get(),
+        config_.pipeline, &clock_, &events_, cdn_.get(), protocol_.get(),
         rng_.Fork(2));
     // The origin records every handed-out freshness deadline; the pipeline
     // must consult that same book to size sketch horizons correctly.
@@ -176,16 +173,18 @@ SpeedKitStack::SpeedKitStack(const StackConfig& config,
     ScheduleMailboxDrain();
   }
 
-  // Staleness instrumentation: date every record version and every
-  // materialized-query result version.
+  // Version instrumentation: date every record version and every
+  // materialized-query result version. The protocol's staleness tracker is
+  // both the anomaly-measurement ledger and (for serializable mode) the
+  // validation authority.
   store_.AddWriteListener([this](const storage::Record* /*before*/,
                                  const storage::Record& after) {
-    staleness_.RecordWrite(invalidation::RecordCacheKey(after.id),
-                           after.version, clock_.Now());
+    protocol_->OnVersion(invalidation::RecordCacheKey(after.id),
+                         after.version, clock_.Now());
   });
   origin_->SetQueryVersionListener(
       [this](const std::string& cache_key, uint64_t version) {
-        staleness_.RecordWrite(cache_key, version, clock_.Now());
+        protocol_->OnVersion(cache_key, version, clock_.Now());
       });
 }
 
@@ -193,19 +192,28 @@ void SpeedKitStack::ScheduleMailboxDrain() {
   // A drain with an empty mailbox is a strict no-op on results, so the
   // recurring event never perturbs runs that post nothing — the engine's
   // (seed, shards) purity survives with the events in place.
-  events_.After(config_.delta, [this] {
+  events_.After(protocol_->BoundaryInterval(), [this] {
     cdn_->DrainRemotePurges(clock_.Now());
+    protocol_->OnBoundary(clock_.Now());
     ScheduleMailboxDrain();
   });
 }
 
 proxy::ProxyConfig SpeedKitStack::DefaultProxyConfig() const {
   proxy::ProxyConfig pc;
-  pc.sketch_refresh_interval = config_.delta;
+  pc.sketch_refresh_interval = config_.coherence.delta;
+  pc.txn_max_retries = config_.coherence.max_txn_retries;
   pc.origin_flight = config_.origin_flight;
   switch (config_.variant) {
     case SystemVariant::kSpeedKit:
-      break;  // everything on
+      // Sketch consultation and SWR admission are the protocol's call:
+      // serializable and fixed-TTL modes run the SpeedKit stack without
+      // the sketch fast path and without SWR (which could serve a version
+      // the validation RTT then has to retry away).
+      pc.use_sketch =
+          protocol_->mode() == coherence::CoherenceMode::kDeltaAtomic;
+      pc.stale_while_revalidate = protocol_->AdmitStaleWhileRevalidate();
+      break;
     case SystemVariant::kFixedTtlCdn:
       pc.use_sketch = false;
       pc.gdpr_mode = false;
@@ -258,6 +266,7 @@ proxy::ProxyDeps SpeedKitStack::ClientDeps(
   deps.network = &network_;
   deps.cdn = cdn_.get();
   deps.origin = origin_.get();
+  deps.coherence = protocol_.get();
   deps.auditor = auditor;
   deps.tracer = tracer_.get();
   return deps;

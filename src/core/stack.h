@@ -20,6 +20,8 @@
 
 #include "cache/cdn.h"
 #include "cache/sharded_edge_map.h"
+#include "coherence/coherence_config.h"
+#include "coherence/protocol.h"
 #include "common/random.h"
 #include "common/status.h"
 #include "core/staleness.h"
@@ -78,10 +80,11 @@ struct StackConfig {
   // wall-clock windows.
   cache::OriginFlightMode origin_flight = cache::OriginFlightMode::kInstant;
 
-  // Coherence.
-  size_t sketch_capacity = 100000;
-  double sketch_fpr = 0.05;
-  Duration delta = Duration::Seconds(30);  // client sketch refresh interval
+  // Coherence tier: which CoherenceProtocol runs (Δ-atomic sketch,
+  // serializable read-validation, or plain fixed-TTL) and its knobs —
+  // sketch sizing, Δ, transaction retry budget. Only consulted for the
+  // kSpeedKit variant; baselines always get the fixed-TTL protocol.
+  coherence::CoherenceConfig coherence;
   invalidation::PipelineConfig pipeline;
 
   // TTLs (only consulted for variants that cache).
@@ -102,8 +105,9 @@ struct StackConfig {
   // Structural sanity of the configuration. The stack constructor calls
   // this and refuses to build on error — a bad value is a real error at
   // the call site, not something to silently clamp into range. Checks:
-  // cdn_edges >= 1, shards >= 1, shards divides cdn_edges, sketch_fpr in
-  // (0, 0.5], sketch_capacity > 0 (sketch variants only), delta > 0.
+  // cdn_edges >= 1, shards >= 1, shards divides cdn_edges, plus
+  // CoherenceConfig::Validate (sketch_fpr in (0, 0.5], sketch_capacity > 0
+  // for sketch variants, delta > 0, max_txn_retries >= 0).
   Status Validate() const;
 };
 
@@ -164,12 +168,14 @@ class SpeedKitStack {
   storage::ObjectStore& store() { return store_; }
   origin::OriginServer& origin() { return *origin_; }
   cache::Cdn& cdn() { return *cdn_; }
-  // Null for variants without sketch coherence.
-  sketch::CacheSketch* sketch() { return sketch_.get(); }
+  // The coherence tier — never null; baselines run the fixed-TTL protocol.
+  coherence::CoherenceProtocol& coherence_protocol() { return *protocol_; }
+  // Null for protocols without sketch coherence.
+  sketch::CacheSketch* sketch() { return protocol_->sketch(); }
   // Null for variants without an invalidation pipeline.
   invalidation::InvalidationPipeline* pipeline() { return pipeline_.get(); }
   ttl::TtlPolicy& ttl_policy() { return *ttl_policy_; }
-  StalenessTracker& staleness() { return staleness_; }
+  StalenessTracker& staleness() { return protocol_->staleness(); }
   const sim::FaultSchedule& faults() { return faults_; }
 
   // Forks a deterministic child RNG for drivers.
@@ -198,9 +204,6 @@ class SpeedKitStack {
   // (sharded stacks only; see stack.cc).
   void ScheduleMailboxDrain();
 
-  bool UsesSketch() const {
-    return config_.variant == SystemVariant::kSpeedKit;
-  }
   bool UsesPipeline() const {
     return config_.variant == SystemVariant::kSpeedKit ||
            config_.variant == SystemVariant::kPureInvalidation;
@@ -215,11 +218,10 @@ class SpeedKitStack {
   sim::Network network_;
   storage::ObjectStore store_;
   std::unique_ptr<ttl::TtlPolicy> ttl_policy_;
-  std::unique_ptr<sketch::CacheSketch> sketch_;
+  std::unique_ptr<coherence::CoherenceProtocol> protocol_;
   std::unique_ptr<cache::Cdn> cdn_;
   std::unique_ptr<origin::OriginServer> origin_;
   std::unique_ptr<invalidation::InvalidationPipeline> pipeline_;
-  StalenessTracker staleness_;
 
   // Observability (null when off). The tracer is heap-allocated so the
   // pointer handed to proxies/pipeline stays stable.

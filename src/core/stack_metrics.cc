@@ -123,20 +123,19 @@ void SpeedKitStack::CollectMetrics(const proxy::ProxyStats* merged_proxies) {
   *reg->Counter(obs::kOriginRenderTimeSavedUs) =
       static_cast<uint64_t>(o.render_time_saved_us);
 
-  const StalenessReport& sr = staleness_.report();
+  const StalenessReport& sr = protocol_->staleness().report();
   *reg->Counter(obs::kStalenessReads) = sr.reads;
   *reg->Counter(obs::kStalenessStaleReads) = sr.stale_reads;
   *reg->Counter(obs::kStalenessClamped) = sr.clamped;
   *reg->Counter(obs::kStalenessDeltaViolations) = sr.delta_violations;
   *reg->Counter(obs::kStalenessExcusedStaleReads) = sr.excused_stale_reads;
   *reg->Gauge(obs::kStalenessMaxUs) = sr.max_staleness.micros();
-  reg->Histo(obs::kStalenessUs)->Merge(staleness_.staleness_us());
+  reg->Histo(obs::kStalenessUs)->Merge(protocol_->staleness().staleness_us());
 
-  if (sketch_ != nullptr) {
-    *reg->Gauge(obs::kSketchEntries) =
-        static_cast<int64_t>(sketch_->entries());
-    *reg->Gauge(obs::kSketchSnapshotBytes) = static_cast<int64_t>(
-        sketch_->SerializedSnapshot(clock_.Now()).size());
+  if (sketch::CacheSketch* sk = protocol_->sketch(); sk != nullptr) {
+    *reg->Gauge(obs::kSketchEntries) = static_cast<int64_t>(sk->entries());
+    *reg->Gauge(obs::kSketchSnapshotBytes) =
+        static_cast<int64_t>(sk->SerializedSnapshot(clock_.Now()).size());
   }
 
   if (trace_sink_ != nullptr) {

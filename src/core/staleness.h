@@ -1,109 +1,16 @@
-// Staleness measurement — the instrument behind the Δ-atomicity claim.
-//
-// Every write is dated per (cache key, version); every read reports the
-// version it served. A read of version v at time t is *stale* if a newer
-// version existed at t; its staleness is t minus the time v was overwritten
-// (the moment the read value stopped being current). Δ-atomicity holds for
-// a run iff max staleness <= Δ + purge propagation; E2 sweeps Δ and checks
-// exactly this number.
-//
-// Version write times are kept in bounded per-key rings; if a version has
-// already rotated out, the staleness is *underestimated* by clamping to the
-// oldest known write — the tracker reports how often that happened so the
-// bound is never silently weakened.
+// Forwarding header: the staleness tracker moved into the coherence tier
+// (src/coherence/staleness.h), where it doubles as the serializable
+// protocol's version authority. The core:: aliases keep the long tail of
+// harnesses, tools and tests compiling unchanged.
 #ifndef SPEEDKIT_CORE_STALENESS_H_
 #define SPEEDKIT_CORE_STALENESS_H_
 
-#include <cstdint>
-#include <deque>
-#include <string>
-#include <string_view>
-#include <unordered_map>
-
-#include "common/histogram.h"
-#include "common/sim_time.h"
+#include "coherence/staleness.h"
 
 namespace speedkit::core {
 
-struct StalenessReport {
-  uint64_t reads = 0;
-  uint64_t stale_reads = 0;
-  uint64_t clamped = 0;  // staleness underestimated (ring overflow)
-  Duration max_staleness = Duration::Zero();
-  // Δ-bound accounting (fault injection, E14): a read staler than the
-  // armed bound is a violation — unless it was excused, i.e. the caller
-  // knowingly traded freshness for availability (offline serves during an
-  // outage). Excused stale reads are tallied separately so availability
-  // wins are visible without masking coherence regressions.
-  uint64_t delta_violations = 0;
-  uint64_t excused_stale_reads = 0;
-
-  double StaleFraction() const {
-    return reads == 0 ? 0.0
-                      : static_cast<double>(stale_reads) /
-                            static_cast<double>(reads);
-  }
-
-  double ViolationFraction() const {
-    return reads == 0 ? 0.0
-                      : static_cast<double>(delta_violations) /
-                            static_cast<double>(reads);
-  }
-
-  // Accumulates another run's report (counters summed, bound max'd) for
-  // the multi-seed harness.
-  void Merge(const StalenessReport& other) {
-    reads += other.reads;
-    stale_reads += other.stale_reads;
-    clamped += other.clamped;
-    if (other.max_staleness > max_staleness) {
-      max_staleness = other.max_staleness;
-    }
-    delta_violations += other.delta_violations;
-    excused_stale_reads += other.excused_stale_reads;
-  }
-};
-
-class StalenessTracker {
- public:
-  // `ring_capacity`: how many recent versions are dated per key.
-  explicit StalenessTracker(size_t ring_capacity = 64)
-      : ring_capacity_(ring_capacity) {}
-
-  // Dates `version` of `key` at `now`. Must be called for every write,
-  // in version order per key.
-  void RecordWrite(std::string_view key, uint64_t version, SimTime now);
-
-  // Reports a read that served `version` of `key` at `now`. Returns the
-  // read's staleness (zero if current). `excused` marks reads where the
-  // serving layer deliberately chose availability over freshness (offline
-  // mode): they count as stale but never as Δ-violations.
-  Duration RecordRead(std::string_view key, uint64_t version, SimTime now,
-                      bool excused = false);
-
-  // Arms Δ-bound checking: any non-excused read staler than `bound`
-  // increments delta_violations. Duration::Max() (the default) disables
-  // the check. Callers set this to Δ + a purge-propagation allowance.
-  void SetDeltaBound(Duration bound) { delta_bound_ = bound; }
-  Duration delta_bound() const { return delta_bound_; }
-
-  const StalenessReport& report() const { return report_; }
-  // Staleness of stale reads only, microseconds.
-  const Histogram& staleness_us() const { return staleness_us_; }
-
- private:
-  struct KeyHistory {
-    uint64_t head_version = 0;
-    // (version, written_at) of recent writes, ascending version.
-    std::deque<std::pair<uint64_t, SimTime>> writes;
-  };
-
-  size_t ring_capacity_;
-  Duration delta_bound_ = Duration::Max();
-  std::unordered_map<std::string, KeyHistory> keys_;
-  StalenessReport report_;
-  Histogram staleness_us_;
-};
+using StalenessReport = coherence::StalenessReport;
+using StalenessTracker = coherence::StalenessTracker;
 
 }  // namespace speedkit::core
 

@@ -16,13 +16,13 @@ InvalidationPipeline::InvalidationPipeline(const PipelineConfig& config,
                                            sim::SimClock* clock,
                                            sim::EventQueue* events,
                                            cache::Cdn* cdn,
-                                           sketch::CacheSketch* sketch,
+                                           coherence::CoherenceProtocol* coherence,
                                            Pcg32 rng)
     : config_(config),
       clock_(clock),
       events_(events),
       cdn_(cdn),
-      sketch_(sketch),
+      coherence_(coherence),
       rng_(rng),
       record_key_mapper_([](const storage::Record& r) {
         return std::vector<std::string>{RecordCacheKey(r.id)};
@@ -127,10 +127,10 @@ void InvalidationPipeline::InvalidateKey(const std::string& key) {
   }
   trace.Finish(obs::kTierPurge, /*status=*/0, faulted, last_purge - now);
 
-  if (sketch_ != nullptr) {
+  if (coherence_ != nullptr && coherence_->WantsInvalidations()) {
     SimTime stale_until =
         std::max(expiry_book_->LatestExpiry(key, now), last_purge);
-    sketch_->ReportInvalidation(key, stale_until, now);
+    coherence_->OnInvalidation(key, stale_until, now);
   }
 }
 

@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "cache/cdn.h"
+#include "coherence/protocol.h"
 #include "common/histogram.h"
 #include "common/random.h"
 #include "invalidation/expiry_book.h"
@@ -31,7 +32,6 @@
 #include "sim/clock.h"
 #include "sim/event_queue.h"
 #include "sim/fault_schedule.h"
-#include "sketch/cache_sketch.h"
 #include "storage/object_store.h"
 
 namespace speedkit::invalidation {
@@ -72,7 +72,7 @@ class InvalidationPipeline {
  public:
   InvalidationPipeline(const PipelineConfig& config, sim::SimClock* clock,
                        sim::EventQueue* events, cache::Cdn* cdn,
-                       sketch::CacheSketch* sketch, Pcg32 rng);
+                       coherence::CoherenceProtocol* coherence, Pcg32 rng);
 
   // Registers this pipeline on the store's write feed. Call once.
   void AttachTo(storage::ObjectStore* store);
@@ -122,7 +122,7 @@ class InvalidationPipeline {
   sim::SimClock* clock_;
   sim::EventQueue* events_;
   cache::Cdn* cdn_;
-  sketch::CacheSketch* sketch_;
+  coherence::CoherenceProtocol* coherence_;
   Pcg32 rng_;
   const sim::FaultSchedule* faults_ = nullptr;
   obs::Tracer* tracer_ = nullptr;

@@ -39,12 +39,12 @@ std::string VersionETag(uint64_t version) {
 OriginServer::OriginServer(const OriginConfig& config, sim::SimClock* clock,
                            storage::ObjectStore* store,
                            ttl::TtlPolicy* ttl_policy,
-                           sketch::CacheSketch* sketch)
+                           coherence::SketchPublication* publication)
     : config_(config),
       clock_(clock),
       store_(store),
       ttl_policy_(ttl_policy),
-      sketch_(sketch),
+      publication_(publication),
       render_cache_(config.render_cache_entries) {
   store_->AddWriteListener(
       [this](const storage::Record* before, const storage::Record& after) {
@@ -328,39 +328,17 @@ http::HttpResponse OriginServer::ServeShell(const http::HttpRequest& request,
 http::HttpResponse OriginServer::ServeSketch() {
   http::HttpResponse resp;
   resp.status_code = 200;
-  resp.body = *SketchSnapshot();
+  // Sketchless origins still serve the route: a publication over a null
+  // sketch yields the constant empty filter's bytes.
+  static coherence::SketchPublication empty_publication(nullptr);
+  coherence::SketchPublication* pub =
+      publication_ != nullptr ? publication_ : &empty_publication;
+  resp.body = *pub->Serialized(clock_->Now());
   http::CacheControl cc;
   cc.no_store = true;  // snapshots must never be cached
   resp.SetCacheControl(cc);
   resp.generated_at = clock_->Now();
   return resp;
-}
-
-std::shared_ptr<const std::string> OriginServer::SketchSnapshot() {
-  if (sketch_ == nullptr) {
-    // Empty filter, built once: a 64-bit filter is always representable,
-    // so Serialize cannot fail.
-    static const std::shared_ptr<const std::string> kEmpty =
-        std::make_shared<const std::string>(
-            sketch::BloomFilter(64, 1).Serialize().value());
-    return kEmpty;
-  }
-  return sketch_->PublishedSnapshot(clock_->Now());
-}
-
-sketch::CacheSketch::Publication OriginServer::SketchFilter() {
-  if (sketch_ == nullptr) {
-    // Stackless configs publish a constant empty filter; build the shared
-    // object (and its wire size) once for the whole process.
-    static const sketch::CacheSketch::Publication kEmpty = [] {
-      sketch::BloomFilter empty(64, 1);
-      size_t wire = empty.Serialize().value().size();
-      return sketch::CacheSketch::Publication{
-          std::make_shared<const sketch::BloomFilter>(std::move(empty)), wire};
-    }();
-    return kEmpty;
-  }
-  return sketch_->PublishedFilter(clock_->Now());
 }
 
 http::HttpResponse OriginServer::Finish(const http::HttpRequest& request,

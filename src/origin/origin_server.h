@@ -34,12 +34,12 @@
 #include <vector>
 
 #include "cache/lru_cache.h"
+#include "coherence/sketch_publication.h"
 #include "common/sim_time.h"
 #include "http/message.h"
 #include "invalidation/expiry_book.h"
 #include "invalidation/predicate.h"
 #include "sim/clock.h"
-#include "sketch/cache_sketch.h"
 #include "storage/object_store.h"
 #include "ttl/ttl_policy.h"
 
@@ -100,11 +100,12 @@ struct OriginStats {
 
 class OriginServer {
  public:
-  // `sketch` may be null (baselines without coherence). `ttl_policy` is
-  // owned by the caller and must outlive the server.
+  // `publication` may be null (baselines without coherence); when set it is
+  // the coherence tier's sketch-publication handle and backs the /sketch
+  // route. `ttl_policy` is owned by the caller and must outlive the server.
   OriginServer(const OriginConfig& config, sim::SimClock* clock,
                storage::ObjectStore* store, ttl::TtlPolicy* ttl_policy,
-               sketch::CacheSketch* sketch);
+               coherence::SketchPublication* publication);
 
   // Registers a query whose result is exposed at /api/queries/<query.id>.
   Status RegisterQuery(invalidation::Query query);
@@ -120,17 +121,6 @@ class OriginServer {
 
   // Serves one request on the simulated clock.
   http::HttpResponse Handle(const http::HttpRequest& request);
-
-  // Sketch snapshot bytes (what the /sketch route returns), published as
-  // an immutable shared string: between sketch mutations every client
-  // refresh receives the same memoized buffer instead of a fresh
-  // serialization (see CacheSketch::PublishedSnapshot).
-  std::shared_ptr<const std::string> SketchSnapshot();
-
-  // The same publication as a shared in-memory filter plus its wire size —
-  // the fleet-scale refresh path (no per-client deserialization; see
-  // CacheSketch::PublishedFilter).
-  sketch::CacheSketch::Publication SketchFilter();
 
   // Fault injection: while unavailable, every request returns 503.
   void set_available(bool available) { available_ = available; }
@@ -185,7 +175,7 @@ class OriginServer {
   sim::SimClock* clock_;
   storage::ObjectStore* store_;
   ttl::TtlPolicy* ttl_policy_;
-  sketch::CacheSketch* sketch_;
+  coherence::SketchPublication* publication_;
   bool available_ = true;
 
   std::unordered_map<std::string, MaterializedQuery> queries_;

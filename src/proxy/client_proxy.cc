@@ -11,6 +11,10 @@ namespace speedkit::proxy {
 namespace {
 // Approximate wire size of a 304 (status line + validator headers).
 constexpr size_t kNotModifiedWireBytes = 256;
+// Serializable-mode validation RTT: a version-vector check is a small
+// request (fixed envelope + one key/version pair per read).
+constexpr size_t kTxnValidateBaseBytes = 128;
+constexpr size_t kTxnValidatePerKeyBytes = 40;
 }  // namespace
 
 std::string_view ServedFromName(ServedFrom source) {
@@ -39,7 +43,11 @@ ClientProxy::ClientProxy(const ProxyConfig& config, uint64_t client_id,
       origin_(deps.origin),
       auditor_(deps.auditor),
       browser_cache_(/*shared=*/false, config.browser_cache_bytes),
-      client_sketch_(config.sketch_refresh_interval),
+      coherence_(deps.coherence),
+      coherence_client_(deps.coherence != nullptr
+                            ? deps.coherence->NewClient(
+                                  config.sketch_refresh_interval)
+                            : nullptr),
       rng_(Mix64(client_id ^ 0xba0c0ffeeULL), client_id * 2 + 1),
       own_stats_(deps.stats_sink ? nullptr : new ProxyStats()),
       stats_(deps.stats_sink ? deps.stats_sink : own_stats_.get()),
@@ -111,13 +119,15 @@ FetchResult ClientProxy::FetchDecide(const http::Url& url) {
   Duration overhead =
       config_.enabled ? config_.device_overhead : Duration::Zero();
 
-  bool use_sketch = config_.enabled && config_.use_sketch;
-  Duration refresh_latency =
-      use_sketch ? MaybeRefreshSketchLatency() : Duration::Zero();
+  bool use_sketch =
+      config_.enabled && config_.use_sketch && coherence_client_ != nullptr;
+  Duration refresh_latency = use_sketch
+                                 ? MaybeRefreshSketchLatency(/*txn_begin=*/false)
+                                 : Duration::Zero();
 
-  // One sketch verdict drives the whole flow: a flagged key must bypass
+  // One coherence verdict drives the whole flow: a flagged key must bypass
   // every expiration-based cache between the device and the origin.
-  bool flagged = use_sketch && client_sketch_.MightBeStale(key);
+  bool flagged = use_sketch && coherence_client_->MustRevalidate(key);
 
   // Trace attribution for the legs every path shares. A sketch refresh
   // only serializes with cache serves (network fetches overlap it); the
@@ -187,9 +197,11 @@ FetchResult ClientProxy::FetchDecide(const http::Url& url) {
   return result;
 }
 
-Duration ClientProxy::MaybeRefreshSketchLatency() {
+Duration ClientProxy::MaybeRefreshSketchLatency(bool txn_begin) {
   SimTime now = clock_->Now();
-  if (!client_sketch_.NeedsRefresh(now)) return Duration::Zero();
+  bool due = txn_begin ? coherence_client_->NeedsTxnRefresh(now)
+                       : coherence_client_->NeedsRefresh(now);
+  if (!due) return Duration::Zero();
   if (!origin_->available()) return Duration::Zero();  // keep the old snapshot
   if (!network_->Delivered(sim::Link::kClientEdge, now)) {
     // The refresh request never got through: keep the old snapshot and
@@ -204,13 +216,127 @@ Duration ClientProxy::MaybeRefreshSketchLatency() {
   // The published filter is shared across every client of the fleet; the
   // wire-byte count still reflects the serialized form so transfer
   // accounting is unchanged.
-  sketch::CacheSketch::Publication snapshot = origin_->SketchFilter();
-  client_sketch_.Install(snapshot.filter, snapshot.wire_bytes, now);
+  size_t wire_bytes = coherence_client_->InstallRefresh(now);
   stats_->sketch_refreshes++;
-  stats_->sketch_bytes += snapshot.wire_bytes;
+  stats_->sketch_bytes += wire_bytes;
   // The sketch service answers from the edge tier.
-  return network_->RequestTime(sim::Link::kClientEdge, snapshot.wire_bytes,
-                               now);
+  return network_->RequestTime(sim::Link::kClientEdge, wire_bytes, now);
+}
+
+TxnResult ClientProxy::FetchTxn(const std::vector<std::string>& urls) {
+  stats_->txn_begins++;
+  TxnResult txn;
+  coherence::CoherenceMode mode = coherence_ != nullptr
+                                      ? coherence_->mode()
+                                      : coherence::CoherenceMode::kFixedTtl;
+
+  // Δ-atomic: force a snapshot taken at the transaction's own instant so
+  // every member read consults one boundary picture. The refresh gates
+  // all of the reads' cache serves, so it serializes with them.
+  Duration setup = Duration::Zero();
+  if (mode == coherence::CoherenceMode::kDeltaAtomic && config_.enabled &&
+      config_.use_sketch && coherence_client_ != nullptr) {
+    setup = MaybeRefreshSketchLatency(/*txn_begin=*/true);
+  }
+
+  // All reads issue at the same sim instant; the read span is the slowest
+  // member (the page fires them in parallel).
+  Duration read_span = Duration::Zero();
+  txn.reads.reserve(urls.size());
+  for (const std::string& url : urls) {
+    FetchResult r = Fetch(url);
+    read_span = std::max(read_span, r.latency);
+    txn.reads.push_back(std::move(r));
+  }
+  txn.latency = setup + read_span;
+
+  if (mode == coherence::CoherenceMode::kSerializable) {
+    if (!ValidateTxn(urls, &txn)) txn.aborted = true;
+  }
+  if (txn.aborted) {
+    stats_->txn_aborts++;
+  } else {
+    stats_->txn_commits++;
+  }
+  stats_->latency_txn_us.Add(txn.latency.micros());
+  return txn;
+}
+
+bool ClientProxy::ValidateTxn(const std::vector<std::string>& urls,
+                              TxnResult* txn) {
+  // The version vector of successful reads. Failed reads carry no version
+  // to validate — and returned nothing, so they cannot break snapshot
+  // consistency either.
+  std::vector<coherence::ReadVersion> reads;
+  std::vector<size_t> read_index;  // reads[s] came from txn->reads[read_index[s]]
+  for (size_t i = 0; i < urls.size(); ++i) {
+    const FetchResult& r = txn->reads[i];
+    if (!r.response.ok()) continue;
+    auto url = http::Url::Parse(urls[i]);
+    if (!url.ok()) continue;
+    reads.push_back({url->CacheKey(), r.response.object_version});
+    read_index.push_back(i);
+  }
+  if (reads.empty()) return true;
+
+  for (int round = 0;; ++round) {
+    // One validation RTT: the vector of (key, version) pairs travels to
+    // the origin, which answers against its head versions.
+    stats_->txn_validations++;
+    size_t wire =
+        kTxnValidateBaseBytes + kTxnValidatePerKeyBytes * reads.size();
+    stats_->txn_validation_bytes += wire;
+    Duration vlat = Duration::Zero();
+    if (!origin_->available() ||
+        !DeliverWithRetries(sim::Link::kClientOrigin, &vlat)) {
+      // No authority to validate against — the commit cannot be certified.
+      txn->latency += vlat;
+      return false;
+    }
+    vlat +=
+        network_->RequestTime(sim::Link::kClientOrigin, wire, clock_->Now());
+    txn->latency += vlat;
+
+    std::vector<size_t> stale = coherence_->StaleReadIndexes(reads);
+    if (stale.empty()) return true;
+    if (round >= config_.txn_max_retries) return false;
+    stats_->txn_retries++;
+    txn->retries++;
+
+    // Re-fetch the mismatched members, bypassing every shared cache so a
+    // retry cannot re-read the same stale copy. One round's re-fetches
+    // issue together and cost the slowest member.
+    Duration refetch_span = Duration::Zero();
+    for (size_t s : stale) {
+      size_t i = read_index[s];
+      auto url = http::Url::Parse(urls[i]);
+      if (!url.ok()) continue;
+      FetchResult r = TxnRefetch(*url, reads[s].key);
+      refetch_span = std::max(refetch_span, r.latency);
+      if (r.response.ok()) reads[s].version = r.response.object_version;
+      txn->reads[i] = std::move(r);
+    }
+    txn->latency += refetch_span;
+  }
+}
+
+FetchResult ClientProxy::TxnRefetch(const http::Url& url,
+                                    const std::string& key) {
+  Touch();
+  // A full foreground request: counted, traced, and funneled through
+  // RecordRequestOutcome like any other, so the serve buckets (and the
+  // trace count) keep reconciling with `requests`.
+  if (!background_fetch_) {
+    trace_.Begin(tracer_, obs::kTraceKindRequest, key, clock_->Now());
+    request_degraded_ = false;
+  }
+  stats_->requests++;
+  http::HttpRequest request = http::HttpRequest::Get(url);
+  FetchResult result = FetchOverNetwork(request, key, /*bypass_shared=*/true);
+  result.latency +=
+      config_.enabled ? config_.device_overhead : Duration::Zero();
+  RecordRequestOutcome(result);
+  return result;
 }
 
 bool ClientProxy::DeliverWithRetries(sim::Link link, Duration* latency) {

@@ -34,9 +34,11 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "cache/cdn.h"
 #include "cache/http_cache.h"
+#include "coherence/protocol.h"
 #include "common/histogram.h"
 #include "common/random.h"
 #include "common/sim_time.h"
@@ -77,6 +79,18 @@ struct BlockResult {
   bool rendered_on_device = false;  // GDPR-mode local join happened
 };
 
+// One multi-key read-only transaction (FetchTxn). All reads issue at the
+// same sim instant; what "consistent" means depends on the stack's
+// coherence mode — Δ-atomic forces a snapshot refresh at the txn instant,
+// serializable validates read versions against the origin and retries
+// mismatches, fixed-TTL does neither (its anomaly rate is the baseline).
+struct TxnResult {
+  std::vector<FetchResult> reads;
+  Duration latency = Duration::Zero();
+  int retries = 0;      // validation rounds that re-fetched at least one key
+  bool aborted = false; // serializable only: retry budget exhausted
+};
+
 struct ProxyConfig {
   bool enabled = true;      // false: vanilla browser (cache + origin only)
   bool use_cdn = true;
@@ -91,6 +105,9 @@ struct ProxyConfig {
   // bytes per asset via the acceleration service's transcoding.
   bool optimize_assets = true;
   Duration sketch_refresh_interval = Duration::Seconds(30);  // Δ
+  // Serializable mode: validation rounds a transaction may retry before
+  // aborting (0 = validate once, never re-fetch).
+  int txn_max_retries = 2;
   size_t browser_cache_bytes = 50u * 1024 * 1024;
   // Service-worker interception cost per request on the device.
   Duration device_overhead = Duration::Micros(300);
@@ -158,6 +175,16 @@ struct ProxyStats {
   uint64_t background_errors = 0;         // ... failed (origin down etc.)
   uint64_t background_bytes = 0;          // wire bytes of background traffic
 
+  // Multi-key read-only transactions (FetchTxn). Each member read is an
+  // ordinary request and lands in the serve buckets above; these count
+  // whole transactions. Validation rounds are serializable-mode only.
+  uint64_t txn_begins = 0;
+  uint64_t txn_commits = 0;
+  uint64_t txn_aborts = 0;            // retry budget exhausted (or origin down)
+  uint64_t txn_retries = 0;           // rounds that re-fetched stale reads
+  uint64_t txn_validations = 0;       // validation RTTs issued
+  uint64_t txn_validation_bytes = 0;  // wire bytes of validation traffic
+
   // Client-observed latency distributions (us), filled unconditionally so
   // every harness gets a per-tier breakdown whether or not the obs layer
   // is on. Each request lands in exactly ONE tier histogram — keyed by its
@@ -173,6 +200,9 @@ struct ProxyStats {
   Histogram latency_error_us;
   Histogram latency_ok_us;
   Histogram latency_degraded_us;
+  // End-to-end transaction latency (us): reads + any snapshot refresh,
+  // validation RTTs and retry re-fetches.
+  Histogram latency_txn_us;
 
   // The tier histogram for `source` (see above; never null).
   Histogram* LatencyFor(ServedFrom source) {
@@ -220,6 +250,12 @@ struct ProxyStats {
     background_200s += other.background_200s;
     background_errors += other.background_errors;
     background_bytes += other.background_bytes;
+    txn_begins += other.txn_begins;
+    txn_commits += other.txn_commits;
+    txn_aborts += other.txn_aborts;
+    txn_retries += other.txn_retries;
+    txn_validations += other.txn_validations;
+    txn_validation_bytes += other.txn_validation_bytes;
     latency_browser_us.Merge(other.latency_browser_us);
     latency_edge_us.Merge(other.latency_edge_us);
     latency_origin_us.Merge(other.latency_origin_us);
@@ -227,6 +263,7 @@ struct ProxyStats {
     latency_error_us.Merge(other.latency_error_us);
     latency_ok_us.Merge(other.latency_ok_us);
     latency_degraded_us.Merge(other.latency_degraded_us);
+    latency_txn_us.Merge(other.latency_txn_us);
     return *this;
   }
 };
@@ -242,6 +279,9 @@ struct ProxyDeps {
   sim::Network* network = nullptr;
   cache::Cdn* cdn = nullptr;
   origin::OriginServer* origin = nullptr;
+  // The stack's coherence tier. May be null (tests without coherence):
+  // the client then has no sketch and FetchTxn behaves as fixed-TTL.
+  coherence::CoherenceProtocol* coherence = nullptr;
   personalization::BoundaryAuditor* auditor = nullptr;
   obs::Tracer* tracer = nullptr;
   // Optional shared accounting sink. When set, the client records into it
@@ -264,6 +304,15 @@ class ClientProxy {
   FetchResult Fetch(const http::Url& url);
   FetchResult Fetch(std::string_view url_text);
 
+  // A multi-key read-only transaction: fetches every URL at the current
+  // sim instant and applies the coherence mode's consistency mechanism —
+  // Δ-atomic refreshes the sketch snapshot first (reads then cut one
+  // consistent Δ-boundary picture), serializable validates read versions
+  // against the origin and re-fetches mismatches (bypassing shared caches)
+  // up to txn_max_retries rounds before aborting, fixed-TTL just reads.
+  // Each member read counts as a normal request in ProxyStats.
+  TxnResult FetchTxn(const std::vector<std::string>& urls);
+
   // Fetches/renders one dynamic block of a page for the attached user.
   BlockResult FetchBlock(const personalization::PageTemplate& page,
                          const personalization::DynamicBlock& block,
@@ -283,7 +332,13 @@ class ClientProxy {
     EnsureThawed();
     return browser_cache_;
   }
-  sketch::ClientSketch& client_sketch() { return client_sketch_; }
+  // This client's sketch view, owned by its coherence handle; null when
+  // the coherence mode keeps no client sketch (serializable, fixed-TTL,
+  // or no protocol wired at all).
+  sketch::ClientSketch* client_sketch() {
+    return coherence_client_ != nullptr ? coherence_client_->client_sketch()
+                                        : nullptr;
+  }
   // In sink mode (ProxyDeps::stats_sink set) this is the shared aggregate,
   // not this client's own traffic.
   const ProxyStats& stats() const { return *stats_; }
@@ -375,7 +430,20 @@ class ClientProxy {
                              ServedFrom source, Duration latency);
 
   // Refreshes the sketch snapshot if due; returns the added latency.
-  Duration MaybeRefreshSketchLatency();
+  // `txn_begin` asks the coherence handle's transaction-grade freshness
+  // check (Δ-atomic: any nonzero snapshot age is "due", so the reads cut
+  // one boundary picture) instead of the per-request Δ check.
+  Duration MaybeRefreshSketchLatency(bool txn_begin);
+
+  // Serializable validation loop (see FetchTxn). Returns false when the
+  // transaction must abort; accumulates validation + re-fetch latency
+  // onto `txn`.
+  bool ValidateTxn(const std::vector<std::string>& urls, TxnResult* txn);
+
+  // One retry re-fetch of a stale transaction read: a full foreground
+  // request (counted, traced) that bypasses every shared cache so it
+  // cannot re-read the same stale copy.
+  FetchResult TxnRefetch(const http::Url& url, const std::string& key);
 
   void Audit(const http::HttpRequest& request);
 
@@ -394,7 +462,11 @@ class ClientProxy {
   const personalization::PiiVault* vault_ = nullptr;
 
   cache::HttpCache browser_cache_;
-  sketch::ClientSketch client_sketch_;
+  // The stack's coherence tier (may be null) and this client's per-client
+  // handle into it (sketch view, refresh decisions; null iff coherence_
+  // is null).
+  coherence::CoherenceProtocol* coherence_;
+  std::unique_ptr<coherence::ClientCoherence> coherence_client_;
   // Drives retry-backoff jitter only. Seeded from the client id — not the
   // stack's stream — so attaching fault handling does not perturb any
   // pre-existing draw sequence (network latencies, traffic).

@@ -29,6 +29,10 @@
 #include "sketch/bloom_filter.h"
 #include "sketch/counting_bloom.h"
 
+namespace speedkit::coherence {
+class SketchPublication;
+}  // namespace speedkit::coherence
+
 namespace speedkit::sketch {
 
 struct CacheSketchStats {
@@ -74,6 +78,31 @@ class CacheSketch {
   // Serialized compact snapshot (what actually travels to clients).
   std::string SerializedSnapshot(SimTime now);
 
+  // A published snapshot as an immutable in-memory filter, plus the size
+  // the serialized form would occupy on the wire. Simulated clients
+  // install this shared filter directly instead of each deserializing a
+  // private BloomFilter copy from the published string — at a million
+  // clients that is the difference between one filter and a million.
+  struct Publication {
+    std::shared_ptr<const BloomFilter> filter;
+    size_t wire_bytes = 0;
+  };
+
+  const CacheSketchStats& stats() const { return stats_; }
+  // The backing counting filter — exposed so tests can assert lifecycle
+  // invariants (e.g. the add/remove discipline never underflows a counter).
+  const CountingBloomFilter& filter() const { return filter_; }
+  size_t entries() const { return horizon_.size(); }
+  size_t FilterSizeBytes() const { return num_cells_ / 8; }  // as bits
+
+ private:
+  // The publication surface is owned by coherence::SketchPublication —
+  // the one handle through which snapshots leave the sketch (the origin's
+  // /sketch route and every client refresh go through it). Direct callers
+  // use SerializedSnapshot; the shared-view forms below are memoized and
+  // deliberately not public API.
+  friend class speedkit::coherence::SketchPublication;
+
   // The published form of the serialized compact snapshot: an immutable
   // string behind a shared_ptr, re-encoded only when the tracked key set
   // changed since the last publication (insert or expiry — horizon
@@ -86,27 +115,11 @@ class CacheSketch {
   // insensitive — so published and fresh snapshots are interchangeable.
   std::shared_ptr<const std::string> PublishedSnapshot(SimTime now);
 
-  // The same publication as an immutable in-memory filter, plus the size
-  // the serialized form would occupy on the wire. Simulated clients
-  // install this shared filter directly instead of each deserializing a
-  // private BloomFilter copy from the published string — at a million
-  // clients that is the difference between one filter and a million. The
-  // filter's bit pattern is identical to Deserialize(PublishedSnapshot),
-  // and the memo invalidates with it.
-  struct Publication {
-    std::shared_ptr<const BloomFilter> filter;
-    size_t wire_bytes = 0;
-  };
+  // The same publication as the shared filter view; the filter's bit
+  // pattern is identical to Deserialize(PublishedSnapshot), and the memo
+  // invalidates with it.
   Publication PublishedFilter(SimTime now);
 
-  const CacheSketchStats& stats() const { return stats_; }
-  // The backing counting filter — exposed so tests can assert lifecycle
-  // invariants (e.g. the add/remove discipline never underflows a counter).
-  const CountingBloomFilter& filter() const { return filter_; }
-  size_t entries() const { return horizon_.size(); }
-  size_t FilterSizeBytes() const { return num_cells_ / 8; }  // as bits
-
- private:
   struct HeapItem {
     SimTime at;
     std::string key;

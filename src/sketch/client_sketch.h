@@ -17,6 +17,10 @@
 #include "common/status.h"
 #include "sketch/bloom_filter.h"
 
+namespace speedkit::coherence {
+class SketchPublication;
+}  // namespace speedkit::coherence
+
 namespace speedkit::sketch {
 
 struct ClientSketchStats {
@@ -38,12 +42,6 @@ class ClientSketch {
   // Installs a snapshot received from the server (wire form).
   Status Update(std::string_view serialized, SimTime now);
 
-  // Installs a pre-deserialized snapshot shared across the whole fleet
-  // (see CacheSketch::PublishedFilter). `wire_bytes` is what the serialized
-  // form would have cost, so transfer accounting matches Update exactly.
-  void Install(std::shared_ptr<const BloomFilter> filter, size_t wire_bytes,
-               SimTime now);
-
   // Membership check against the last snapshot. `true` means the cached
   // copy must be revalidated; `false` means it is safe to serve (up to the
   // snapshot's age in staleness).
@@ -59,6 +57,17 @@ class ClientSketch {
   const ClientSketchStats& stats() const { return stats_; }
 
  private:
+  // Fleet-shared installs flow through the coherence tier's publication
+  // handle only: it is the one caller that can guarantee the filter is
+  // the published immutable view with its matching wire size.
+  friend class speedkit::coherence::SketchPublication;
+
+  // Installs a pre-deserialized snapshot shared across the whole fleet.
+  // `wire_bytes` is what the serialized form would have cost, so transfer
+  // accounting matches Update exactly.
+  void Install(std::shared_ptr<const BloomFilter> filter, size_t wire_bytes,
+               SimTime now);
+
   Duration refresh_interval_;
   // Shared and immutable: a million clients refreshed inside the same Δ
   // window all point at one filter object.

@@ -145,6 +145,69 @@ TEST(HttpCacheFreezeTest, EmptyVarySectionIsOmittedFromBlob) {
   EXPECT_EQ(a.entry->response.body, "body-a");
 }
 
+// Eviction removes variant entries but leaves the vary_names_ mapping
+// behind in memory; Freeze must not spill that dead bookkeeping. A fleet
+// client that varied once and then churned past it freezes as lean as one
+// that never varied at all.
+TEST(HttpCacheFreezeTest, EvictedVaryMappingsAreDroppedAtFreeze) {
+  http::HttpResponse varied = Response("max-age=60", 0, 1, "segment-a");
+  varied.headers.Set("Vary", "X-Segment");
+  http::HeaderMap req;
+  req.Set("X-Segment", "a");
+
+  // Capacity that holds either entry alone but not both, so the second
+  // store evicts the variant and orphans its vary mapping.
+  size_t total = [&] {
+    HttpCache probe(false, 0);
+    probe.Store("k", req, varied, At(0));
+    probe.Store("plain", Response("max-age=60", 0, 2, "body-p"), At(0));
+    return probe.used_bytes();
+  }();
+  HttpCache cache(false, total - 1);
+  ASSERT_TRUE(cache.Store("k", req, varied, At(0)));
+  ASSERT_TRUE(
+      cache.Store("plain", Response("max-age=60", 0, 2, "body-p"), At(1)));
+  ASSERT_EQ(cache.evictions(), 1u);
+
+  std::string blob = cache.Freeze();
+  // The dead mapping (and its vary header name) must not appear: the
+  // variant entry is gone, so the only place "X-Segment" could survive is
+  // the vary-name section this test guards.
+  EXPECT_EQ(blob.find("X-Segment"), std::string::npos);
+
+  HttpCache thawed(false, total - 1);
+  ASSERT_TRUE(thawed.Thaw(blob));
+  EXPECT_EQ(thawed.size(), 1u);
+  EXPECT_EQ(thawed.Lookup("plain", At(1)).outcome, LookupOutcome::kFreshHit);
+}
+
+// Live vary mappings freeze in sorted key order, so two caches holding the
+// same contents produce byte-identical blobs regardless of the (unordered)
+// in-memory map's insertion history.
+TEST(HttpCacheFreezeTest, VarySectionIsCanonicallyOrdered) {
+  auto store_varied = [](HttpCache* cache, const std::string& key,
+                         uint64_t version) {
+    http::HttpResponse resp = Response("max-age=60", 0, version, "seg");
+    resp.headers.Set("Vary", "X-Segment");
+    http::HeaderMap req;
+    req.Set("X-Segment", "a");
+    ASSERT_TRUE(cache->Store(key, req, resp, At(0)));
+  };
+  http::HeaderMap req;
+  req.Set("X-Segment", "a");
+  HttpCache first(false, 0);
+  store_varied(&first, "alpha", 1);
+  store_varied(&first, "beta", 2);
+  first.Lookup("alpha", req, At(1));  // recency: beta LRU, alpha MRU
+
+  HttpCache second(false, 0);
+  store_varied(&second, "beta", 2);  // reversed vary-map insertion order
+  store_varied(&second, "alpha", 1);
+  second.Lookup("alpha", req, At(1));  // same recency chain as `first`
+
+  EXPECT_EQ(first.Freeze(), second.Freeze());
+}
+
 TEST(HttpCacheFreezeTest, CorruptBlobFailsClosedToEmpty) {
   HttpCache cache(false, 0);
   cache.Store("a", Response("max-age=60"), At(0));

@@ -1,0 +1,77 @@
+// The api_redesign safety net: re-homing the Cache Sketch behind the
+// CoherenceProtocol interface must not move a single number. These
+// fingerprints were captured on the hard-wired implementation (commit
+// dee729d, pre-refactor) with FingerprintRun over the full merged stats —
+// every counter and every latency distribution. A default-mode stack, a
+// sharded fleet at any thread count, and every baseline variant must keep
+// reproducing them bit-identically.
+#include <cstdint>
+
+#include <gtest/gtest.h>
+
+#include "bench/workload_runner.h"
+
+namespace speedkit::bench {
+namespace {
+
+// Captured pre-refactor; see file comment. requests pins are a fast
+// cross-check that catches gross drift with a readable number.
+constexpr uint64_t kDefaultFp = 0x24e1b5aaa3519cd9ull;
+constexpr uint64_t kSharded8Fp = 0x536153c7033478a3ull;
+constexpr uint64_t kFixedTtlCdnFp = 0xc2a77869e582d2cdull;
+constexpr uint64_t kPureInvalidationFp = 0xfaa61ee9776ad812ull;
+constexpr uint64_t kSharded8Delta10Fp = 0x9f24e87aa56a2f1eull;
+
+RunSpec Sharded8Spec() {
+  RunSpec spec = DefaultRunSpec();
+  spec.stack.cdn_edges = 8;
+  spec.stack.shards = 8;
+  spec.traffic.num_clients = 64;
+  return spec;
+}
+
+TEST(CoherenceInvarianceTest, DefaultDeltaAtomicStackMatchesPreRefactor) {
+  RunOutput out = RunWorkload(DefaultRunSpec());
+  EXPECT_EQ(out.traffic.proxies.requests, 1340u);
+  EXPECT_EQ(FingerprintRun(out), kDefaultFp);
+}
+
+TEST(CoherenceInvarianceTest, Sharded8MatchesPreRefactorAtEveryThreadCount) {
+  for (int threads : {1, 2, 4, 8}) {
+    RunSpec spec = Sharded8Spec();
+    spec.run_threads = threads;
+    RunOutput out = RunWorkload(spec);
+    EXPECT_EQ(out.traffic.proxies.requests, 3640u) << "threads=" << threads;
+    EXPECT_EQ(FingerprintRun(out), kSharded8Fp) << "threads=" << threads;
+  }
+}
+
+TEST(CoherenceInvarianceTest, TightDeltaShardedMatchesPreRefactor) {
+  for (int threads : {1, 2, 4, 8}) {
+    RunSpec spec = Sharded8Spec();
+    spec.stack.coherence.delta = Duration::Seconds(10);
+    spec.traffic.writes_per_sec = 4.0;
+    spec.run_threads = threads;
+    RunOutput out = RunWorkload(spec);
+    EXPECT_EQ(FingerprintRun(out), kSharded8Delta10Fp)
+        << "threads=" << threads;
+  }
+}
+
+TEST(CoherenceInvarianceTest, FixedTtlCdnBaselineMatchesPreRefactor) {
+  RunSpec spec = DefaultRunSpec();
+  spec.stack.variant = core::SystemVariant::kFixedTtlCdn;
+  RunOutput out = RunWorkload(spec);
+  EXPECT_EQ(out.traffic.proxies.requests, 1446u);
+  EXPECT_EQ(FingerprintRun(out), kFixedTtlCdnFp);
+}
+
+TEST(CoherenceInvarianceTest, PureInvalidationBaselineMatchesPreRefactor) {
+  RunSpec spec = DefaultRunSpec();
+  spec.stack.variant = core::SystemVariant::kPureInvalidation;
+  RunOutput out = RunWorkload(spec);
+  EXPECT_EQ(FingerprintRun(out), kPureInvalidationFp);
+}
+
+}  // namespace
+}  // namespace speedkit::bench

@@ -1,0 +1,227 @@
+// Unit coverage for the pluggable coherence tier's building blocks: mode
+// parsing, typed config validation, protocol construction/normalization,
+// serializable read-vector validation, and the staleness tracker's
+// snapshot-consistency check (the E18 anomaly audit).
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "coherence/delta_atomic.h"
+#include "coherence/fixed_ttl.h"
+#include "coherence/protocol.h"
+#include "coherence/serializable.h"
+#include "coherence/staleness.h"
+
+namespace speedkit::coherence {
+namespace {
+
+SimTime At(double seconds) {
+  return SimTime::Origin() + Duration::Seconds(seconds);
+}
+
+CoherenceConfig SmallConfig(CoherenceMode mode) {
+  CoherenceConfig config;
+  config.mode = mode;
+  config.sketch_capacity = 1000;
+  config.sketch_fpr = 0.01;
+  config.delta = Duration::Seconds(10);
+  return config;
+}
+
+TEST(CoherenceModeTest, NamesRoundTripThroughParse) {
+  for (CoherenceMode mode :
+       {CoherenceMode::kDeltaAtomic, CoherenceMode::kSerializable,
+        CoherenceMode::kFixedTtl}) {
+    CoherenceMode parsed;
+    ASSERT_TRUE(ParseCoherenceMode(CoherenceModeName(mode), &parsed).ok());
+    EXPECT_EQ(parsed, mode);
+  }
+}
+
+TEST(CoherenceModeTest, UnknownNameIsRealErrorListingValidSet) {
+  CoherenceMode mode = CoherenceMode::kSerializable;
+  Status s = ParseCoherenceMode("eventual", &mode);
+  EXPECT_FALSE(s.ok());
+  EXPECT_NE(s.ToString().find("delta_atomic"), std::string::npos);
+  // A failed parse must not have written the output.
+  EXPECT_EQ(mode, CoherenceMode::kSerializable);
+}
+
+TEST(CoherenceConfigTest, DefaultsValidateForEveryModeAndVariantKind) {
+  for (CoherenceMode mode :
+       {CoherenceMode::kDeltaAtomic, CoherenceMode::kSerializable,
+        CoherenceMode::kFixedTtl}) {
+    CoherenceConfig config;
+    config.mode = mode;
+    EXPECT_TRUE(config.Validate(/*sketch_variant=*/true).ok());
+    EXPECT_TRUE(config.Validate(/*sketch_variant=*/false).ok());
+  }
+}
+
+TEST(CoherenceConfigTest, RejectsOutOfRangeKnobs) {
+  CoherenceConfig config;
+  config.sketch_fpr = 0.0;
+  EXPECT_FALSE(config.Validate(true).ok());
+  config.sketch_fpr = 0.6;
+  EXPECT_FALSE(config.Validate(true).ok());
+  config = CoherenceConfig();
+  config.delta = Duration::Zero();
+  EXPECT_FALSE(config.Validate(true).ok());
+  config = CoherenceConfig();
+  config.max_txn_retries = -1;
+  EXPECT_FALSE(config.Validate(true).ok());
+}
+
+TEST(CoherenceConfigTest, SketchCapacityOnlyRequiredWhereASketchExists) {
+  CoherenceConfig config;
+  config.sketch_capacity = 0;
+  // Δ-atomic on a sketch variant actually builds the sketch: hard error.
+  EXPECT_FALSE(config.Validate(/*sketch_variant=*/true).ok());
+  // Baselines and sketchless modes never size one.
+  EXPECT_TRUE(config.Validate(/*sketch_variant=*/false).ok());
+  config.mode = CoherenceMode::kSerializable;
+  EXPECT_TRUE(config.Validate(/*sketch_variant=*/true).ok());
+  config.mode = CoherenceMode::kFixedTtl;
+  EXPECT_TRUE(config.Validate(/*sketch_variant=*/true).ok());
+}
+
+TEST(MakeCoherenceProtocolTest, DeltaAtomicOwnsSketchAndWantsInvalidations) {
+  auto protocol = MakeCoherenceProtocol(
+      SmallConfig(CoherenceMode::kDeltaAtomic), /*sketch_variant=*/true);
+  EXPECT_EQ(protocol->mode(), CoherenceMode::kDeltaAtomic);
+  EXPECT_NE(protocol->sketch(), nullptr);
+  EXPECT_TRUE(protocol->WantsInvalidations());
+  EXPECT_TRUE(protocol->AdmitStaleWhileRevalidate());
+  auto client = protocol->NewClient(Duration::Seconds(10));
+  EXPECT_NE(client->client_sketch(), nullptr);
+  // Fresh client: no snapshot yet, so both refresh gates fire.
+  EXPECT_TRUE(client->NeedsRefresh(At(0)));
+  EXPECT_TRUE(client->NeedsTxnRefresh(At(0)));
+}
+
+TEST(MakeCoherenceProtocolTest, SketchlessModesRunWithoutASketch) {
+  for (CoherenceMode mode :
+       {CoherenceMode::kSerializable, CoherenceMode::kFixedTtl}) {
+    auto protocol =
+        MakeCoherenceProtocol(SmallConfig(mode), /*sketch_variant=*/true);
+    EXPECT_EQ(protocol->mode(), mode);
+    EXPECT_EQ(protocol->sketch(), nullptr);
+    EXPECT_FALSE(protocol->WantsInvalidations());
+    EXPECT_FALSE(protocol->AdmitStaleWhileRevalidate());
+    auto client = protocol->NewClient(Duration::Seconds(10));
+    EXPECT_EQ(client->client_sketch(), nullptr);
+    EXPECT_FALSE(client->NeedsRefresh(At(0)));
+    EXPECT_FALSE(client->NeedsTxnRefresh(At(0)));
+    EXPECT_FALSE(client->MustRevalidate("any"));
+  }
+}
+
+// Baseline system variants hard-wire their coherence; whatever mode the
+// config asks for, they get the fixed-TTL protocol and mode() tells the
+// truth about it.
+TEST(MakeCoherenceProtocolTest, NonSketchVariantsNormalizeToFixedTtl) {
+  for (CoherenceMode mode :
+       {CoherenceMode::kDeltaAtomic, CoherenceMode::kSerializable,
+        CoherenceMode::kFixedTtl}) {
+    auto protocol =
+        MakeCoherenceProtocol(SmallConfig(mode), /*sketch_variant=*/false);
+    EXPECT_EQ(protocol->mode(), CoherenceMode::kFixedTtl);
+    EXPECT_EQ(protocol->sketch(), nullptr);
+  }
+}
+
+// Δ-atomic's transaction gate is stricter than the per-read cadence: any
+// nonzero snapshot age forces a refresh at the txn instant.
+TEST(DeltaAtomicClientTest, TxnRefreshDemandsZeroAgeSnapshot) {
+  DeltaAtomicProtocol protocol(SmallConfig(CoherenceMode::kDeltaAtomic));
+  auto client = protocol.NewClient(Duration::Seconds(10));
+  ASSERT_GT(client->InstallRefresh(At(0)), 0u);
+  // Within Δ the per-read gate is satisfied...
+  EXPECT_FALSE(client->NeedsRefresh(At(5)));
+  // ...but a transaction at t=5 cannot trust a t=0 snapshot.
+  EXPECT_TRUE(client->NeedsTxnRefresh(At(5)));
+  EXPECT_FALSE(client->NeedsTxnRefresh(At(0)));
+}
+
+TEST(SerializableProtocolTest, StaleReadIndexesFlagsHeadMismatchesOnly) {
+  SerializableProtocol protocol(SmallConfig(CoherenceMode::kSerializable));
+  protocol.OnVersion("a", 1, At(0));
+  protocol.OnVersion("a", 2, At(1));
+  protocol.OnVersion("b", 7, At(2));
+
+  // All heads match: certifiable.
+  EXPECT_TRUE(protocol.StaleReadIndexes({{"a", 2}, {"b", 7}}).empty());
+  // A read behind the head is flagged by its index.
+  std::vector<size_t> stale =
+      protocol.StaleReadIndexes({{"a", 1}, {"b", 7}, {"a", 2}});
+  ASSERT_EQ(stale.size(), 1u);
+  EXPECT_EQ(stale[0], 0u);
+  // Keys the authority never saw written cannot mismatch; version-0 reads
+  // of written keys predate every write and always mismatch.
+  EXPECT_TRUE(protocol.StaleReadIndexes({{"never-written", 3}}).empty());
+  stale = protocol.StaleReadIndexes({{"b", 0}});
+  ASSERT_EQ(stale.size(), 1u);
+  EXPECT_EQ(stale[0], 0u);
+}
+
+TEST(CheckSnapshotTest, OverlappingValidityIntervalsAreConsistent) {
+  StalenessTracker tracker;
+  tracker.RecordWrite("a", 1, At(0));
+  tracker.RecordWrite("a", 2, At(10));
+  tracker.RecordWrite("b", 1, At(5));
+
+  // a@1 valid [0, 10); b@1 valid [5, inf): instant 5 witnesses both.
+  SnapshotCheck check = tracker.CheckSnapshot({{"a", 1}, {"b", 1}});
+  EXPECT_TRUE(check.consistent);
+  EXPECT_FALSE(check.clamped);
+  // Head reads never die: always consistent with each other.
+  check = tracker.CheckSnapshot({{"a", 2}, {"b", 1}});
+  EXPECT_TRUE(check.consistent);
+  // Unwritten keys constrain nothing.
+  check = tracker.CheckSnapshot({{"a", 1}, {"ghost", 4}});
+  EXPECT_TRUE(check.consistent);
+  // The empty set is trivially a snapshot.
+  EXPECT_TRUE(tracker.CheckSnapshot({}).consistent);
+}
+
+TEST(CheckSnapshotTest, DisjointIntervalsAreAnAnomaly) {
+  StalenessTracker tracker;
+  tracker.RecordWrite("a", 1, At(0));
+  tracker.RecordWrite("a", 2, At(10));
+  tracker.RecordWrite("b", 1, At(0));
+  tracker.RecordWrite("b", 2, At(10));
+
+  // a@1 died at 10 exactly when b@2 was born: no common instant (the
+  // interval is half-open — the txn cannot have run at both "before 10"
+  // and "at/after 10").
+  SnapshotCheck check = tracker.CheckSnapshot({{"a", 1}, {"b", 2}});
+  EXPECT_FALSE(check.consistent);
+  EXPECT_FALSE(check.clamped);
+  // Strictly disjoint: same verdict.
+  tracker.RecordWrite("c", 1, At(20));
+  check = tracker.CheckSnapshot({{"a", 1}, {"c", 1}});
+  EXPECT_FALSE(check.consistent);
+}
+
+TEST(CheckSnapshotTest, RingOverflowClampsTowardConsistent) {
+  // A 1-slot ring forgets all but the newest write; missing bounds must
+  // be taken as infinitely generous (flagged, never an invented anomaly).
+  StalenessTracker tracker(/*ring_capacity=*/1);
+  tracker.RecordWrite("a", 1, At(0));
+  tracker.RecordWrite("a", 2, At(10));  // a@1's true death
+  tracker.RecordWrite("a", 3, At(20));  // only this write stays dated
+  tracker.RecordWrite("b", 1, At(15));
+
+  // Truth: a@1 died at 10, b@1 was born at 15 — a genuine anomaly. The
+  // ring only remembers a's v3@20, so a@1's death clamps out to 20 and
+  // the check errs toward "consistent", flagging the clamp so E18's
+  // anomaly counts are never silently weakened, only under-counted.
+  SnapshotCheck check = tracker.CheckSnapshot({{"a", 1}, {"b", 1}});
+  EXPECT_TRUE(check.consistent);
+  EXPECT_TRUE(check.clamped);
+}
+
+}  // namespace
+}  // namespace speedkit::coherence

@@ -38,17 +38,17 @@ TEST(StackConfigValidateTest, RejectsShardsNotDividingEdges) {
 
 TEST(StackConfigValidateTest, RejectsSketchFprOutOfRange) {
   StackConfig config;
-  config.sketch_fpr = 0.0;
+  config.coherence.sketch_fpr = 0.0;
   EXPECT_TRUE(config.Validate().IsInvalidArgument());
-  config.sketch_fpr = 0.6;
+  config.coherence.sketch_fpr = 0.6;
   EXPECT_TRUE(config.Validate().IsInvalidArgument());
-  config.sketch_fpr = 0.5;
+  config.coherence.sketch_fpr = 0.5;
   EXPECT_TRUE(config.Validate().ok());
 }
 
 TEST(StackConfigValidateTest, RejectsZeroSketchCapacityForSpeedKit) {
   StackConfig config;
-  config.sketch_capacity = 0;
+  config.coherence.sketch_capacity = 0;
   EXPECT_TRUE(config.Validate().IsInvalidArgument());
   // Variants without a sketch don't need a capacity.
   config.variant = SystemVariant::kFixedTtlCdn;
@@ -57,7 +57,7 @@ TEST(StackConfigValidateTest, RejectsZeroSketchCapacityForSpeedKit) {
 
 TEST(StackConfigValidateTest, RejectsNonPositiveDelta) {
   StackConfig config;
-  config.delta = Duration::Zero();
+  config.coherence.delta = Duration::Zero();
   EXPECT_TRUE(config.Validate().IsInvalidArgument());
 }
 
@@ -98,7 +98,7 @@ TEST(ShardedFleetTest, RemotePurgeAppliesAtOwnersNextCoherenceBoundary) {
   StackConfig config;
   config.cdn_edges = 4;
   config.shards = 2;
-  config.delta = Duration::Seconds(30);
+  config.coherence.delta = Duration::Seconds(30);
   ShardedFleet fleet(config);
   SpeedKitStack& s0 = fleet.shard(0);
   SpeedKitStack& s1 = fleet.shard(1);

@@ -15,7 +15,7 @@ TEST(StackTest, SpeedKitVariantWiresEverything) {
   EXPECT_TRUE(pc.enabled);
   EXPECT_TRUE(pc.use_sketch);
   EXPECT_TRUE(pc.use_cdn);
-  EXPECT_EQ(pc.sketch_refresh_interval, config.delta);
+  EXPECT_EQ(pc.sketch_refresh_interval, config.coherence.delta);
 }
 
 TEST(StackTest, FixedTtlCdnHasNoCoherence) {

@@ -26,7 +26,7 @@ RunOutcome RunWorkload(SystemVariant variant, Duration delta,
                        Duration fixed_ttl) {
   StackConfig config;
   config.variant = variant;
-  config.delta = delta;
+  config.coherence.delta = delta;
   config.ttl_mode = TtlMode::kFixed;  // make the staleness bound exact
   config.fixed_ttl = fixed_ttl;
   config.seed = 1234;

@@ -106,7 +106,7 @@ TEST_F(OfflineResilienceTest, WritesDuringOutageAreSeenAfterRecovery) {
   EXPECT_EQ(offline.response.object_version, v1);
 
   stack_.origin().set_available(true);
-  stack_.Advance(stack_.config().delta + Duration::Seconds(1));
+  stack_.Advance(stack_.config().coherence.delta + Duration::Seconds(1));
   proxy::FetchResult recovered = client->Fetch(url);
   // ...but after recovery the sketch forces revalidation to the new one.
   EXPECT_GT(recovered.response.object_version, v1);

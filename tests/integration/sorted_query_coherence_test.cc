@@ -35,7 +35,7 @@ class SortedQueryCoherenceTest : public ::testing::Test {
 
   static StackConfig MakeConfig() {
     StackConfig config;
-    config.delta = Duration::Seconds(10);
+    config.coherence.delta = Duration::Seconds(10);
     config.ttl_mode = TtlMode::kFixed;
     config.fixed_ttl = Duration::Seconds(300);
     return config;
@@ -55,7 +55,7 @@ TEST_F(SortedQueryCoherenceTest, DisplacementVisibleWithinDelta) {
 
   // p5 (60 -> 1) becomes the cheapest: the cached listing is now stale.
   stack_.store().Update("p5", {{"price", 1.0}}, stack_.clock().Now());
-  stack_.Advance(stack_.config().delta + Duration::Seconds(1));
+  stack_.Advance(stack_.config().coherence.delta + Duration::Seconds(1));
 
   proxy::FetchResult second = client_->Fetch(QueryUrl());
   ASSERT_TRUE(second.response.ok());
@@ -71,7 +71,7 @@ TEST_F(SortedQueryCoherenceTest, OutOfSliceWriteDoesNotChurnResult) {
   // p5 (rank 6) gets cheaper but stays far outside the top 3: the visible
   // slice is untouched, so the result version must not move.
   stack_.store().Update("p5", {{"price", 55.0}}, stack_.clock().Now());
-  stack_.Advance(stack_.config().delta + Duration::Seconds(1));
+  stack_.Advance(stack_.config().coherence.delta + Duration::Seconds(1));
 
   proxy::FetchResult second = client_->Fetch(QueryUrl());
   ASSERT_TRUE(second.response.ok());
@@ -98,7 +98,7 @@ TEST_F(SortedQueryCoherenceTest, SliceStalenessIsDeltaBounded) {
       max_staleness = std::max(max_staleness, staleness);
     }
   }
-  EXPECT_LE(max_staleness, stack_.config().delta + Duration::Seconds(2));
+  EXPECT_LE(max_staleness, stack_.config().coherence.delta + Duration::Seconds(2));
 }
 
 }  // namespace

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "coherence/delta_atomic.h"
+
 namespace speedkit::invalidation {
 namespace {
 
@@ -19,8 +21,8 @@ class PipelineTest : public ::testing::Test {
   PipelineTest()
       : events_(&clock_),
         cdn_(3, 0),
-        sketch_(1000, 0.01),
-        pipeline_(Config(), &clock_, &events_, &cdn_, &sketch_, Pcg32(7)) {
+        protocol_(SketchConfig()),
+        pipeline_(Config(), &clock_, &events_, &cdn_, &protocol_, Pcg32(7)) {
     pipeline_.AttachTo(&store_);
   }
 
@@ -28,6 +30,13 @@ class PipelineTest : public ::testing::Test {
     PipelineConfig config;
     config.purge_median_delay = Duration::Millis(80);
     config.purge_log_sigma = 0.0;  // deterministic purge timing
+    return config;
+  }
+
+  static coherence::CoherenceConfig SketchConfig() {
+    coherence::CoherenceConfig config;
+    config.sketch_capacity = 1000;
+    config.sketch_fpr = 0.01;
     return config;
   }
 
@@ -40,9 +49,10 @@ class PipelineTest : public ::testing::Test {
   sim::SimClock clock_;
   sim::EventQueue events_;
   cache::Cdn cdn_;
-  sketch::CacheSketch sketch_;
+  coherence::DeltaAtomicProtocol protocol_;
   storage::ObjectStore store_;
   InvalidationPipeline pipeline_;
+  sketch::CacheSketch& sketch_ = *protocol_.sketch();
 };
 
 TEST_F(PipelineTest, WriteSchedulesPurgeOnEveryEdge) {

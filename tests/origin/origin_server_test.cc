@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include "coherence/sketch_publication.h"
 #include "invalidation/pipeline.h"
 
 namespace speedkit::origin {
@@ -16,7 +17,9 @@ class OriginServerTest : public ::testing::Test {
   OriginServerTest()
       : ttl_policy_(Duration::Seconds(60)),
         sketch_(1000, 0.01),
-        server_(OriginConfig{}, &clock_, &store_, &ttl_policy_, &sketch_) {
+        publication_(&sketch_),
+        server_(OriginConfig{}, &clock_, &store_, &ttl_policy_,
+                &publication_) {
     store_.Put("p1",
                {{"category", static_cast<int64_t>(1)}, {"price", 10.0}},
                clock_.Now());
@@ -34,6 +37,7 @@ class OriginServerTest : public ::testing::Test {
   storage::ObjectStore store_;
   ttl::FixedTtlPolicy ttl_policy_;
   sketch::CacheSketch sketch_;
+  coherence::SketchPublication publication_;
   OriginServer server_;
 };
 

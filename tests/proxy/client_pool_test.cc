@@ -10,12 +10,12 @@
 #include <gtest/gtest.h>
 
 #include "cache/cdn.h"
+#include "coherence/delta_atomic.h"
 #include "common/chunked_pool.h"
 #include "origin/origin_server.h"
 #include "sim/clock.h"
 #include "sim/event_queue.h"
 #include "sim/network.h"
-#include "sketch/cache_sketch.h"
 #include "storage/object_store.h"
 #include "ttl/ttl_policy.h"
 
@@ -23,6 +23,13 @@ namespace speedkit::proxy {
 namespace {
 
 constexpr char kRecordUrl[] = "https://shop.example.com/api/records/p1";
+
+coherence::CoherenceConfig SketchCoherenceConfig() {
+  coherence::CoherenceConfig config;
+  config.sketch_capacity = 1000;
+  config.sketch_fpr = 0.001;
+  return config;
+}
 
 // One isolated server side (clock, network, CDN, origin). Comparative
 // tests build two of these so the reference run and the run under test
@@ -32,9 +39,10 @@ struct World {
       : network(sim::NetworkConfig::Instant(), Pcg32(1)),
         events(&clock),
         cdn(2, 0),
-        sketch(1000, 0.001),
+        protocol(SketchCoherenceConfig()),
         ttl_policy(Duration::Seconds(60)),
-        origin(origin::OriginConfig{}, &clock, &store, &ttl_policy, &sketch) {
+        origin(origin::OriginConfig{}, &clock, &store, &ttl_policy,
+               &protocol.publication()) {
     store.Put("p1", {{"price", 10.0}}, clock.Now());
   }
 
@@ -44,6 +52,7 @@ struct World {
     deps.network = &network;
     deps.cdn = &cdn;
     deps.origin = &origin;
+    deps.coherence = &protocol;
     return deps;
   }
 
@@ -53,7 +62,7 @@ struct World {
   sim::Network network;
   sim::EventQueue events;
   cache::Cdn cdn;
-  sketch::CacheSketch sketch;
+  coherence::DeltaAtomicProtocol protocol;
   storage::ObjectStore store;
   ttl::FixedTtlPolicy ttl_policy;
   origin::OriginServer origin;

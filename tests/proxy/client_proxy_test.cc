@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include "coherence/delta_atomic.h"
 #include "invalidation/pipeline.h"
 
 namespace speedkit::proxy {
@@ -17,11 +18,11 @@ class ClientProxyTest : public ::testing::Test {
       : network_(sim::NetworkConfig::Instant(), Pcg32(1)),
         events_(&clock_),
         cdn_(2, 0),
-        sketch_(1000, 0.001),
+        protocol_(SketchConfig()),
         ttl_policy_(Duration::Seconds(60)),
         origin_(origin::OriginConfig{}, &clock_, &store_, &ttl_policy_,
-                &sketch_),
-        pipeline_(PipelineConfig(), &clock_, &events_, &cdn_, &sketch_,
+                &protocol_.publication()),
+        pipeline_(PipelineConfig(), &clock_, &events_, &cdn_, &protocol_,
                   Pcg32(2)) {
     // The origin's expiry book knows which copies are outstanding; the
     // pipeline must size sketch horizons from it.
@@ -40,6 +41,13 @@ class ClientProxyTest : public ::testing::Test {
     return config;
   }
 
+  static coherence::CoherenceConfig SketchConfig() {
+    coherence::CoherenceConfig config;
+    config.sketch_capacity = 1000;
+    config.sketch_fpr = 0.001;
+    return config;
+  }
+
   ProxyConfig SpeedKitConfig() {
     ProxyConfig pc;
     pc.sketch_refresh_interval = Duration::Seconds(10);
@@ -53,6 +61,7 @@ class ClientProxyTest : public ::testing::Test {
     deps.network = &network_;
     deps.cdn = &cdn_;
     deps.origin = &origin_;
+    deps.coherence = &protocol_;
     return ClientProxy(pc, id, deps);
   }
 
@@ -66,7 +75,7 @@ class ClientProxyTest : public ::testing::Test {
   sim::Network network_;
   sim::EventQueue events_;
   cache::Cdn cdn_;
-  sketch::CacheSketch sketch_;
+  coherence::DeltaAtomicProtocol protocol_;
   storage::ObjectStore store_;
   ttl::FixedTtlPolicy ttl_policy_;
   origin::OriginServer origin_;
@@ -263,6 +272,7 @@ TEST_F(ClientProxyTest, LatencyReflectsNetworkDistance) {
   deps.network = &net;
   deps.cdn = &cdn_;
   deps.origin = &origin_;
+  deps.coherence = &protocol_;
   ClientProxy proxy(pc, 1, deps);
 
   // Miss: client->edge->origin = 20 + 80 ms plus the origin's record
@@ -298,6 +308,7 @@ TEST_F(ClientProxyTest, GdprBlockRendersOnDevice) {
   deps.network = &network_;
   deps.cdn = &cdn_;
   deps.origin = &origin_;
+  deps.coherence = &protocol_;
   deps.auditor = &auditor;
   ClientProxy proxy(pc, 777, deps);
   proxy.AttachVault(&vault);
@@ -325,6 +336,7 @@ TEST_F(ClientProxyTest, LegacyBlockLeaksIdentity) {
   deps.network = &network_;
   deps.cdn = &cdn_;
   deps.origin = &origin_;
+  deps.coherence = &protocol_;
   deps.auditor = &auditor;
   ClientProxy proxy(pc, 777, deps);
   proxy.AttachVault(&vault);

@@ -6,6 +6,7 @@
 
 #include <memory>
 
+#include "coherence/delta_atomic.h"
 #include "invalidation/pipeline.h"
 #include "proxy/client_proxy.h"
 #include "sim/fault_schedule.h"
@@ -15,6 +16,14 @@ namespace {
 
 constexpr char kRecordUrl[] = "https://shop.example.com/api/records/p1";
 
+coherence::CoherenceConfig SketchCoherenceConfig() {
+  coherence::CoherenceConfig config;
+  config.sketch_capacity = 1000;
+  config.sketch_fpr = 0.001;
+  return config;
+}
+
+
 // Same harness as client_proxy_test, plus a fault schedule the tests can
 // arm on the network. The harness settles 1s, so traffic starts at t=1s.
 class DegradedModeTest : public ::testing::Test {
@@ -23,11 +32,11 @@ class DegradedModeTest : public ::testing::Test {
       : network_(sim::NetworkConfig::Instant(), Pcg32(1)),
         events_(&clock_),
         cdn_(2, 0),
-        sketch_(1000, 0.001),
+        protocol_(SketchCoherenceConfig()),
         ttl_policy_(Duration::Seconds(60)),
         origin_(origin::OriginConfig{}, &clock_, &store_, &ttl_policy_,
-                &sketch_),
-        pipeline_(PipelineConfig(), &clock_, &events_, &cdn_, &sketch_,
+                &protocol_.publication()),
+        pipeline_(PipelineConfig(), &clock_, &events_, &cdn_, &protocol_,
                   Pcg32(2)) {
     pipeline_.UseExpiryBook(&origin_.expiry_book());
     pipeline_.AttachTo(&store_);
@@ -55,6 +64,7 @@ class DegradedModeTest : public ::testing::Test {
     deps.network = &network_;
     deps.cdn = &cdn_;
     deps.origin = &origin_;
+    deps.coherence = &protocol_;
     return ClientProxy(pc, id, deps);
   }
 
@@ -76,7 +86,7 @@ class DegradedModeTest : public ::testing::Test {
   sim::Network network_;
   sim::EventQueue events_;
   cache::Cdn cdn_;
-  sketch::CacheSketch sketch_;
+  coherence::DeltaAtomicProtocol protocol_;
   storage::ObjectStore store_;
   ttl::FixedTtlPolicy ttl_policy_;
   origin::OriginServer origin_;

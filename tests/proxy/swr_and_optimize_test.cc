@@ -3,6 +3,7 @@
 // sketch: an invalidated key is flagged and never takes the SWR path.
 #include <gtest/gtest.h>
 
+#include "coherence/delta_atomic.h"
 #include "invalidation/pipeline.h"
 #include "proxy/client_proxy.h"
 
@@ -12,17 +13,24 @@ namespace {
 constexpr char kRecordUrl[] = "https://shop.example.com/api/records/p1";
 constexpr char kAssetUrl[] = "https://shop.example.com/assets/hero.jpg";
 
+coherence::CoherenceConfig SketchCoherenceConfig() {
+  coherence::CoherenceConfig config;
+  config.sketch_capacity = 1000;
+  config.sketch_fpr = 0.001;
+  return config;
+}
+
 class SwrTest : public ::testing::Test {
  protected:
   SwrTest()
       : network_(sim::NetworkConfig::Instant(), Pcg32(1)),
         events_(&clock_),
         cdn_(2, 0),
-        sketch_(1000, 0.001),
+        protocol_(SketchCoherenceConfig()),
         ttl_policy_(Duration::Seconds(60)),  // SWR window: +30s
         origin_(origin::OriginConfig{}, &clock_, &store_, &ttl_policy_,
-                &sketch_),
-        pipeline_(MakePipelineConfig(), &clock_, &events_, &cdn_, &sketch_,
+                &protocol_.publication()),
+        pipeline_(MakePipelineConfig(), &clock_, &events_, &cdn_, &protocol_,
                   Pcg32(2)) {
     pipeline_.UseExpiryBook(&origin_.expiry_book());
     pipeline_.AttachTo(&store_);
@@ -49,6 +57,7 @@ class SwrTest : public ::testing::Test {
     deps.network = &network_;
     deps.cdn = &cdn_;
     deps.origin = &origin_;
+    deps.coherence = &protocol_;
     return ClientProxy(pc, id, deps);
   }
 
@@ -58,11 +67,12 @@ class SwrTest : public ::testing::Test {
   sim::Network network_;
   sim::EventQueue events_;
   cache::Cdn cdn_;
-  sketch::CacheSketch sketch_;
+  coherence::DeltaAtomicProtocol protocol_;
   storage::ObjectStore store_;
   ttl::FixedTtlPolicy ttl_policy_;
   origin::OriginServer origin_;
   invalidation::InvalidationPipeline pipeline_;
+  sketch::CacheSketch& sketch_ = *protocol_.sketch();
 };
 
 TEST_F(SwrTest, ExpiredButUnchangedEntryServedInstantly) {

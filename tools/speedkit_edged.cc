@@ -47,6 +47,8 @@ int main(int argc, char** argv) {
         "  --reject-misrouted       421 for keys owned by another member\n"
         "  --flight=coalesce        origin flights: instant|herd|coalesce\n"
         "  --seed=42                stack RNG seed\n"
+        "  --coherence=delta_atomic coherence protocol: delta_atomic|\n"
+        "                           serializable|fixed_ttl\n"
         "  --edges=1                CDN edges inside the embedded stack\n"
         "  --products=2000          synthetic catalog size\n"
         "  --idle-timeout-ms=30000  drop idle connections after this\n");
@@ -68,6 +70,13 @@ int main(int argc, char** argv) {
   config.idle_timeout_ms =
       static_cast<int>(flags.GetInt("idle-timeout-ms", 30000));
   config.stack.seed = static_cast<uint64_t>(flags.GetInt("seed", 42));
+  if (speedkit::Status s = speedkit::coherence::ParseCoherenceMode(
+          flags.GetString("coherence", "delta_atomic"),
+          &config.stack.coherence.mode);
+      !s.ok()) {
+    std::fprintf(stderr, "--coherence: %s\n", s.ToString().c_str());
+    return 2;
+  }
   config.stack.cdn_edges = static_cast<int>(flags.GetInt("edges", 1));
   config.stack.origin_flight =
       ParseFlightMode(flags.GetString("flight", "coalesce"));

@@ -32,6 +32,8 @@ int Usage() {
       "pure_invalidation]\n"
       "                    [--clients=N] [--minutes=M] [--writes-per-sec=W]\n"
       "                    [--skew=S] [--delta=SECONDS] [--products=P]\n"
+      "                    [--coherence=delta_atomic|serializable|"
+      "fixed_ttl]\n"
       "                    [--categories=C] [--edges=E] [--fixed-ttl=SECONDS]\n"
       "                    [--seed=N]\n"
       "                    [--metrics[=METRICS.json]] write the metrics\n"
@@ -52,7 +54,14 @@ int main(int argc, char** argv) {
   config.variant = ParseVariant(flags.GetString("variant", "speed_kit"));
   config.seed = static_cast<uint64_t>(flags.GetInt("seed", 42));
   config.cdn_edges = static_cast<int>(flags.GetInt("edges", 4));
-  config.delta = Duration::Seconds(flags.GetDouble("delta", 30));
+  config.coherence.delta = Duration::Seconds(flags.GetDouble("delta", 30));
+  if (Status s = coherence::ParseCoherenceMode(
+          flags.GetString("coherence", "delta_atomic"),
+          &config.coherence.mode);
+      !s.ok()) {
+    std::fprintf(stderr, "--coherence: %s\n", s.ToString().c_str());
+    return 2;
+  }
   config.fixed_ttl = Duration::Seconds(flags.GetDouble("fixed-ttl", 120));
   if (flags.GetString("ttl-mode", "estimator") == "fixed") {
     config.ttl_mode = core::TtlMode::kFixed;
@@ -90,7 +99,7 @@ int main(int argc, char** argv) {
               std::string(core::SystemVariantName(config.variant)).c_str(),
               traffic.num_clients, traffic.duration.seconds() / 60,
               traffic.writes_per_sec, traffic.session.product_skew,
-              config.delta.seconds(),
+              config.coherence.delta.seconds(),
               static_cast<unsigned long long>(config.seed));
 
   core::TrafficSimulation sim(&stack, &catalog, traffic);
